@@ -1,0 +1,71 @@
+// Ablation B: 32x32 vs 64x64 code blocks (paper §3.2).  Muta et al. chose
+// 32x32 to fit double buffering in the Local Store; the paper argues the
+// 4x increase in PPE<->SPE interactions hurts scalability and uses 64x64.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "jp2k/encoder.hpp"
+#include "jp2k/t1_encoder.hpp"
+
+namespace {
+
+using namespace cj2k;
+
+void run_ablation(const bench::Workload& wl) {
+  bench::print_header("Ablation B — 32x32 vs 64x64 code blocks",
+                      "§3.2: smaller blocks = more queue interactions, less"
+                      " Local Store pressure");
+  const Image img = bench::paper_image(wl);
+
+  jp2k::CodingParams p;
+  std::printf("  %-14s %10s %12s %14s %16s\n", "block size", "blocks",
+              "t1 sim", "sim total", "LS block bytes");
+  for (std::size_t cb : {16u, 32u, 64u}) {
+    p.cb_width = cb;
+    p.cb_height = cb;
+    cellenc::CellEncoder enc(bench::machine_config(8, 1));
+    const auto res = enc.encode(img, p);
+    // Count blocks the way the T1 queue sees them.
+    std::size_t blocks = 0;
+    for (const auto& info :
+         jp2k::subband_layout(img.width(), img.height(), p.levels)) {
+      blocks += ceil_div(info.w, cb) * ceil_div(info.h, cb);
+    }
+    blocks *= img.components();
+    std::printf("  %3zux%-10zu %10zu %10.4f s %10.4f s %12zu\n", cb, cb,
+                blocks, res.stage_seconds("tier1"), res.simulated_seconds,
+                cb * cb * sizeof(Sample));
+  }
+  std::printf("\n  64x64 blocks keep the queue coarse (fewer interactions);"
+              " a 64x64 block of int32 coefficients is 16 KB, still far\n"
+              "  below the 256 KB Local Store, so the paper's choice costs"
+              " nothing in fit.\n");
+}
+
+void BM_T1Block(benchmark::State& state) {
+  const auto cb = static_cast<std::size_t>(state.range(0));
+  const Image img = synth::photographic(cb, cb, 1, 3);
+  std::vector<Sample> block(cb * cb);
+  for (std::size_t y = 0; y < cb; ++y) {
+    for (std::size_t x = 0; x < cb; ++x) {
+      block[y * cb + x] = img.plane(0).at(y, x) - 128;
+    }
+  }
+  for (auto _ : state) {
+    auto enc = jp2k::t1_encode_block(
+        Span2d<const Sample>(block.data(), cb, cb), jp2k::SubbandOrient::LL);
+    benchmark::DoNotOptimize(enc.data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cb * cb));
+}
+BENCHMARK(BM_T1Block)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_ablation(cj2k::bench::parse_workload(argc, argv));
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

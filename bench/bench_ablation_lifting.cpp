@@ -1,0 +1,85 @@
+// Ablation A: the paper's §4 loop interleaving + splitting-step merge.
+// Compares the merged single-sweep vertical DWT schedule against the naive
+// multipass schedule — same bits, very different DMA traffic, and hence
+// very different multi-SPE scaling (off-chip bandwidth is the shared
+// resource).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "jp2k/dwt_merged.hpp"
+#include "jp2k/encoder.hpp"
+
+namespace {
+
+using namespace cj2k;
+
+void run_ablation(const bench::Workload& wl) {
+  bench::print_header(
+      "Ablation A — merged vs multipass vertical lifting",
+      "§4: 3 sweeps -> 1 (lossless), 6 -> 1 (lossy); aux buffer halves the"
+      " splitting traffic");
+  const Image img = bench::paper_image(wl);
+
+  for (const bool lossless : {true, false}) {
+    jp2k::CodingParams p;
+    if (!lossless) {
+      p.wavelet = jp2k::WaveletKind::kIrreversible97;
+      p.rate = 0.1;
+    }
+    std::printf("\n  %s path:\n", lossless ? "Lossless (5/3)" : "Lossy (9/7)");
+    std::printf("  %-22s %10s %12s %14s %12s\n", "vertical schedule",
+                "spes", "dwt sim", "dwt DMA bytes", "total sim");
+    for (const bool merged : {false, true}) {
+      for (int spes : {1, 8}) {
+        cellenc::CellEncoder enc(bench::machine_config(spes, 1));
+        cellenc::DwtOptions opt;
+        opt.merged_vertical = merged;
+        const auto res = enc.encode(img, p, opt);
+        double dwt_bytes = 0;
+        for (const auto& s : res.stages) {
+          if (s.name == "dwt") dwt_bytes = static_cast<double>(s.dma_bytes);
+        }
+        std::printf("  %-22s %10d %10.4f s %14.0f %10.4f s\n",
+                    merged ? "merged (paper)" : "multipass (naive)", spes,
+                    res.stage_seconds("dwt"), dwt_bytes,
+                    res.simulated_seconds);
+      }
+    }
+  }
+  std::printf("\n  Expected shape: merged moves ~2x (lossless) / ~4x (lossy)"
+              " fewer bytes, and the gap widens at 8 SPEs where the\n"
+              "  multipass schedule is bandwidth-bound.\n");
+}
+
+void BM_MergedVertical53(benchmark::State& state) {
+  const std::size_t w = 512, h = 512;
+  std::vector<Sample> buf(w * h, 100);
+  std::vector<Sample> aux;
+  for (auto _ : state) {
+    jp2k::dwt_merged::vertical_analyze_53(Span2d<Sample>(buf.data(), w, h, w),
+                                          aux);
+    benchmark::DoNotOptimize(buf.data());
+  }
+}
+BENCHMARK(BM_MergedVertical53)->Unit(benchmark::kMillisecond);
+
+void BM_MultipassVertical53(benchmark::State& state) {
+  const std::size_t w = 512, h = 512;
+  std::vector<Sample> buf(w * h, 100);
+  std::vector<Sample> scratch;
+  for (auto _ : state) {
+    jp2k::dwt_merged::vertical_analyze_53_multipass(
+        Span2d<Sample>(buf.data(), w, h, w), scratch);
+    benchmark::DoNotOptimize(buf.data());
+  }
+}
+BENCHMARK(BM_MultipassVertical53)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_ablation(cj2k::bench::parse_workload(argc, argv));
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

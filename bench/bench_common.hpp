@@ -1,0 +1,71 @@
+// Shared helpers for the figure/table benchmark binaries.
+//
+// Every bench prints the rows of the corresponding paper table/figure
+// (simulated Cell seconds from the machine model — deterministic and host-
+// independent), then runs a few google-benchmark microbenchmarks of the
+// underlying host kernels.
+//
+// Workload: the paper uses waltham_dial.bmp, a 3172x3116 RGB photo.  The
+// default here is the half-linear-size 1586x1558 synthetic photograph so a
+// full sweep stays interactive; pass `--paper-size` for the full geometry
+// (the shapes are identical, every quantity just scales ~4x).
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cell/machine.hpp"
+#include "cellenc/pipeline.hpp"
+#include "image/image.hpp"
+#include "image/synth.hpp"
+
+namespace cj2k::bench {
+
+struct Workload {
+  std::size_t width = 1586;
+  std::size_t height = 1558;
+};
+
+/// Parses --paper-size / --small from argv (leaves gbench flags alone).
+inline Workload parse_workload(int argc, char** argv) {
+  Workload w;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paper-size") == 0) {
+      w.width = 3172;
+      w.height = 3116;
+    } else if (std::strcmp(argv[i], "--small") == 0) {
+      w.width = 512;
+      w.height = 512;
+    }
+  }
+  return w;
+}
+
+inline Image paper_image(const Workload& w) {
+  return synth::photographic(w.width, w.height, 3, /*seed=*/20080901);
+}
+
+inline cell::MachineConfig machine_config(int spes, int ppes_in_t1,
+                                          int chips = 1) {
+  cell::MachineConfig cfg;
+  cfg.num_spes = spes;
+  cfg.num_ppe_threads = ppes_in_t1;
+  cfg.chips = chips;
+  return cfg;
+}
+
+inline void print_header(const char* title, const char* paper_note) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Paper reference: %s\n", paper_note);
+  std::printf("================================================================\n");
+}
+
+inline void print_row(const std::string& label, double seconds,
+                      double speedup_vs_base, const char* extra = "") {
+  std::printf("  %-26s %10.4f s   speedup %6.2fx  %s\n", label.c_str(),
+              seconds, speedup_vs_base, extra);
+}
+
+}  // namespace cj2k::bench

@@ -1,0 +1,94 @@
+// Figure 4: execution time and speedup for LOSSLESS encoding vs the number
+// of SPEs, with "+PPE" Tier-1 participation variants and the 2-chip QS20
+// configuration (paper §5.1).
+//
+// Expected shape: near-linear speedup to 8 SPEs (paper: 6.6x vs 1 SPE),
+// extra speedup from PPE threads (paper: 6.9x vs PPE-only), and continued
+// scaling at 16 SPE + 2 PPE on two chips.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "jp2k/encoder.hpp"
+
+namespace {
+
+using namespace cj2k;
+
+void run_figure(const bench::Workload& wl) {
+  bench::print_header("Figure 4 — lossless encoding time and speedup",
+                      "Fig. 4; text: 6.6x @8SPE vs 1SPE, 6.9x vs PPE-only");
+  const Image img = bench::paper_image(wl);
+  std::printf("  Workload: synthetic photo %zux%zu RGB, 5/3, 5 levels, 64x64"
+              " blocks\n\n",
+              img.width(), img.height());
+
+  jp2k::CodingParams p;  // defaults = lossless 5/3, 5 levels, RCT
+
+  struct Config {
+    const char* label;
+    int spes, ppes, chips;
+  };
+  const Config configs[] = {
+      {"1 PPE only", 0, 1, 1},     {"1 SPE", 1, 0, 1},
+      {"2 SPE", 2, 0, 1},          {"4 SPE", 4, 0, 1},
+      {"8 SPE", 8, 0, 1},          {"8 SPE + 1 PPE", 8, 1, 1},
+      {"16 SPE + 2 PPE (QS20)", 16, 2, 2},
+  };
+
+  double base_1spe = 0, base_ppe = 0;
+  std::printf("  %-26s %12s %9s  %s\n", "configuration", "sim time",
+              "speedup", "per-stage (mct/dwt/t1/t2)");
+  for (const auto& cfg : configs) {
+    cellenc::CellEncoder enc(
+        bench::machine_config(cfg.spes, cfg.ppes, cfg.chips));
+    const auto res = enc.encode(img, p);
+    if (std::string(cfg.label) == "1 SPE") base_1spe = res.simulated_seconds;
+    if (std::string(cfg.label) == "1 PPE only") {
+      base_ppe = res.simulated_seconds;
+    }
+    const double base = base_1spe > 0 ? base_1spe : res.simulated_seconds;
+    char extra[128];
+    std::snprintf(extra, sizeof(extra), "%.3f/%.3f/%.3f/%.3f",
+                  res.stage_seconds("levelshift+mct"),
+                  res.stage_seconds("dwt"), res.stage_seconds("tier1"),
+                  res.stage_seconds("t2"));
+    bench::print_row(cfg.label, res.simulated_seconds,
+                     base / res.simulated_seconds, extra);
+  }
+  if (base_ppe > 0 && base_1spe > 0) {
+    std::printf("\n  PPE-only / 1-SPE ratio: %.2f (paper Fig 4: PPE beats one"
+                " SPE because Tier-1 is branchy integer code)\n",
+                base_ppe / base_1spe);
+  }
+}
+
+void BM_LosslessEncode8Spe(benchmark::State& state) {
+  const Image img = synth::photographic(512, 512, 3, 1);
+  jp2k::CodingParams p;
+  cellenc::CellEncoder enc(bench::machine_config(8, 1));
+  for (auto _ : state) {
+    auto res = enc.encode(img, p);
+    benchmark::DoNotOptimize(res.codestream.data());
+    state.counters["sim_seconds"] = res.simulated_seconds;
+  }
+}
+BENCHMARK(BM_LosslessEncode8Spe)->Unit(benchmark::kMillisecond);
+
+void BM_SerialLosslessEncode(benchmark::State& state) {
+  const Image img = synth::photographic(512, 512, 3, 1);
+  jp2k::CodingParams p;
+  for (auto _ : state) {
+    auto bytes = jp2k::encode(img, p);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+}
+BENCHMARK(BM_SerialLosslessEncode)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_figure(cj2k::bench::parse_workload(argc, argv));
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 5: execution time and speedup for LOSSY encoding (rate 0.1) vs the
+// number of SPEs (paper §5.1).
+//
+// Expected shape: speedup flattens with more SPEs because the sequential
+// rate-allocation stage between Tier-1 and Tier-2 grows to ~60% of total at
+// 16 SPE + 2 PPE (paper: 3.1x @8SPE vs 1 SPE).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "jp2k/encoder.hpp"
+
+namespace {
+
+using namespace cj2k;
+
+void run_figure(const bench::Workload& wl) {
+  bench::print_header("Figure 5 — lossy encoding time and speedup",
+                      "Fig. 5; text: 3.1x @8SPE, rate stage ~60% @16SPE+2PPE");
+  const Image img = bench::paper_image(wl);
+  std::printf("  Workload: synthetic photo %zux%zu RGB, 9/7 float, "
+              "rate=0.1, 5 levels\n\n",
+              img.width(), img.height());
+
+  jp2k::CodingParams p;
+  p.wavelet = jp2k::WaveletKind::kIrreversible97;
+  p.rate = 0.1;
+
+  struct Config {
+    const char* label;
+    int spes, ppes, chips;
+  };
+  const Config configs[] = {
+      {"1 PPE only", 0, 1, 1},     {"1 SPE", 1, 0, 1},
+      {"2 SPE", 2, 0, 1},          {"4 SPE", 4, 0, 1},
+      {"8 SPE", 8, 0, 1},          {"8 SPE + 1 PPE", 8, 1, 1},
+      {"16 SPE + 2 PPE (QS20)", 16, 2, 2},
+  };
+
+  double base_1spe = 0;
+  std::printf("  %-26s %12s %9s  %s\n", "configuration", "sim time",
+              "speedup", "rate-stage share");
+  for (const auto& cfg : configs) {
+    cellenc::CellEncoder enc(
+        bench::machine_config(cfg.spes, cfg.ppes, cfg.chips));
+    const auto res = enc.encode(img, p);
+    if (std::string(cfg.label) == "1 SPE") base_1spe = res.simulated_seconds;
+    const double base = base_1spe > 0 ? base_1spe : res.simulated_seconds;
+    char extra[64];
+    std::snprintf(extra, sizeof(extra), "rate %.0f%%",
+                  100.0 * res.stage_seconds("rate") / res.simulated_seconds);
+    bench::print_row(cfg.label, res.simulated_seconds,
+                     base / res.simulated_seconds, extra);
+  }
+  std::printf("\n  The flattening curve + growing rate share reproduce the "
+              "paper's explanation for lossy scaling.\n");
+}
+
+void BM_LossyEncode8Spe(benchmark::State& state) {
+  const Image img = synth::photographic(512, 512, 3, 1);
+  jp2k::CodingParams p;
+  p.wavelet = jp2k::WaveletKind::kIrreversible97;
+  p.rate = 0.1;
+  cellenc::CellEncoder enc(bench::machine_config(8, 1));
+  for (auto _ : state) {
+    auto res = enc.encode(img, p);
+    benchmark::DoNotOptimize(res.codestream.data());
+    state.counters["sim_seconds"] = res.simulated_seconds;
+  }
+}
+BENCHMARK(BM_LossyEncode8Spe)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_figure(cj2k::bench::parse_workload(argc, argv));
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 7: EBCOT (Tier-1 + Tier-2) performance vs Muta et al. (paper
+// §5.2).  Their EBCOT uses 32x32 blocks with SPE-only Tier-1 and PPE
+// dispatch; ours uses 64x64 blocks on a PPE+SPE work queue.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "cellenc/muta_model.hpp"
+#include "jp2k/encoder.hpp"
+#include "jp2k/t1_encoder.hpp"
+
+namespace {
+
+using namespace cj2k;
+
+void run_figure() {
+  bench::print_header("Figure 7 — EBCOT comparison with Muta et al. [10]",
+                      "Fig. 7; minimized PPE<->SPE interaction wins");
+  const Image img = synth::photographic(1280, 720, 3, 7);
+
+  jp2k::CodingParams p;
+  jp2k::EncodeStats stats;
+  jp2k::encode(img, p, &stats);
+
+  const auto muta0 = cellenc::muta_encode_model(img, stats, 0);
+  const auto muta1 = cellenc::muta_encode_model(img, stats, 1);
+
+  cellenc::CellEncoder ours1(bench::machine_config(8, 1, 1));
+  cellenc::CellEncoder ours2(bench::machine_config(16, 2, 2));
+  const auto r1 = ours1.encode(img, p);
+  const auto r2 = ours2.encode(img, p);
+  const auto ebcot = [](const cellenc::PipelineResult& r) {
+    return r.stage_seconds("tier1") + r.stage_seconds("t2");
+  };
+
+  const double base = muta0.ebcot;
+  std::printf("  %-26s %12s %9s\n", "implementation", "EBCOT sim time",
+              "vs Muta0");
+  bench::print_row("Muta0 (2 chips)", muta0.ebcot, base / muta0.ebcot);
+  bench::print_row("Muta1 (2 chips)", muta1.ebcot, base / muta1.ebcot);
+  bench::print_row("ours, 1 chip", ebcot(r1), base / ebcot(r1));
+  bench::print_row("ours, 2 chips", ebcot(r2), base / ebcot(r2));
+}
+
+void BM_T1EncodeBlock64(benchmark::State& state) {
+  const Image img = synth::photographic(64, 64, 1, 3);
+  std::vector<Sample> block(64 * 64);
+  for (std::size_t y = 0; y < 64; ++y) {
+    for (std::size_t x = 0; x < 64; ++x) {
+      block[y * 64 + x] = img.plane(0).at(y, x) - 128;
+    }
+  }
+  for (auto _ : state) {
+    auto enc = jp2k::t1_encode_block(
+        Span2d<const Sample>(block.data(), 64, 64),
+        jp2k::SubbandOrient::LL);
+    benchmark::DoNotOptimize(enc.data.data());
+  }
+}
+BENCHMARK(BM_T1EncodeBlock64)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_figure();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

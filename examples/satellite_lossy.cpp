@@ -1,0 +1,47 @@
+// Remote-sensing scenario: rate-constrained lossy encoding.  A large
+// "satellite tile" must fit a downlink budget; PCRD rate control picks the
+// per-code-block truncation points.  Sweeps rates and reports size/PSNR,
+// demonstrating the 9/7 float path and the rate-control API.
+//
+// Usage: satellite_lossy [rate ...]   (default sweep 0.05 0.1 0.25 0.5)
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "image/metrics.hpp"
+#include "image/synth.hpp"
+#include "jp2k/decoder.hpp"
+#include "jp2k/encoder.hpp"
+
+using namespace cj2k;
+
+int main(int argc, char** argv) {
+  std::vector<double> rates;
+  for (int i = 1; i < argc; ++i) rates.push_back(std::strtod(argv[i], nullptr));
+  if (rates.empty()) rates = {0.05, 0.1, 0.25, 0.5};
+
+  const Image img = synth::photographic(1024, 1024, 3, 42);
+  std::printf("Satellite tile: %zux%zu RGB (%zu raw bytes)\n\n", img.width(),
+              img.height(), img.raw_bytes());
+
+  std::printf("%8s %12s %12s %10s %10s\n", "rate", "budget B", "actual B",
+              "bpp", "PSNR dB");
+  for (const double rate : rates) {
+    jp2k::CodingParams p;
+    p.wavelet = jp2k::WaveletKind::kIrreversible97;
+    p.rate = rate;
+
+    jp2k::EncodeStats stats;
+    const auto bytes = jp2k::encode(img, p, &stats);
+    const Image back = jp2k::decode(bytes);
+
+    std::printf("%8.3f %12.0f %12zu %10.3f %10.2f\n", rate,
+                rate * static_cast<double>(img.raw_bytes()), bytes.size(),
+                8.0 * static_cast<double>(bytes.size()) /
+                    static_cast<double>(img.width() * img.height()),
+                metrics::psnr(img, back));
+  }
+  std::printf("\nHigher rate -> more coding passes survive PCRD truncation ->"
+              " higher PSNR.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Architecture cost models: convert instrumented op counts into simulated
+// seconds for the SPE, the PPE, and the Pentium IV comparison target.
+//
+// Calibration sources (documented per constant in cost_model.cpp):
+//  * the paper's Table 1 SPE latencies (mpyh/mpyu 7, a 2, fm 6) and the
+//    derived 4-byte-integer-multiply emulation cost;
+//  * public Cell/B.E. specs: 3.2 GHz, dual-issue SPE (even pipe arithmetic,
+//    odd pipe load/store/shuffle), no dynamic branch prediction, 25.6 GB/s
+//    XDR memory per chip;
+//  * Pentium IV 3.2 GHz with a 6.4 GB/s front-side bus.
+//
+// The model is a throughput (issue-slot) model, not a latency simulator:
+// the paper's kernels are unrolled streaming loops where issue rate, not
+// dependency latency, bounds performance — except for the emulated integer
+// multiply and branchy Tier-1 code, which get explicit surcharges.
+#pragma once
+
+#include <cstdint>
+
+#include "cell/counters.hpp"
+
+namespace cj2k::cell {
+
+/// Per-architecture tunables (defaults in cost_model.cpp).
+struct CostParams {
+  double clock_hz = 3.2e9;
+
+  // SPE issue costs (cycles per 128-bit instruction).
+  double spe_even_op = 1.0;        ///< add/shift/fm/compare.
+  double spe_mul_i_emul = 4.0;     ///< mpyh+mpyh+mpyu+a sequence.
+  double spe_odd_op = 1.0;         ///< load/store/shuffle.
+  double spe_scalar_op = 1.5;      ///< scalar on the preferred slot.
+  double spe_branch = 10.0;        ///< avg incl. ~18-cycle miss, no predictor.
+  double spe_t1_cycles_per_symbol = 150.0;
+
+  // PPE (in-order 2-way, 3.2 GHz; scalar code).
+  double ppe_scalar_op = 1.1;
+  double ppe_float_op = 1.1;
+  double ppe_branch = 2.5;
+  double ppe_t1_cycles_per_symbol = 85.0;
+  /// Serial rate-allocation cost (Jasper recomputes per-pass R-D data on
+  /// the PPE; calibrated so the stage approaches the paper's ~60% share of
+  /// lossy encoding at 16 SPEs — see EXPERIMENTS.md).
+  double ppe_rate_cycles_per_pass = 16000.0;
+  /// Tier-2 + stream assembly cost per output byte (tag trees, packet
+  /// headers, buffer copies).
+  double ppe_t2_cycles_per_byte = 40.0;
+  /// PPE streaming throughput for the vector-ish stages, expressed as
+  /// cycles per *lane* (the PPE runs them scalar: 4 lanes = 4+ ops).
+  double ppe_lane_op = 1.2;
+
+  // Pentium IV (out-of-order, 3.2 GHz, scalar Jasper build: no SIMD).
+  double p4_scalar_op = 0.75;
+  double p4_float_op = 1.0;
+  double p4_fix_mul64 = 4.0;       ///< 32x32->64 fixed-point multiply+shift.
+  double p4_branch = 1.2;
+  double p4_t1_cycles_per_symbol = 58.0;
+  double p4_lane_op = 0.9;
+  double p4_mem_bw = 6.4e9;        ///< FSB bandwidth.
+  /// Effective traffic multiplier for column-major (vertical) passes that
+  /// miss in cache (Jasper's known weakness, paper §3.2).
+  double p4_vertical_penalty = 2.0;
+
+  // Memory system.
+  double chip_mem_bw = 25.6e9;     ///< XDR per Cell chip.
+  double spe_max_bw = 16.0e9;      ///< Peak per-SPE DMA bandwidth.
+  double unaligned_dma_penalty = 2.0;  ///< Traffic multiplier when a
+                                       ///< transfer misses the cache-line
+                                       ///< efficient path.
+};
+
+/// Converts counters into seconds on each architecture.
+class CostModel {
+ public:
+  CostModel() = default;
+  explicit CostModel(const CostParams& p) : p_(p) {}
+
+  const CostParams& params() const { return p_; }
+  CostParams& params() { return p_; }
+
+  /// SPE compute time (no DMA).
+  double spe_seconds(const OpCounters& c) const;
+
+  /// PPE compute time for the same counters, modeling the stage run as
+  /// scalar code (each vector op = 4 lane ops).
+  double ppe_seconds(const OpCounters& c) const;
+
+  /// Pentium IV compute time.  `fixed_point_floats`: the P4 build emulates
+  /// float math in fixed point (the paper's lossy comparison condition), so
+  /// v_mul_f counts are charged as 64-bit fixed multiplies.
+  double p4_seconds(const OpCounters& c, bool fixed_point_floats) const;
+
+  /// Effective DMA bytes after the alignment penalty.
+  std::uint64_t effective_dma_bytes(const OpCounters& c) const;
+
+  /// Time for one SPE's DMA traffic at its private peak bandwidth
+  /// (contention is applied at machine level).
+  double spe_dma_seconds(const OpCounters& c) const;
+
+ private:
+  CostParams p_;
+};
+
+}  // namespace cj2k::cell

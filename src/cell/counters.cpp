@@ -1,0 +1,7 @@
+// Intentionally (almost) empty: OpCounters is header-only; this TU anchors
+// the header in the build so include errors surface early.
+#include "cell/counters.hpp"
+
+namespace cj2k::cell {
+static_assert(sizeof(OpCounters) > 0);
+}  // namespace cj2k::cell

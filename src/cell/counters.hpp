@@ -1,0 +1,63 @@
+// Operation counters: the contract between the functional kernels and the
+// timing model.  Kernels (SIMD ops, DMA transfers, Tier-1 symbols) increment
+// these as a side effect of doing the real work, so the timing inputs can
+// never drift from the computation actually performed (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+
+namespace cj2k::cell {
+
+struct OpCounters {
+  // 128-bit SIMD ops (4 lanes each).
+  std::uint64_t v_load = 0;
+  std::uint64_t v_store = 0;
+  std::uint64_t v_add = 0;        ///< add/sub, word or float.
+  std::uint64_t v_mul_f = 0;      ///< single-precision multiply (fm / fma).
+  std::uint64_t v_mul_i_emul = 0; ///< 4-byte int multiply — EMULATED on SPE
+                                  ///< via mpyh+mpyh+mpyu+a (Table 1).
+  std::uint64_t v_shift = 0;
+  std::uint64_t v_cmp_sel = 0;    ///< compare/select (branch-free codepaths).
+  std::uint64_t v_shuffle = 0;    ///< permutes (odd pipe).
+  std::uint64_t v_cvt = 0;        ///< int<->float conversions.
+
+  // Scalar ops (tails, control).
+  std::uint64_t s_int = 0;
+  std::uint64_t s_float = 0;
+  std::uint64_t s_branch = 0;     ///< Data-dependent (hard to predict).
+
+  // Tier-1 instrumentation: MQ decisions coded.
+  std::uint64_t t1_symbols = 0;
+
+  // DMA traffic.
+  std::uint64_t dma_bytes_in = 0;
+  std::uint64_t dma_bytes_out = 0;
+  std::uint64_t dma_transfers = 0;
+  std::uint64_t dma_unaligned = 0;  ///< Not cache-line aligned/sized.
+
+  void add(const OpCounters& o) {
+    v_load += o.v_load;
+    v_store += o.v_store;
+    v_add += o.v_add;
+    v_mul_f += o.v_mul_f;
+    v_mul_i_emul += o.v_mul_i_emul;
+    v_shift += o.v_shift;
+    v_cmp_sel += o.v_cmp_sel;
+    v_shuffle += o.v_shuffle;
+    v_cvt += o.v_cvt;
+    s_int += o.s_int;
+    s_float += o.s_float;
+    s_branch += o.s_branch;
+    t1_symbols += o.t1_symbols;
+    dma_bytes_in += o.dma_bytes_in;
+    dma_bytes_out += o.dma_bytes_out;
+    dma_transfers += o.dma_transfers;
+    dma_unaligned += o.dma_unaligned;
+  }
+
+  void reset() { *this = OpCounters{}; }
+
+  std::uint64_t dma_bytes() const { return dma_bytes_in + dma_bytes_out; }
+};
+
+}  // namespace cj2k::cell

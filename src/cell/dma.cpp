@@ -1,0 +1,82 @@
+#include "cell/dma.hpp"
+
+#include <cstring>
+
+#include "common/align.hpp"
+#include "common/error.hpp"
+
+namespace cj2k::cell {
+
+void DmaEngine::validate(const void* a, const void* b, std::size_t bytes,
+                         bool& efficient) const {
+  if (bytes == 0) throw CellHardwareError("zero-byte DMA transfer");
+  if (bytes > kMaxTransfer) {
+    throw CellHardwareError("DMA transfer exceeds 16 KB MFC limit");
+  }
+  const bool small = bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8;
+  if (small) {
+    // Naturally aligned small transfers.
+    if (!is_aligned(a, bytes) || !is_aligned(b, bytes)) {
+      throw CellHardwareError("small DMA transfer must be naturally aligned");
+    }
+    efficient = false;
+    return;
+  }
+  if (!is_multiple_of(bytes, kQuadWordBytes) ||
+      !is_aligned(a, kQuadWordBytes) || !is_aligned(b, kQuadWordBytes)) {
+    throw CellHardwareError(
+        "DMA transfer must be a multiple of 16 bytes with quad-word "
+        "aligned addresses");
+  }
+  // The *efficient* path: both addresses cache-line aligned and the size an
+  // even multiple of the line (Kistler et al., cited by the paper).
+  efficient = is_aligned(a, kCacheLineBytes) &&
+              is_aligned(b, kCacheLineBytes) &&
+              is_multiple_of(bytes, kCacheLineBytes);
+}
+
+void DmaEngine::get(void* ls_dst, const void* main_src, std::size_t bytes) {
+  bool efficient = false;
+  validate(ls_dst, main_src, bytes, efficient);
+  std::memcpy(ls_dst, main_src, bytes);
+  c_->dma_bytes_in += bytes;
+  ++c_->dma_transfers;
+  if (!efficient) ++c_->dma_unaligned;
+}
+
+void DmaEngine::put(const void* ls_src, void* main_dst, std::size_t bytes) {
+  bool efficient = false;
+  validate(ls_src, main_dst, bytes, efficient);
+  std::memcpy(main_dst, ls_src, bytes);
+  c_->dma_bytes_out += bytes;
+  ++c_->dma_transfers;
+  if (!efficient) ++c_->dma_unaligned;
+}
+
+void DmaEngine::get_large(void* ls_dst, const void* main_src,
+                          std::size_t bytes) {
+  auto* d = static_cast<std::uint8_t*>(ls_dst);
+  const auto* s = static_cast<const std::uint8_t*>(main_src);
+  while (bytes > 0) {
+    const std::size_t n = bytes < kMaxTransfer ? bytes : kMaxTransfer;
+    get(d, s, n);
+    d += n;
+    s += n;
+    bytes -= n;
+  }
+}
+
+void DmaEngine::put_large(const void* ls_src, void* main_dst,
+                          std::size_t bytes) {
+  const auto* s = static_cast<const std::uint8_t*>(ls_src);
+  auto* d = static_cast<std::uint8_t*>(main_dst);
+  while (bytes > 0) {
+    const std::size_t n = bytes < kMaxTransfer ? bytes : kMaxTransfer;
+    put(s, d, n);
+    s += n;
+    d += n;
+    bytes -= n;
+  }
+}
+
+}  // namespace cj2k::cell

@@ -1,0 +1,41 @@
+// MFC DMA model.  Enforces the Cell's transfer rules (size/alignment) and
+// records traffic for the bandwidth model.  The paper's decomposition
+// scheme exists precisely to make every transfer land on the "efficient"
+// path here: cache-line aligned on both sides, size a multiple of the line.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cell/counters.hpp"
+
+namespace cj2k::cell {
+
+class DmaEngine {
+ public:
+  /// Largest single MFC transfer.
+  static constexpr std::size_t kMaxTransfer = 16 * 1024;
+
+  explicit DmaEngine(OpCounters& c) : c_(&c) {}
+
+  /// Main memory -> Local Store.  Throws CellHardwareError on transfers the
+  /// MFC would reject (size not in {1,2,4,8,16k·n}, mismatched alignment).
+  void get(void* ls_dst, const void* main_src, std::size_t bytes);
+
+  /// Local Store -> main memory.
+  void put(const void* ls_src, void* main_dst, std::size_t bytes);
+
+  /// Convenience: transfer of arbitrary size, split into <=16 KB pieces
+  /// (what a DMA list would do).
+  void get_large(void* ls_dst, const void* main_src, std::size_t bytes);
+  void put_large(const void* ls_src, void* main_dst, std::size_t bytes);
+
+  OpCounters& counters() { return *c_; }
+
+ private:
+  void validate(const void* a, const void* b, std::size_t bytes,
+                bool& efficient) const;
+  OpCounters* c_;
+};
+
+}  // namespace cj2k::cell

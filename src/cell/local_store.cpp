@@ -1,0 +1,35 @@
+#include "cell/local_store.hpp"
+
+#include "common/error.hpp"
+
+namespace cj2k::cell {
+
+LocalStore::LocalStore(std::size_t code_reserve) {
+  CJ2K_CHECK_MSG(code_reserve < kCapacity,
+                 "code reserve exceeds the Local Store");
+  data_capacity_ = kCapacity - code_reserve;
+  // Over-align the arena so Local Store offsets are cache-line aligned too.
+  arena_ = std::make_unique<std::uint8_t[]>(data_capacity_ + kCacheLineBytes);
+}
+
+void* LocalStore::alloc_bytes(std::size_t bytes, std::size_t align) {
+  CJ2K_CHECK_MSG(align != 0 && (align & (align - 1)) == 0,
+                 "alignment must be a power of two");
+  // Base address aligned to a cache line; offsets preserve `align`.
+  auto base = reinterpret_cast<std::uintptr_t>(arena_.get());
+  const std::uintptr_t aligned_base = round_up(base, kCacheLineBytes);
+  std::uintptr_t p = round_up(aligned_base + used_, align);
+  const std::size_t new_used = (p - aligned_base) + bytes;
+  if (new_used > data_capacity_) {
+    throw CellHardwareError("Local Store exhausted: need " +
+                            std::to_string(new_used) + " of " +
+                            std::to_string(data_capacity_) + " bytes");
+  }
+  used_ = new_used;
+  if (used_ > peak_) peak_ = used_;
+  return reinterpret_cast<void*>(p);
+}
+
+void LocalStore::reset() { used_ = 0; }
+
+}  // namespace cj2k::cell

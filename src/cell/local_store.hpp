@@ -1,0 +1,55 @@
+// SPE Local Store model: a 256 KB scratchpad with explicit allocation.
+// There is no cache and no fallback — a kernel whose working set does not
+// fit throws, exactly the constraint that drives the paper's constant-
+// memory data decomposition scheme (§2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/align.hpp"
+
+namespace cj2k::cell {
+
+class LocalStore {
+ public:
+  /// Real SPE Local Store capacity.
+  static constexpr std::size_t kCapacity = 256 * 1024;
+
+  /// `code_reserve` models the bytes taken by program text + stack; the
+  /// paper notes shorter kernels leave more room for buffering.
+  explicit LocalStore(std::size_t code_reserve = 48 * 1024);
+
+  /// Bump-allocates `count` elements of T aligned to `align` bytes.
+  /// The default is full cache-line alignment so buffers qualify for the
+  /// efficient DMA path; pass kQuadWordBytes for SIMD-only scratch.
+  /// Throws CellHardwareError when the Local Store is exhausted.
+  template <typename T>
+  T* alloc(std::size_t count, std::size_t align = kCacheLineBytes) {
+    return static_cast<T*>(alloc_bytes(count * sizeof(T), align));
+  }
+
+  /// Raw allocation.
+  void* alloc_bytes(std::size_t bytes, std::size_t align);
+
+  /// Frees everything allocated since construction (kernel epilogue).
+  void reset();
+
+  /// Bytes currently allocated (excluding the code reserve).
+  std::size_t used() const { return used_; }
+
+  /// Bytes still available.
+  std::size_t available() const { return data_capacity_ - used_; }
+
+  /// High-water mark across the LocalStore's lifetime.
+  std::size_t peak_used() const { return peak_; }
+
+ private:
+  std::unique_ptr<std::uint8_t[]> arena_;
+  std::size_t data_capacity_ = 0;
+  std::size_t used_ = 0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace cj2k::cell

@@ -1,0 +1,93 @@
+#include "cell/machine.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace cj2k::cell {
+
+Machine::Machine(const MachineConfig& cfg) : cfg_(cfg), model_(cfg.cost) {
+  CJ2K_CHECK_MSG(cfg.num_spes >= 0 && cfg.num_spes <= 64,
+                 "SPE count out of range");
+  CJ2K_CHECK_MSG(cfg.num_ppe_threads >= 0 && cfg.num_ppe_threads <= 8,
+                 "PPE thread count out of range");
+  CJ2K_CHECK_MSG(cfg.chips >= 1 && cfg.chips <= 8, "chip count out of range");
+  spes_.reserve(static_cast<std::size_t>(cfg.num_spes));
+  for (int i = 0; i < cfg.num_spes; ++i) {
+    spes_.push_back(std::make_unique<SpeContext>());
+  }
+}
+
+StageTiming Machine::run_data_parallel(
+    const std::string& name,
+    const std::function<void(int, SpeContext&)>& spe_work,
+    const std::function<void(OpCounters&)>& ppe_work, bool overlap_dma) {
+  for (auto& s : spes_) {
+    s->counters.reset();
+    s->ls.reset();
+  }
+  OpCounters ppe_counters;
+
+  std::vector<std::thread> threads;
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  threads.reserve(spes_.size());
+  for (int i = 0; i < cfg_.num_spes; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        spe_work(i, *spes_[static_cast<std::size_t>(i)]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  if (ppe_work) {
+    try {
+      ppe_work(ppe_counters);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  std::vector<OpCounters> spe_counts;
+  spe_counts.reserve(spes_.size());
+  for (auto& s : spes_) spe_counts.push_back(s->counters);
+  return compose(name, spe_counts, {ppe_counters}, overlap_dma);
+}
+
+StageTiming Machine::compose(const std::string& name,
+                             const std::vector<OpCounters>& spe_counters,
+                             const std::vector<OpCounters>& ppe_counters,
+                             bool overlap_dma) const {
+  StageTiming t;
+  t.name = name;
+
+  double worst_spe = 0.0;
+  std::uint64_t total_eff_bytes = 0;
+  for (const auto& c : spe_counters) {
+    const double compute = model_.spe_seconds(c);
+    const double dma = model_.spe_dma_seconds(c);
+    t.spe_compute = std::max(t.spe_compute, compute);
+    t.spe_dma = std::max(t.spe_dma, dma);
+    const double spe_time =
+        overlap_dma ? std::max(compute, dma) : compute + dma;
+    worst_spe = std::max(worst_spe, spe_time);
+    total_eff_bytes += model_.effective_dma_bytes(c);
+    t.dma_bytes += c.dma_bytes();
+  }
+  for (const auto& c : ppe_counters) {
+    t.ppe = std::max(t.ppe, model_.ppe_seconds(c));
+  }
+  t.dma_aggregate = static_cast<double>(total_eff_bytes) / total_mem_bw();
+  t.seconds = std::max({worst_spe, t.dma_aggregate, t.ppe});
+  return t;
+}
+
+}  // namespace cj2k::cell

@@ -1,0 +1,99 @@
+// The Cell/B.E. machine model: a set of SPE contexts (Local Store + DMA +
+// SIMD + counters), PPE thread counters, and the timing composition that
+// turns per-worker op counts into a simulated stage time.
+//
+// Execution model: stage kernels are real C++ run on host threads (so the
+// work queue and chunk decomposition are genuinely concurrent); *simulated*
+// time is computed from the counters, so it is deterministic and
+// independent of the host machine.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cell/cost_model.hpp"
+#include "cell/dma.hpp"
+#include "cell/local_store.hpp"
+#include "cell/simd.hpp"
+
+namespace cj2k::cell {
+
+/// One SPE's private state.
+struct SpeContext {
+  SpeContext() : dma(counters), simd(counters) {}
+  LocalStore ls;
+  OpCounters counters;
+  DmaEngine dma;
+  Simd simd;
+};
+
+struct MachineConfig {
+  int num_spes = 8;
+  int num_ppe_threads = 1;  ///< PPE hardware threads doing stage work.
+  int chips = 1;            ///< QS20 blade = 2 (bandwidth scales).
+  CostParams cost;          ///< Clock and per-op costs.
+};
+
+/// Simulated timing of one pipeline stage.
+struct StageTiming {
+  std::string name;
+  double spe_compute = 0;   ///< Max per-SPE compute seconds.
+  double spe_dma = 0;       ///< Max per-SPE private DMA seconds.
+  double dma_aggregate = 0; ///< Total traffic over chip bandwidth.
+  double ppe = 0;           ///< Max per-PPE-thread compute seconds.
+  double seconds = 0;       ///< Composed stage time.
+  std::uint64_t dma_bytes = 0;
+
+  StageTiming& operator+=(const StageTiming& o) {
+    spe_compute += o.spe_compute;
+    spe_dma += o.spe_dma;
+    dma_aggregate += o.dma_aggregate;
+    ppe += o.ppe;
+    seconds += o.seconds;
+    dma_bytes += o.dma_bytes;
+    return *this;
+  }
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& cfg);
+
+  const MachineConfig& config() const { return cfg_; }
+  const CostModel& model() const { return model_; }
+  int num_spes() const { return cfg_.num_spes; }
+  int num_ppe_threads() const { return cfg_.num_ppe_threads; }
+  SpeContext& spe(int i) { return *spes_.at(static_cast<std::size_t>(i)); }
+
+  /// Runs `spe_work(i, ctx)` for every SPE on host threads, plus an
+  /// optional PPE-side worker, then composes the stage timing from the
+  /// counters (which are reset on entry).  With `overlap_dma` (double /
+  /// multi-level buffering, the default per the paper's scheme) compute and
+  /// DMA overlap; without it they serialize (the Muta baseline condition).
+  StageTiming run_data_parallel(
+      const std::string& name,
+      const std::function<void(int, SpeContext&)>& spe_work,
+      const std::function<void(OpCounters&)>& ppe_work = nullptr,
+      bool overlap_dma = true);
+
+  /// Pure timing composition from externally-managed counters (used by the
+  /// Tier-1 virtual-time work-queue stage and the baseline models).
+  StageTiming compose(const std::string& name,
+                      const std::vector<OpCounters>& spe_counters,
+                      const std::vector<OpCounters>& ppe_counters,
+                      bool overlap_dma = true) const;
+
+  /// Chip-aggregate memory bandwidth (scales with the number of chips).
+  double total_mem_bw() const {
+    return cfg_.cost.chip_mem_bw * static_cast<double>(cfg_.chips);
+  }
+
+ private:
+  MachineConfig cfg_;
+  CostModel model_;
+  std::vector<std::unique_ptr<SpeContext>> spes_;
+};
+
+}  // namespace cj2k::cell

@@ -1,0 +1,37 @@
+// Model of Muta et al.'s Motion JPEG2000 encoder [10] — the paper's Cell
+// comparison baseline (Figures 6–8).  Structural differences the paper
+// itemizes (§3.2, §5.2), all reflected here:
+//   * Cell/B.E. 2.4 GHz (not 3.2);
+//   * convolution-based DWT over 128x128 tiles with 112x112 net payload:
+//     (128/112)^2 work amplification and DMA that cannot use the efficient
+//     cache-line path (overlapped tiles), out-of-place filtering (2x
+//     traffic per level), no lifting/loop merging — so multi-SPE DWT is
+//     bandwidth-bound and "does not scale beyond a single SPE";
+//   * 32x32 code blocks (4x the blocks, more PPE<->SPE interaction) with
+//     Tier-1 on the SPEs only, the PPE doing Tier-2 + distribution;
+//   * level shift / MCT / quantization on the PPE only;
+//   * Muta0 runs two encoder instances on the two chips (per-frame time =
+//     one-chip time; throughput doubles), Muta1 one instance on both chips.
+#pragma once
+
+#include "image/image.hpp"
+#include "jp2k/encoder.hpp"
+
+namespace cj2k::cellenc {
+
+struct MutaTiming {
+  double pre = 0;     ///< PPE-only level shift + MCT.
+  double dwt = 0;
+  double ebcot = 0;   ///< Tier-1 + Tier-2 (overlapped with distribution).
+  double total = 0;
+};
+
+/// Simulated per-frame encoding time of Muta et al.'s encoder on `spes`
+/// SPEs per instance.  `variant` 0 = two independent per-chip encoders
+/// (their Muta0; per-frame latency of one chip, throughput x2), 1 = one
+/// encoder spanning both chips (their Muta1).
+MutaTiming muta_encode_model(const Image& img,
+                             const jp2k::EncodeStats& stats, int variant,
+                             int spes_per_chip = 8);
+
+}  // namespace cj2k::cellenc

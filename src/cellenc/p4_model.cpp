@@ -1,0 +1,88 @@
+#include "cellenc/p4_model.hpp"
+
+#include "cell/cost_model.hpp"
+
+namespace cj2k::cellenc {
+
+namespace {
+
+// Scalar op counts per sample on the P4 (Jasper structure):
+//  * level shift + RCT: ~8 integer ops + 6 loads/stores.
+//  * level shift + ICT fixed point: 3 fixed multiplies + adds per output
+//    channel (~9 fixed muls per pixel) — Jasper's jpc_fix_asl/mul chain.
+//  * 5/3 lifting: 2 sweeps x (2 adds + shift + load/store) per sample.
+//  * 9/7 fixed lifting: 4 sweeps x (1 fixed mul + 2 adds) + scaling pass.
+// The 2-D pyramid touches sum_l 4^-l ~ 4/3 of the samples; vertical passes
+// additionally pay the cache penalty (column-major traversal, paper §3.2).
+constexpr double kMctLosslessOps = 14.0;
+constexpr double kMctLossyFixMuls = 9.0;
+constexpr double kMctLossyOps = 12.0;
+constexpr double kDwt53OpsPerSample = 12.0;
+constexpr double kDwt97FixMulsPerSample = 5.0;
+constexpr double kDwt97OpsPerSample = 14.0;
+constexpr double kQuantFixMulsPerSample = 1.0;
+constexpr double kQuantOpsPerSample = 5.0;
+constexpr double kReadOpsPerSample = 3.0;
+constexpr double kP4RateCyclesPerPass = 9000.0;
+constexpr double kP4T2CyclesPerByte = 30.0;
+
+}  // namespace
+
+P4Timing p4_encode_model(const Image& img, const jp2k::CodingParams& params,
+                         const jp2k::EncodeStats& stats) {
+  const cell::CostParams cp;  // defaults carry the P4 constants
+  const double clock = cp.clock_hz;
+  const double samples = static_cast<double>(img.total_samples());
+  const bool lossy = params.wavelet == jp2k::WaveletKind::kIrreversible97;
+
+  // Pyramid sample total across decomposition levels.
+  double pyr = 0.0, area = samples;
+  for (int l = 0; l < params.levels; ++l) {
+    pyr += area;
+    area /= 4.0;
+  }
+
+  P4Timing t;
+  t.read = samples * kReadOpsPerSample * cp.p4_scalar_op / clock;
+  if (lossy) {
+    t.mct = samples *
+            (kMctLossyFixMuls * cp.p4_fix_mul64 +
+             kMctLossyOps * cp.p4_scalar_op) /
+            clock;
+    t.quant = samples *
+              (kQuantFixMulsPerSample * cp.p4_fix_mul64 +
+               kQuantOpsPerSample * cp.p4_scalar_op) /
+              clock;
+  } else {
+    t.mct = samples * kMctLosslessOps * cp.p4_scalar_op / clock;
+  }
+
+  // DWT: compute + memory.  Each level makes a horizontal and a vertical
+  // pass; the vertical pass pays the column-major cache penalty.
+  const double ops_per_sample =
+      lossy ? (kDwt97FixMulsPerSample * cp.p4_fix_mul64 +
+               kDwt97OpsPerSample * cp.p4_scalar_op)
+            : (kDwt53OpsPerSample * cp.p4_scalar_op);
+  const double compute = pyr * 2.0 * ops_per_sample / clock;
+  const double bytes = pyr * 2.0 * sizeof(Sample) *
+                       (1.0 + cp.p4_vertical_penalty) / 2.0 * 2.0;
+  const double memory = bytes / cp.p4_mem_bw;
+  t.dwt = compute + memory;
+
+  t.t1 = static_cast<double>(stats.t1_symbols) *
+         cp.p4_t1_cycles_per_symbol / clock;
+  if (lossy && params.rate > 0.0) {
+    t.rate = static_cast<double>(stats.t1_passes) * kP4RateCyclesPerPass /
+             clock;
+  }
+  // Tier-2 + stream assembly: per-pass header coding plus a streaming copy
+  // of roughly the raw plane (kP4T2CyclesPerByte covers both).
+  t.t2 = static_cast<double>(stats.t1_passes) * 60.0 / clock +
+         samples * sizeof(Sample) * 0.125 * kP4T2CyclesPerByte / clock /
+             sizeof(Sample);
+
+  t.total = t.read + t.mct + t.dwt + t.quant + t.t1 + t.rate + t.t2;
+  return t;
+}
+
+}  // namespace cj2k::cellenc

@@ -1,0 +1,33 @@
+// Pentium IV 3.2 GHz comparison model (paper §5.3 / Figure 9).
+//
+// Conditions, exactly as the paper states them: scalar Jasper (no SIMD —
+// "vectorization is not implemented in the Jasper code for the Pentium IV"),
+// gcc -O5, and for lossy encoding the *fixed-point* 9/7 (the P4 build keeps
+// Jasper's fixed-point real representation while the Cell build switched to
+// float).  Cost formulas are documented in p4_model.cpp; work quantities
+// (samples, symbols, passes, bytes) come from a real encode's stats, so the
+// model and the functional encoder cannot drift apart.
+#pragma once
+
+#include "image/image.hpp"
+#include "jp2k/encoder.hpp"
+
+namespace cj2k::cellenc {
+
+struct P4Timing {
+  double read = 0;
+  double mct = 0;
+  double dwt = 0;
+  double quant = 0;
+  double t1 = 0;
+  double rate = 0;
+  double t2 = 0;
+  double total = 0;
+};
+
+/// Simulated single-core P4 encoding time for the given image/parameters,
+/// using the measured work quantities in `stats`.
+P4Timing p4_encode_model(const Image& img, const jp2k::CodingParams& params,
+                         const jp2k::EncodeStats& stats);
+
+}  // namespace cj2k::cellenc

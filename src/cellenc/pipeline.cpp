@@ -1,0 +1,268 @@
+#include "cellenc/pipeline.hpp"
+
+#include <algorithm>
+
+#include "cellenc/kernels.hpp"
+#include "cellenc/stage_mct.hpp"
+#include "cellenc/stage_quant.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "decomp/chunk.hpp"
+#include "jp2k/dwt2d.hpp"
+#include "jp2k/encoder.hpp"
+#include "jp2k/quant.hpp"
+#include "jp2k/rate_control.hpp"
+#include "jp2k/t2_encoder.hpp"
+
+namespace cj2k::cellenc {
+
+double PipelineResult::stage_seconds(const std::string& name) const {
+  for (const auto& s : stages) {
+    if (s.name == name) return s.seconds;
+  }
+  return 0.0;
+}
+
+namespace {
+
+/// The "read component data" stage: stream the source planes into the
+/// working copies (Jasper's intermediate-type conversion).  Partially
+/// parallelized, per the paper: SPE chunks move their columns by DMA, the
+/// PPE handles the remainder and the (serial) stream bookkeeping.
+cell::StageTiming stage_read(cell::Machine& m, const Image& img,
+                             std::vector<Plane>& work) {
+  const std::size_t w = img.width();
+  const std::size_t h = img.height();
+  work.clear();
+  for (std::size_t c = 0; c < img.components(); ++c) {
+    work.emplace_back(w, h);
+  }
+  const auto plan = decomp::plan_chunks(
+      w, sizeof(Sample), static_cast<std::size_t>(m.num_spes()));
+
+  auto spe_work = [&](int i, cell::SpeContext& ctx) {
+    if (static_cast<std::size_t>(i) >= plan.spe_chunks.size()) return;
+    const auto& ch = plan.spe_chunks[static_cast<std::size_t>(i)];
+    Sample* buf = ctx.ls.alloc<Sample>(ch.width);
+    for (std::size_t c = 0; c < img.components(); ++c) {
+      for (std::size_t y = 0; y < h; ++y) {
+        dma_get_row(ctx.dma, buf, img.plane(c).row(y) + ch.x0, ch.width);
+        dma_put_row(ctx.dma, buf, work[c].row(y) + ch.x0, ch.width);
+      }
+    }
+    ctx.ls.reset();
+  };
+  auto ppe_work = [&](cell::OpCounters& c) {
+    const auto& rem = plan.remainder;
+    for (std::size_t cc = 0; cc < img.components(); ++cc) {
+      for (std::size_t y = 0; y < h; ++y) {
+        if (rem.width > 0) {
+          std::copy_n(img.plane(cc).row(y) + rem.x0, rem.width,
+                      work[cc].row(y) + rem.x0);
+        }
+      }
+    }
+    // Conversion + stream bookkeeping: ~2 scalar ops per remainder sample
+    // plus a serial per-row cost for the Jasper stream traversal.
+    c.s_int += static_cast<std::uint64_t>(rem.width) * h *
+                   img.components() * 2 +
+               h * img.components() * 64;
+  };
+  return m.run_data_parallel("read", spe_work, ppe_work);
+}
+
+}  // namespace
+
+PipelineResult CellEncoder::encode(const Image& img,
+                                   const jp2k::CodingParams& params,
+                                   const DwtOptions& dwt,
+                                   T1Distribution t1_dist) {
+  Timer wall;
+  PipelineResult res;
+  const std::size_t w = img.width();
+  const std::size_t h = img.height();
+  const std::size_t ncomp = img.components();
+  const bool color = params.mct && ncomp >= 3;
+  const unsigned depth = img.bit_depth();
+  const auto& cp = machine_.model().params();
+
+  jp2k::Tile tile;
+  tile.width = w;
+  tile.height = h;
+  tile.levels = params.levels;
+  tile.layers = params.layers;
+  tile.progression = static_cast<int>(params.progression);
+
+  // --- Read / convert -------------------------------------------------------
+  std::vector<Plane> work;
+  res.stages.push_back(stage_read(machine_, img, work));
+
+  std::vector<Span2d<const Sample>> coeff_views;
+  Plane qplane;  // lossy: quantized indices, reused per component
+  std::vector<Plane> qplanes;
+  std::vector<AlignedBuffer<float>> fplanes;
+
+  if (params.wavelet == jp2k::WaveletKind::kReversible53) {
+    // --- Level shift + RCT --------------------------------------------------
+    res.stages.push_back(
+        stage_mct_lossless(machine_, work, color, depth));
+
+    // --- DWT ----------------------------------------------------------------
+    cell::StageTiming dwt_t;
+    dwt_t.name = "dwt";
+    for (std::size_t c = 0; c < ncomp; ++c) {
+      dwt_t += stage_dwt53(machine_, work[c].view(), params.levels, dwt);
+    }
+    dwt_t.name = "dwt";
+    res.stages.push_back(dwt_t);
+
+    // --- Tile skeleton ------------------------------------------------------
+    for (std::size_t c = 0; c < ncomp; ++c) {
+      jp2k::TileComponent tc;
+      for (const auto& info : jp2k::subband_layout(w, h, params.levels)) {
+        jp2k::Subband sb;
+        sb.info = info;
+        sb.quant_step = 1.0;
+        jp2k::make_block_grid(sb, params.cb_width, params.cb_height);
+        tc.subbands.push_back(std::move(sb));
+      }
+      tile.components.push_back(std::move(tc));
+      coeff_views.push_back(work[c].view());
+    }
+  } else if (params.fixed_point_97) {
+    // --- Fixed-point lossy path (paper §4 "before") --------------------------
+    std::vector<Plane> fxplanes;
+    fxplanes.reserve(ncomp);
+    for (std::size_t c = 0; c < ncomp; ++c) fxplanes.emplace_back(w, h);
+    Image work_img(w, h, ncomp, depth);
+    for (std::size_t c = 0; c < ncomp; ++c) {
+      for (std::size_t y = 0; y < h; ++y) {
+        std::copy_n(work[c].row(y), w, work_img.plane(c).row(y));
+      }
+    }
+    res.stages.push_back(
+        stage_mct_lossy_fixed(machine_, work_img, fxplanes, color, depth));
+
+    cell::StageTiming dwt_t;
+    for (std::size_t c = 0; c < ncomp; ++c) {
+      dwt_t += stage_dwt97_fixed(machine_, fxplanes[c].view(), params.levels,
+                                 dwt);
+    }
+    dwt_t.name = "dwt";
+    res.stages.push_back(dwt_t);
+
+    cell::StageTiming quant_t;
+    qplanes.reserve(ncomp);
+    for (std::size_t c = 0; c < ncomp; ++c) {
+      jp2k::TileComponent tc;
+      for (const auto& info : jp2k::subband_layout(w, h, params.levels)) {
+        jp2k::Subband sb;
+        sb.info = info;
+        sb.quant_step = jp2k::quant_step_for_band(
+            params.base_quant_step, params.wavelet, info.level, info.orient,
+            params.levels);
+        jp2k::make_block_grid(sb, params.cb_width, params.cb_height);
+        tc.subbands.push_back(std::move(sb));
+      }
+      tile.components.push_back(std::move(tc));
+
+      qplanes.emplace_back(w, h);
+      quant_t += stage_quant_fixed(machine_, fxplanes[c].view(),
+                                   qplanes[c].view(), tile.components[c]);
+      coeff_views.push_back(qplanes[c].view());
+    }
+    quant_t.name = "quant";
+    res.stages.push_back(quant_t);
+  } else {
+    // --- Level shift + ICT (into float planes) ------------------------------
+    const std::size_t stride = work[0].stride();
+    fplanes.reserve(ncomp);
+    for (std::size_t c = 0; c < ncomp; ++c) {
+      fplanes.emplace_back(stride * h);
+    }
+    // The paper's merged kernel reads the converted integer planes.
+    Image work_img(w, h, ncomp, depth);
+    for (std::size_t c = 0; c < ncomp; ++c) {
+      for (std::size_t y = 0; y < h; ++y) {
+        std::copy_n(work[c].row(y), w, work_img.plane(c).row(y));
+      }
+    }
+    res.stages.push_back(
+        stage_mct_lossy(machine_, work_img, fplanes, stride, color, depth));
+
+    // --- DWT ----------------------------------------------------------------
+    cell::StageTiming dwt_t;
+    dwt_t.name = "dwt";
+    for (std::size_t c = 0; c < ncomp; ++c) {
+      Span2d<float> fv(fplanes[c].data(), w, h, stride);
+      dwt_t += stage_dwt97(machine_, fv, params.levels, dwt);
+    }
+    dwt_t.name = "dwt";
+    res.stages.push_back(dwt_t);
+
+    // --- Tile skeleton + quantization --------------------------------------
+    cell::StageTiming quant_t;
+    quant_t.name = "quant";
+    qplanes.reserve(ncomp);
+    for (std::size_t c = 0; c < ncomp; ++c) {
+      jp2k::TileComponent tc;
+      for (const auto& info : jp2k::subband_layout(w, h, params.levels)) {
+        jp2k::Subband sb;
+        sb.info = info;
+        sb.quant_step = jp2k::quant_step_for_band(
+            params.base_quant_step, params.wavelet, info.level, info.orient,
+            params.levels);
+        jp2k::make_block_grid(sb, params.cb_width, params.cb_height);
+        tc.subbands.push_back(std::move(sb));
+      }
+      tile.components.push_back(std::move(tc));
+
+      qplanes.emplace_back(w, h);
+      Span2d<const float> fv(fplanes[c].data(), w, h, stride);
+      quant_t += stage_quant(machine_, fv, qplanes[c].view(),
+                             tile.components[c]);
+      coeff_views.push_back(qplanes[c].view());
+    }
+    quant_t.name = "quant";
+    res.stages.push_back(quant_t);
+  }
+
+  // --- Tier-1 over the work queue -------------------------------------------
+  const T1StageResult t1 =
+      stage_t1(machine_, tile, coeff_views, t1_dist, params.t1);
+  res.stages.push_back(t1.timing);
+  res.t1_symbols = t1.total_symbols;
+
+  // --- Rate control + Tier-2 + framing: the shared serial implementation
+  // (guarantees byte equality with jp2k::encode); simulated PPE time is
+  // charged from the work quantities it reports. -----------------------------
+  {
+    jp2k::EncodeStats fstats;
+    res.codestream = jp2k::finish_tile(tile, img, params, &fstats);
+
+    if (params.rate > 0.0 || params.layers > 1) {
+      cell::StageTiming rate_t;
+      rate_t.name = "rate";
+      rate_t.ppe = static_cast<double>(fstats.rate.passes_considered) *
+                   cp.ppe_rate_cycles_per_pass / cp.clock_hz;
+      rate_t.seconds = rate_t.ppe;
+      res.stages.push_back(rate_t);
+    }
+
+    cell::StageTiming t2_t;
+    t2_t.name = "t2";
+    t2_t.ppe = static_cast<double>(res.codestream.size()) *
+               cp.ppe_t2_cycles_per_byte / cp.clock_hz;
+    t2_t.seconds = t2_t.ppe;
+    res.stages.push_back(t2_t);
+  }
+
+  for (const auto& s : res.stages) {
+    res.simulated_seconds += s.seconds;
+    res.dma_bytes += s.dma_bytes;
+  }
+  res.wall_seconds = wall.seconds();
+  return res;
+}
+
+}  // namespace cj2k::cellenc

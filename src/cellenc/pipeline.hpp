@@ -1,0 +1,48 @@
+// The paper's Cell/B.E. JPEG2000 encoder: the full stage pipeline of
+// Figure 2 (read/convert, merged level-shift + MCT, DWT, quantization,
+// Tier-1 over the work queue, rate control, Tier-2 + stream assembly) run
+// through the machine model.
+//
+// The produced codestream is bit-identical to jp2k::encode's (the stages
+// perform the same arithmetic through the instrumented kernels); what the
+// pipeline adds is the simulated Cell timing per stage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cell/machine.hpp"
+#include "cellenc/stage_dwt.hpp"
+#include "cellenc/stage_t1.hpp"
+#include "image/image.hpp"
+#include "jp2k/codestream.hpp"
+
+namespace cj2k::cellenc {
+
+struct PipelineResult {
+  std::vector<std::uint8_t> codestream;
+  std::vector<cell::StageTiming> stages;  ///< In pipeline order.
+  double simulated_seconds = 0;           ///< Sum of stage times.
+  double wall_seconds = 0;                ///< Host wall clock (informative).
+  std::uint64_t t1_symbols = 0;
+  std::uint64_t dma_bytes = 0;
+
+  /// Simulated seconds of the named stage (0 when absent).
+  double stage_seconds(const std::string& name) const;
+};
+
+class CellEncoder {
+ public:
+  explicit CellEncoder(const cell::MachineConfig& mc) : machine_(mc) {}
+
+  cell::Machine& machine() { return machine_; }
+
+  PipelineResult encode(const Image& img, const jp2k::CodingParams& params,
+                        const DwtOptions& dwt = {},
+                        T1Distribution t1_dist = T1Distribution::kWorkQueue);
+
+ private:
+  cell::Machine machine_;
+};
+
+}  // namespace cj2k::cellenc

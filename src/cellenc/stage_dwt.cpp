@@ -1,0 +1,744 @@
+#include "cellenc/stage_dwt.hpp"
+
+#include <algorithm>
+
+#include "cellenc/kernels.hpp"
+#include "common/aligned_buffer.hpp"
+#include "common/error.hpp"
+#include "decomp/chunk.hpp"
+#include "jp2k/dwt53.hpp"
+#include "jp2k/dwt97.hpp"
+#include "jp2k/dwt_merged.hpp"
+
+namespace cj2k::cellenc {
+
+namespace {
+
+using cell::VecF4;
+using cell::VecI4;
+
+std::ptrdiff_t mirror(std::ptrdiff_t i, std::ptrdiff_t n) {
+  if (n == 1) return 0;
+  while (i < 0 || i >= n) {
+    if (i < 0) i = -i;
+    if (i >= n) i = 2 * (n - 1) - i;
+  }
+  return i;
+}
+
+/// PPE scalar-op charge per sample per lifting sweep (documented estimate:
+/// two adds, a shift, a load and a store).
+constexpr std::uint64_t kPpeLiftOpsPerSample = 5;
+
+// ===========================================================================
+// Vertical filtering
+// ===========================================================================
+
+/// Merged vertical 5/3 on one SPE's column group: Local Store ring of K
+/// rows, one DMA get per input row, low rows written in place, high rows
+/// parked in `aux` and copied back at the end.
+void spe_vertical53_merged(cell::SpeContext& ctx, Span2d<Sample> plane,
+                           std::size_t x0, std::size_t cw, std::size_t hh,
+                           Span2d<Sample> aux) {
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(hh);
+  if (n < 2) return;
+  constexpr std::size_t K = 6;
+  Sample* ring = ctx.ls.alloc<Sample>(K * cw);
+  const auto slot = [&](std::ptrdiff_t i) {
+    return ring + static_cast<std::size_t>(mirror(i, n)) % K * cw;
+  };
+  std::ptrdiff_t loaded = -1;
+  const auto ensure = [&](std::ptrdiff_t upto) {
+    upto = std::min(upto, n - 1);
+    while (loaded < upto) {
+      ++loaded;
+      dma_get_row(ctx.dma, ring + static_cast<std::size_t>(loaded) % K * cw,
+                  plane.row(static_cast<std::size_t>(loaded)) + x0, cw);
+    }
+  };
+
+  const std::size_t nl = (hh + 1) / 2;
+  for (std::ptrdiff_t f = 1; f < n + 2; f += 2) {
+    ensure(f + 1);
+    if (f < n) {
+      simd_predict53_row(ctx.simd, slot(f), slot(f - 1), slot(f + 1), cw);
+    }
+    if (f - 1 < n) {
+      simd_update53_row(ctx.simd, slot(f - 1), slot(f - 2), slot(f), cw);
+    }
+    if (f - 2 >= 1 && f - 2 < n) {  // park finalized high row
+      dma_put_row(ctx.dma, slot(f - 2),
+                  aux.row(static_cast<std::size_t>((f - 2) / 2)) + x0, cw);
+    }
+    if (f - 1 >= 0 && f - 1 < n) {  // emit finalized low row
+      dma_put_row(ctx.dma, slot(f - 1),
+                  plane.row(static_cast<std::size_t>((f - 1) / 2)) + x0, cw);
+    }
+  }
+  // Copy parked high rows to the bottom half.
+  Sample* buf = ring;  // reuse ring storage
+  for (std::size_t j = 0; nl + j < hh; ++j) {
+    dma_get_row(ctx.dma, buf, aux.row(j) + x0, cw);
+    dma_put_row(ctx.dma, buf, plane.row(nl + j) + x0, cw);
+  }
+  ctx.ls.reset();
+}
+
+/// Naive multipass vertical 5/3 (ablation A): predict sweep, update sweep,
+/// split sweep — each streams the whole group through the Local Store.
+void spe_vertical53_multipass(cell::SpeContext& ctx, Span2d<Sample> plane,
+                              std::size_t x0, std::size_t cw, std::size_t hh,
+                              Span2d<Sample> aux) {
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(hh);
+  if (n < 2) return;
+  constexpr std::size_t K = 4;
+  Sample* ring = ctx.ls.alloc<Sample>(K * cw);
+  const auto slot = [&](std::ptrdiff_t i) {
+    return ring + static_cast<std::size_t>(mirror(i, n)) % K * cw;
+  };
+
+  // Pass 1: predict (write odd rows).
+  {
+    std::ptrdiff_t loaded = -1;
+    const auto ensure = [&](std::ptrdiff_t upto) {
+      upto = std::min(upto, n - 1);
+      while (loaded < upto) {
+        ++loaded;
+        dma_get_row(ctx.dma, ring + static_cast<std::size_t>(loaded) % K * cw,
+                    plane.row(static_cast<std::size_t>(loaded)) + x0, cw);
+      }
+    };
+    for (std::ptrdiff_t i = 1; i < n; i += 2) {
+      ensure(i + 1);
+      simd_predict53_row(ctx.simd, slot(i), slot(i - 1), slot(i + 1), cw);
+      dma_put_row(ctx.dma, slot(i), plane.row(static_cast<std::size_t>(i)) + x0,
+                  cw);
+    }
+  }
+  // Pass 2: update (write even rows).
+  {
+    std::ptrdiff_t loaded = -1;
+    const auto ensure = [&](std::ptrdiff_t upto) {
+      upto = std::min(upto, n - 1);
+      while (loaded < upto) {
+        ++loaded;
+        dma_get_row(ctx.dma, ring + static_cast<std::size_t>(loaded) % K * cw,
+                    plane.row(static_cast<std::size_t>(loaded)) + x0, cw);
+      }
+    };
+    for (std::ptrdiff_t i = 0; i < n; i += 2) {
+      ensure(i + 1);
+      simd_update53_row(ctx.simd, slot(i), slot(i - 1), slot(i + 1), cw);
+      dma_put_row(ctx.dma, slot(i), plane.row(static_cast<std::size_t>(i)) + x0,
+                  cw);
+    }
+  }
+  // Pass 3: split — low rows compact in place, high rows via aux.
+  {
+    Sample* buf = ring;
+    const std::size_t nl = (hh + 1) / 2;
+    for (std::size_t i = 0; i < hh; ++i) {
+      dma_get_row(ctx.dma, buf, plane.row(i) + x0, cw);
+      if (i % 2 == 0) {
+        dma_put_row(ctx.dma, buf, plane.row(i / 2) + x0, cw);
+      } else {
+        dma_put_row(ctx.dma, buf, aux.row(i / 2) + x0, cw);
+      }
+    }
+    for (std::size_t j = 0; nl + j < hh; ++j) {
+      dma_get_row(ctx.dma, buf, aux.row(j) + x0, cw);
+      dma_put_row(ctx.dma, buf, plane.row(nl + j) + x0, cw);
+    }
+  }
+  ctx.ls.reset();
+}
+
+/// Merged vertical 9/7: four lifting stages + scaling + emission fused into
+/// one streaming sweep (Kutil-style single loop, K-row Local Store ring).
+void spe_vertical97_merged(cell::SpeContext& ctx, Span2d<float> plane,
+                           std::size_t x0, std::size_t cw, std::size_t hh,
+                           Span2d<float> aux) {
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(hh);
+  if (n < 2) return;
+  constexpr std::size_t K = 10;
+  float* ring = ctx.ls.alloc<float>(K * cw);
+  const auto slot = [&](std::ptrdiff_t i) {
+    return ring + static_cast<std::size_t>(mirror(i, n)) % K * cw;
+  };
+  std::ptrdiff_t loaded = -1;
+  const auto ensure = [&](std::ptrdiff_t upto) {
+    upto = std::min(upto, n - 1);
+    while (loaded < upto) {
+      ++loaded;
+      dma_get_row(ctx.dma, ring + static_cast<std::size_t>(loaded) % K * cw,
+                  plane.row(static_cast<std::size_t>(loaded)) + x0, cw);
+    }
+  };
+  const auto lift = [&](std::ptrdiff_t i, float c, std::ptrdiff_t parity) {
+    if (i < parity || i >= n || ((i ^ parity) & 1)) return;
+    simd_lift97_row(ctx.simd, slot(i), slot(i - 1), slot(i + 1), c, cw);
+  };
+  const auto scale = [&](std::ptrdiff_t i) {
+    if (i < 0 || i >= n) return;
+    simd_scale_row(ctx.simd, slot(i),
+                   (i & 1) ? jp2k::dwt97::kK : 1.0f / jp2k::dwt97::kK, cw);
+  };
+
+  const std::size_t nl = (hh + 1) / 2;
+  for (std::ptrdiff_t f = 1; f < n + 6; f += 2) {
+    ensure(f + 1);
+    lift(f, jp2k::dwt97::kAlpha, 1);
+    lift(f - 1, jp2k::dwt97::kBeta, 0);
+    lift(f - 2, jp2k::dwt97::kGamma, 1);
+    lift(f - 3, jp2k::dwt97::kDelta, 0);
+    scale(f - 4);
+    if (f - 4 >= 1 && f - 4 < n && ((f - 4) & 1)) {
+      dma_put_row(ctx.dma, slot(f - 4),
+                  aux.row(static_cast<std::size_t>((f - 4) / 2)) + x0, cw);
+    }
+    scale(f - 5);
+    if (f - 5 >= 0 && f - 5 < n && !((f - 5) & 1)) {
+      dma_put_row(ctx.dma, slot(f - 5),
+                  plane.row(static_cast<std::size_t>((f - 5) / 2)) + x0, cw);
+    }
+  }
+  float* buf = ring;
+  for (std::size_t j = 0; nl + j < hh; ++j) {
+    dma_get_row(ctx.dma, buf, aux.row(j) + x0, cw);
+    dma_put_row(ctx.dma, buf, plane.row(nl + j) + x0, cw);
+  }
+  ctx.ls.reset();
+}
+
+/// Naive multipass vertical 9/7 (six sweeps).
+void spe_vertical97_multipass(cell::SpeContext& ctx, Span2d<float> plane,
+                              std::size_t x0, std::size_t cw, std::size_t hh,
+                              Span2d<float> aux) {
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(hh);
+  if (n < 2) return;
+  constexpr std::size_t K = 4;
+  float* ring = ctx.ls.alloc<float>(K * cw);
+  const auto slot = [&](std::ptrdiff_t i) {
+    return ring + static_cast<std::size_t>(mirror(i, n)) % K * cw;
+  };
+  const auto sweep = [&](float c, std::ptrdiff_t parity) {
+    std::ptrdiff_t loaded = -1;
+    const auto ensure = [&](std::ptrdiff_t upto) {
+      upto = std::min(upto, n - 1);
+      while (loaded < upto) {
+        ++loaded;
+        dma_get_row(ctx.dma, ring + static_cast<std::size_t>(loaded) % K * cw,
+                    plane.row(static_cast<std::size_t>(loaded)) + x0, cw);
+      }
+    };
+    for (std::ptrdiff_t i = parity; i < n; i += 2) {
+      ensure(i + 1);
+      simd_lift97_row(ctx.simd, slot(i), slot(i - 1), slot(i + 1), c, cw);
+      dma_put_row(ctx.dma, slot(i), plane.row(static_cast<std::size_t>(i)) + x0,
+                  cw);
+    }
+  };
+  sweep(jp2k::dwt97::kAlpha, 1);
+  sweep(jp2k::dwt97::kBeta, 0);
+  sweep(jp2k::dwt97::kGamma, 1);
+  sweep(jp2k::dwt97::kDelta, 0);
+  // Scaling sweep.
+  {
+    float* buf = ring;
+    for (std::size_t i = 0; i < hh; ++i) {
+      dma_get_row(ctx.dma, buf, plane.row(i) + x0, cw);
+      simd_scale_row(ctx.simd, buf,
+                     (i & 1) ? jp2k::dwt97::kK : 1.0f / jp2k::dwt97::kK, cw);
+      dma_put_row(ctx.dma, buf, plane.row(i) + x0, cw);
+    }
+  }
+  // Split sweep.
+  {
+    float* buf = ring;
+    const std::size_t nl = (hh + 1) / 2;
+    for (std::size_t i = 0; i < hh; ++i) {
+      dma_get_row(ctx.dma, buf, plane.row(i) + x0, cw);
+      if (i % 2 == 0) {
+        dma_put_row(ctx.dma, buf, plane.row(i / 2) + x0, cw);
+      } else {
+        dma_put_row(ctx.dma, buf, aux.row(i / 2) + x0, cw);
+      }
+    }
+    for (std::size_t j = 0; nl + j < hh; ++j) {
+      dma_get_row(ctx.dma, buf, aux.row(j) + x0, cw);
+      dma_put_row(ctx.dma, buf, plane.row(nl + j) + x0, cw);
+    }
+  }
+  ctx.ls.reset();
+}
+
+/// Merged vertical 9/7 in Q13 fixed point — same schedule as the float
+/// kernel, emulated-multiply lifting steps.
+void spe_vertical97_fixed_merged(cell::SpeContext& ctx, Span2d<Sample> plane,
+                                 std::size_t x0, std::size_t cw,
+                                 std::size_t hh, Span2d<Sample> aux) {
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(hh);
+  if (n < 2) return;
+  constexpr std::size_t K = 10;
+  Sample* ring = ctx.ls.alloc<Sample>(K * cw);
+  const auto slot = [&](std::ptrdiff_t i) {
+    return ring + static_cast<std::size_t>(mirror(i, n)) % K * cw;
+  };
+  std::ptrdiff_t loaded = -1;
+  const auto ensure = [&](std::ptrdiff_t upto) {
+    upto = std::min(upto, n - 1);
+    while (loaded < upto) {
+      ++loaded;
+      dma_get_row(ctx.dma, ring + static_cast<std::size_t>(loaded) % K * cw,
+                  plane.row(static_cast<std::size_t>(loaded)) + x0, cw);
+    }
+  };
+  const auto lift = [&](std::ptrdiff_t i, Sample c_q13,
+                        std::ptrdiff_t parity) {
+    if (i < parity || i >= n || ((i ^ parity) & 1)) return;
+    simd_lift97_fixed_row(ctx.simd, slot(i), slot(i - 1), slot(i + 1), c_q13,
+                          cw);
+  };
+  const auto scale = [&](std::ptrdiff_t i) {
+    if (i < 0 || i >= n) return;
+    simd_scale_fixed_row(
+        ctx.simd, slot(i),
+        (i & 1) ? jp2k::dwt97::kFxK : jp2k::dwt97::kFxInvK, cw);
+  };
+
+  const std::size_t nl = (hh + 1) / 2;
+  for (std::ptrdiff_t f = 1; f < n + 6; f += 2) {
+    ensure(f + 1);
+    lift(f, jp2k::dwt97::kFxAlpha, 1);
+    lift(f - 1, jp2k::dwt97::kFxBeta, 0);
+    lift(f - 2, jp2k::dwt97::kFxGamma, 1);
+    lift(f - 3, jp2k::dwt97::kFxDelta, 0);
+    scale(f - 4);
+    if (f - 4 >= 1 && f - 4 < n && ((f - 4) & 1)) {
+      dma_put_row(ctx.dma, slot(f - 4),
+                  aux.row(static_cast<std::size_t>((f - 4) / 2)) + x0, cw);
+    }
+    scale(f - 5);
+    if (f - 5 >= 0 && f - 5 < n && !((f - 5) & 1)) {
+      dma_put_row(ctx.dma, slot(f - 5),
+                  plane.row(static_cast<std::size_t>((f - 5) / 2)) + x0, cw);
+    }
+  }
+  Sample* buf = ring;
+  for (std::size_t j = 0; nl + j < hh; ++j) {
+    dma_get_row(ctx.dma, buf, aux.row(j) + x0, cw);
+    dma_put_row(ctx.dma, buf, plane.row(nl + j) + x0, cw);
+  }
+  ctx.ls.reset();
+}
+
+// ===========================================================================
+// Horizontal filtering
+// ===========================================================================
+
+/// In-LS horizontal 5/3 of one row: deinterleave, predict on the odd half,
+/// update on the even half (clamped mirror boundaries), matching
+/// dwt53::analyze bit for bit.
+void spe_horizontal53_row(cell::Simd& s, const Sample* in, Sample* even,
+                          Sample* odd, std::size_t n) {
+  simd_deinterleave_row(s, in, even, odd, n);
+  const std::size_t nl = (n + 1) / 2;
+  const std::size_t nh = n - nl;
+  if (nh == 0) return;
+  // Predict: odd[i] -= (even[i] + even[min(i+1, nl-1)]) >> 1.
+  std::size_t i = 0;
+  for (; i + 4 <= nh && i + 5 <= nl; i += 4) {
+    VecI4 e0 = s.load(even + i);
+    VecI4 e1 = s.load_shifted(even + i + 1);
+    s.store(odd + i, s.sub(s.load(odd + i), s.sra(s.add(e0, e1), 1)));
+    s.counters().s_int += 1;
+  }
+  for (; i < nh; ++i) {
+    odd[i] -= (even[i] + even[std::min(i + 1, nl - 1)]) >> 1;
+    s.counters().s_int += 4;
+  }
+  // Update: even[i] += (odd[i ? i-1 : 0] + odd[min(i, nh-1)] + 2) >> 2.
+  const VecI4 two = s.splat(Sample{2});
+  even[0] += (odd[0] + odd[0] + 2) >> 2;
+  s.counters().s_int += 4;
+  // Scalar until the even[] pointer is quad aligned again, then vectors
+  // (aligned even loads/stores, shuffle-shifted odd loads).
+  i = 1;
+  for (; i < std::min<std::size_t>(4, nl); ++i) {
+    even[i] += (odd[i - 1] + odd[std::min(i, nh - 1)] + 2) >> 2;
+    s.counters().s_int += 4;
+  }
+  for (; i + 4 <= nl && i + 4 <= nh; i += 4) {
+    VecI4 o0 = s.load_shifted(odd + i - 1);
+    VecI4 o1 = s.load(odd + i);
+    s.store(even + i,
+            s.add(s.load(even + i), s.sra(s.add(s.add(o0, o1), two), 2)));
+    s.counters().s_int += 1;
+  }
+  for (; i < nl; ++i) {
+    even[i] += (odd[i - 1] + odd[std::min(i, nh - 1)] + 2) >> 2;
+    s.counters().s_int += 4;
+  }
+}
+
+/// In-LS horizontal 9/7 of one row, matching dwt97::analyze.
+void spe_horizontal97_row(cell::Simd& s, const float* in, float* even,
+                          float* odd, std::size_t n) {
+  simd_deinterleave_row(s, in, even, odd, n);
+  const std::size_t nl = (n + 1) / 2;
+  const std::size_t nh = n - nl;
+  if (nh == 0) {
+    if (nl == 1) return;  // single sample: untouched
+    return;
+  }
+  const auto predict_like = [&](float* d, const float* e, float c) {
+    // d[i] += c * (e[i] + e[min(i+1, nl-1)])
+    const VecF4 cv = s.splat(c);
+    std::size_t i = 0;
+    for (; i + 4 <= nh && i + 5 <= nl; i += 4) {
+      VecF4 e0 = s.load(e + i);
+      VecF4 e1 = s.load_shifted(e + i + 1);
+      s.store(d + i, s.madd(cv, s.add(e0, e1), s.load(d + i)));
+      s.counters().s_int += 1;
+    }
+    for (; i < nh; ++i) {
+      d[i] += c * (e[i] + e[std::min(i + 1, nl - 1)]);
+      s.counters().s_int += 4;
+    }
+  };
+  const auto update_like = [&](float* e, const float* d, float c) {
+    // e[i] += c * (d[i ? i-1 : 0] + d[min(i, nh-1)])
+    const VecF4 cv = s.splat(c);
+    e[0] += c * (d[0] + d[0]);
+    s.counters().s_int += 4;
+    std::size_t i = 1;
+    for (; i < std::min<std::size_t>(4, nl); ++i) {
+      e[i] += c * (d[i - 1] + d[std::min(i, nh - 1)]);
+      s.counters().s_int += 4;
+    }
+    for (; i + 4 <= nl && i + 4 <= nh; i += 4) {
+      VecF4 d0 = s.load_shifted(d + i - 1);
+      VecF4 d1 = s.load(d + i);
+      s.store(e + i, s.madd(cv, s.add(d0, d1), s.load(e + i)));
+      s.counters().s_int += 1;
+    }
+    for (; i < nl; ++i) {
+      e[i] += c * (d[i - 1] + d[std::min(i, nh - 1)]);
+      s.counters().s_int += 4;
+    }
+  };
+  predict_like(odd, even, jp2k::dwt97::kAlpha);
+  update_like(even, odd, jp2k::dwt97::kBeta);
+  predict_like(odd, even, jp2k::dwt97::kGamma);
+  update_like(even, odd, jp2k::dwt97::kDelta);
+  simd_scale_row(s, even, 1.0f / jp2k::dwt97::kK, nl);
+  simd_scale_row(s, odd, jp2k::dwt97::kK, nh);
+}
+
+/// In-LS horizontal 9/7 in Q13 fixed point, matching dwt97::analyze_fixed.
+void spe_horizontal97_fixed_row(cell::Simd& s, const Sample* in,
+                                Sample* even, Sample* odd, std::size_t n) {
+  simd_deinterleave_row(s, in, even, odd, n);
+  const std::size_t nl = (n + 1) / 2;
+  const std::size_t nh = n - nl;
+  if (nh == 0) return;
+  const auto predict_like = [&](Sample* d, const Sample* e, Sample c) {
+    const VecI4 cv = s.splat(c);
+    std::size_t i = 0;
+    for (; i + 4 <= nh && i + 5 <= nl; i += 4) {
+      VecI4 e0 = s.load(e + i);
+      VecI4 e1 = s.load_shifted(e + i + 1);
+      s.store(d + i, s.add(s.load(d + i), s.mul_fix_q13(cv, s.add(e0, e1))));
+      s.counters().s_int += 1;
+    }
+    for (; i < nh; ++i) {
+      d[i] += jp2k::dwt97::fix_mul(c, e[i] + e[std::min(i + 1, nl - 1)]);
+      s.counters().s_int += 6;
+    }
+  };
+  const auto update_like = [&](Sample* e, const Sample* d, Sample c) {
+    const VecI4 cv = s.splat(c);
+    e[0] += jp2k::dwt97::fix_mul(c, d[0] + d[0]);
+    s.counters().s_int += 6;
+    std::size_t i = 1;
+    for (; i < std::min<std::size_t>(4, nl); ++i) {
+      e[i] += jp2k::dwt97::fix_mul(c, d[i - 1] + d[std::min(i, nh - 1)]);
+      s.counters().s_int += 6;
+    }
+    for (; i + 4 <= nl && i + 4 <= nh; i += 4) {
+      VecI4 d0 = s.load_shifted(d + i - 1);
+      VecI4 d1 = s.load(d + i);
+      s.store(e + i, s.add(s.load(e + i), s.mul_fix_q13(cv, s.add(d0, d1))));
+      s.counters().s_int += 1;
+    }
+    for (; i < nl; ++i) {
+      e[i] += jp2k::dwt97::fix_mul(c, d[i - 1] + d[std::min(i, nh - 1)]);
+      s.counters().s_int += 6;
+    }
+  };
+  predict_like(odd, even, jp2k::dwt97::kFxAlpha);
+  update_like(even, odd, jp2k::dwt97::kFxBeta);
+  predict_like(odd, even, jp2k::dwt97::kFxGamma);
+  update_like(even, odd, jp2k::dwt97::kFxDelta);
+  simd_scale_fixed_row(s, even, jp2k::dwt97::kFxInvK, nl);
+  simd_scale_fixed_row(s, odd, jp2k::dwt97::kFxK, nh);
+}
+
+}  // namespace
+
+cell::StageTiming stage_dwt53(cell::Machine& m, Span2d<Sample> plane,
+                              int levels, const DwtOptions& opt) {
+  cell::StageTiming total;
+  total.name = "dwt53";
+  std::size_t ww = plane.width();
+  std::size_t hh = plane.height();
+  std::vector<Sample> ppe_scratch;
+
+  for (int l = 0; l < levels && (ww > 1 || hh > 1); ++l) {
+    // Aux buffer shared by SPE groups and the PPE remainder.
+    const auto plan =
+        opt.colgroup_elems == 0
+            ? decomp::plan_chunks(ww, sizeof(Sample),
+                                  static_cast<std::size_t>(m.num_spes()))
+            : decomp::plan_chunks_fixed_width(ww, sizeof(Sample),
+                                              opt.colgroup_elems);
+    AlignedBuffer<Sample> aux_store(plane.stride() * (hh / 2 + 1));
+    Span2d<Sample> aux(aux_store.data(), ww, hh / 2 + 1, plane.stride());
+
+    auto vwork = [&](int i, cell::SpeContext& ctx) {
+      for (std::size_t g = static_cast<std::size_t>(i);
+           g < plan.spe_chunks.size();
+           g += static_cast<std::size_t>(std::max(1, m.num_spes()))) {
+        const auto& ch = plan.spe_chunks[g];
+        if (opt.merged_vertical) {
+          spe_vertical53_merged(ctx, plane, ch.x0, ch.width, hh, aux);
+        } else {
+          spe_vertical53_multipass(ctx, plane, ch.x0, ch.width, hh, aux);
+        }
+      }
+    };
+    auto vppe = [&](cell::OpCounters& c) {
+      const auto& rem = plan.remainder;
+      if (rem.width == 0) return;
+      auto region = plane.subview(rem.x0, 0, rem.width, hh);
+      std::vector<Sample> aux_vec;
+      jp2k::dwt_merged::vertical_analyze_53(region, aux_vec);
+      c.s_int += static_cast<std::uint64_t>(rem.width) * hh *
+                 kPpeLiftOpsPerSample * 2;
+    };
+    total += m.run_data_parallel("dwt53-vertical", vwork, vppe);
+
+    // Horizontal.
+    const auto rows = decomp::split_rows(
+        hh, static_cast<std::size_t>(std::max(1, m.num_spes())));
+    if (m.num_spes() > 0) {
+      auto hwork = [&](int i, cell::SpeContext& ctx) {
+        if (static_cast<std::size_t>(i) >= rows.size()) return;
+        const auto [start, count] = rows[static_cast<std::size_t>(i)];
+        const std::size_t pad = round_up(ww, 32);
+        Sample* lin = ctx.ls.alloc<Sample>(pad);
+        Sample* even = ctx.ls.alloc<Sample>(pad / 2 + 4);
+        Sample* odd = ctx.ls.alloc<Sample>(pad / 2 + 4);
+        const std::size_t nl = (ww + 1) / 2;
+        for (std::size_t y = start; y < start + count; ++y) {
+          dma_get_row(ctx.dma, lin, plane.row(y), ww);
+          spe_horizontal53_row(ctx.simd, lin, even, odd, ww);
+          // Reassemble L|H contiguously so the row goes back in one
+          // aligned DMA (writing the H half alone would start at an
+          // arbitrary offset and violate the MFC alignment rules).
+          ls_copy(ctx.simd, lin, even, nl * sizeof(Sample));
+          if (ww > nl) {
+            ls_copy(ctx.simd, lin + nl, odd, (ww - nl) * sizeof(Sample));
+          }
+          dma_put_row(ctx.dma, lin, plane.row(y), ww);
+        }
+        ctx.ls.reset();
+      };
+      total += m.run_data_parallel("dwt53-horizontal", hwork, nullptr);
+    } else {
+      auto hppe = [&](cell::OpCounters& c) {
+        ppe_scratch.resize(ww);
+        for (std::size_t y = 0; y < hh; ++y) {
+          jp2k::dwt53::analyze(plane.row(y), ww, 1, ppe_scratch.data());
+        }
+        c.s_int += static_cast<std::uint64_t>(ww) * hh *
+                   kPpeLiftOpsPerSample * 2;
+      };
+      total += m.run_data_parallel(
+          "dwt53-horizontal", [](int, cell::SpeContext&) {}, hppe);
+    }
+
+    ww = (ww + 1) / 2;
+    hh = (hh + 1) / 2;
+  }
+  return total;
+}
+
+cell::StageTiming stage_dwt97(cell::Machine& m, Span2d<float> plane,
+                              int levels, const DwtOptions& opt) {
+  cell::StageTiming total;
+  total.name = "dwt97";
+  std::size_t ww = plane.width();
+  std::size_t hh = plane.height();
+  std::vector<float> ppe_scratch;
+
+  for (int l = 0; l < levels && (ww > 1 || hh > 1); ++l) {
+    const auto plan =
+        opt.colgroup_elems == 0
+            ? decomp::plan_chunks(ww, sizeof(float),
+                                  static_cast<std::size_t>(m.num_spes()))
+            : decomp::plan_chunks_fixed_width(ww, sizeof(float),
+                                              opt.colgroup_elems);
+    AlignedBuffer<float> aux_store(plane.stride() * (hh / 2 + 1));
+    Span2d<float> aux(aux_store.data(), ww, hh / 2 + 1, plane.stride());
+
+    auto vwork = [&](int i, cell::SpeContext& ctx) {
+      for (std::size_t g = static_cast<std::size_t>(i);
+           g < plan.spe_chunks.size();
+           g += static_cast<std::size_t>(std::max(1, m.num_spes()))) {
+        const auto& ch = plan.spe_chunks[g];
+        if (opt.merged_vertical) {
+          spe_vertical97_merged(ctx, plane, ch.x0, ch.width, hh, aux);
+        } else {
+          spe_vertical97_multipass(ctx, plane, ch.x0, ch.width, hh, aux);
+        }
+      }
+    };
+    auto vppe = [&](cell::OpCounters& c) {
+      const auto& rem = plan.remainder;
+      if (rem.width == 0) return;
+      auto region = plane.subview(rem.x0, 0, rem.width, hh);
+      std::vector<float> aux_vec;
+      jp2k::dwt_merged::vertical_analyze_97(region, aux_vec);
+      c.s_float += static_cast<std::uint64_t>(rem.width) * hh *
+                   kPpeLiftOpsPerSample * 3;
+    };
+    total += m.run_data_parallel("dwt97-vertical", vwork, vppe);
+
+    const auto rows = decomp::split_rows(
+        hh, static_cast<std::size_t>(std::max(1, m.num_spes())));
+    if (m.num_spes() > 0) {
+      auto hwork = [&](int i, cell::SpeContext& ctx) {
+        if (static_cast<std::size_t>(i) >= rows.size()) return;
+        const auto [start, count] = rows[static_cast<std::size_t>(i)];
+        const std::size_t pad = round_up(ww, 32);
+        float* lin = ctx.ls.alloc<float>(pad);
+        float* even = ctx.ls.alloc<float>(pad / 2 + 4);
+        float* odd = ctx.ls.alloc<float>(pad / 2 + 4);
+        const std::size_t nl = (ww + 1) / 2;
+        for (std::size_t y = start; y < start + count; ++y) {
+          dma_get_row(ctx.dma, lin, plane.row(y), ww);
+          spe_horizontal97_row(ctx.simd, lin, even, odd, ww);
+          ls_copy(ctx.simd, lin, even, nl * sizeof(float));
+          if (ww > nl) {
+            ls_copy(ctx.simd, lin + nl, odd, (ww - nl) * sizeof(float));
+          }
+          dma_put_row(ctx.dma, lin, plane.row(y), ww);
+        }
+        ctx.ls.reset();
+      };
+      total += m.run_data_parallel("dwt97-horizontal", hwork, nullptr);
+    } else {
+      auto hppe = [&](cell::OpCounters& c) {
+        ppe_scratch.resize(ww);
+        for (std::size_t y = 0; y < hh; ++y) {
+          jp2k::dwt97::analyze(plane.row(y), ww, 1, ppe_scratch.data());
+        }
+        c.s_float += static_cast<std::uint64_t>(ww) * hh *
+                     kPpeLiftOpsPerSample * 3;
+      };
+      total += m.run_data_parallel(
+          "dwt97-horizontal", [](int, cell::SpeContext&) {}, hppe);
+    }
+
+    ww = (ww + 1) / 2;
+    hh = (hh + 1) / 2;
+  }
+  return total;
+}
+
+cell::StageTiming stage_dwt97_fixed(cell::Machine& m, Span2d<Sample> plane,
+                                    int levels, const DwtOptions& opt) {
+  cell::StageTiming total;
+  total.name = "dwt97fx";
+  std::size_t ww = plane.width();
+  std::size_t hh = plane.height();
+  std::vector<Sample> ppe_scratch;
+
+  for (int l = 0; l < levels && (ww > 1 || hh > 1); ++l) {
+    const auto plan =
+        opt.colgroup_elems == 0
+            ? decomp::plan_chunks(ww, sizeof(Sample),
+                                  static_cast<std::size_t>(m.num_spes()))
+            : decomp::plan_chunks_fixed_width(ww, sizeof(Sample),
+                                              opt.colgroup_elems);
+    AlignedBuffer<Sample> aux_store(plane.stride() * (hh / 2 + 1));
+    Span2d<Sample> aux(aux_store.data(), ww, hh / 2 + 1, plane.stride());
+
+    auto vwork = [&](int i, cell::SpeContext& ctx) {
+      for (std::size_t g = static_cast<std::size_t>(i);
+           g < plan.spe_chunks.size();
+           g += static_cast<std::size_t>(std::max(1, m.num_spes()))) {
+        const auto& ch = plan.spe_chunks[g];
+        spe_vertical97_fixed_merged(ctx, plane, ch.x0, ch.width, hh, aux);
+      }
+    };
+    auto vppe = [&](cell::OpCounters& c) {
+      const auto& rem = plan.remainder;
+      if (rem.width == 0) return;
+      // PPE remainder: plain per-column fixed analysis (lifting sweeps
+      // only; the merged schedule is an SPE-side DMA optimization).
+      ppe_scratch.resize(hh);
+      for (std::size_t x = 0; x < rem.width; ++x) {
+        jp2k::dwt97::analyze_fixed(plane.data() + rem.x0 + x, hh,
+                                   plane.stride(), ppe_scratch.data());
+      }
+      c.s_int += static_cast<std::uint64_t>(rem.width) * hh *
+                 kPpeLiftOpsPerSample * 4;
+    };
+    total += m.run_data_parallel("dwt97fx-vertical", vwork, vppe);
+
+    const auto rows = decomp::split_rows(
+        hh, static_cast<std::size_t>(std::max(1, m.num_spes())));
+    if (m.num_spes() > 0) {
+      auto hwork = [&](int i, cell::SpeContext& ctx) {
+        if (static_cast<std::size_t>(i) >= rows.size()) return;
+        const auto [start, count] = rows[static_cast<std::size_t>(i)];
+        const std::size_t pad = round_up(ww, 32);
+        Sample* lin = ctx.ls.alloc<Sample>(pad);
+        Sample* even = ctx.ls.alloc<Sample>(pad / 2 + 4);
+        Sample* odd = ctx.ls.alloc<Sample>(pad / 2 + 4);
+        const std::size_t nl = (ww + 1) / 2;
+        for (std::size_t y = start; y < start + count; ++y) {
+          dma_get_row(ctx.dma, lin, plane.row(y), ww);
+          spe_horizontal97_fixed_row(ctx.simd, lin, even, odd, ww);
+          ls_copy(ctx.simd, lin, even, nl * sizeof(Sample));
+          if (ww > nl) {
+            ls_copy(ctx.simd, lin + nl, odd, (ww - nl) * sizeof(Sample));
+          }
+          dma_put_row(ctx.dma, lin, plane.row(y), ww);
+        }
+        ctx.ls.reset();
+      };
+      total += m.run_data_parallel("dwt97fx-horizontal", hwork, nullptr);
+    } else {
+      auto hppe = [&](cell::OpCounters& c) {
+        ppe_scratch.resize(ww);
+        for (std::size_t y = 0; y < hh; ++y) {
+          jp2k::dwt97::analyze_fixed(plane.row(y), ww, 1,
+                                     ppe_scratch.data());
+        }
+        c.s_int += static_cast<std::uint64_t>(ww) * hh *
+                   kPpeLiftOpsPerSample * 4;
+      };
+      total += m.run_data_parallel(
+          "dwt97fx-horizontal", [](int, cell::SpeContext&) {}, hppe);
+    }
+
+    ww = (ww + 1) / 2;
+    hh = (hh + 1) / 2;
+  }
+  return total;
+}
+
+}  // namespace cj2k::cellenc

@@ -1,0 +1,245 @@
+#include "cellenc/stage_mct.hpp"
+
+#include "cellenc/kernels.hpp"
+#include "common/error.hpp"
+#include "decomp/chunk.hpp"
+#include "jp2k/mct.hpp"
+
+namespace cj2k::cellenc {
+
+namespace {
+
+/// Scalar-op charge for the PPE remainder work (ops per sample; the PPE
+/// runs the same row functions the serial encoder uses).
+constexpr std::uint64_t kPpeShiftRctOps = 12;
+constexpr std::uint64_t kPpeShiftOps = 4;
+constexpr std::uint64_t kPpeShiftIctOps = 22;
+
+}  // namespace
+
+cell::StageTiming stage_mct_lossless(cell::Machine& m,
+                                     std::vector<Plane>& planes, bool color,
+                                     unsigned depth) {
+  CJ2K_CHECK(!planes.empty());
+  const std::size_t w = planes[0].width();
+  const std::size_t h = planes[0].height();
+  const auto plan = decomp::plan_chunks(
+      w, sizeof(Sample), static_cast<std::size_t>(m.num_spes()));
+
+  auto spe_work = [&](int i, cell::SpeContext& ctx) {
+    if (static_cast<std::size_t>(i) >= plan.spe_chunks.size()) return;
+    const auto& ch = plan.spe_chunks[static_cast<std::size_t>(i)];
+    const std::size_t cw = ch.width;
+    // Constant Local Store footprint: one row per component.
+    Sample* lr = ctx.ls.alloc<Sample>(cw);
+    Sample* lg = color ? ctx.ls.alloc<Sample>(cw) : nullptr;
+    Sample* lb = color ? ctx.ls.alloc<Sample>(cw) : nullptr;
+    for (std::size_t y = 0; y < h; ++y) {
+      if (color) {
+        dma_get_row(ctx.dma, lr, planes[0].row(y) + ch.x0, cw);
+        dma_get_row(ctx.dma, lg, planes[1].row(y) + ch.x0, cw);
+        dma_get_row(ctx.dma, lb, planes[2].row(y) + ch.x0, cw);
+        simd_shift_rct_row(ctx.simd, lr, lg, lb, cw, depth);
+        dma_put_row(ctx.dma, lr, planes[0].row(y) + ch.x0, cw);
+        dma_put_row(ctx.dma, lg, planes[1].row(y) + ch.x0, cw);
+        dma_put_row(ctx.dma, lb, planes[2].row(y) + ch.x0, cw);
+        for (std::size_t c = 3; c < planes.size(); ++c) {
+          dma_get_row(ctx.dma, lr, planes[c].row(y) + ch.x0, cw);
+          simd_shift_row(ctx.simd, lr, cw, depth);
+          dma_put_row(ctx.dma, lr, planes[c].row(y) + ch.x0, cw);
+        }
+      } else {
+        for (auto& plane : planes) {
+          dma_get_row(ctx.dma, lr, plane.row(y) + ch.x0, cw);
+          simd_shift_row(ctx.simd, lr, cw, depth);
+          dma_put_row(ctx.dma, lr, plane.row(y) + ch.x0, cw);
+        }
+      }
+    }
+    ctx.ls.reset();
+  };
+
+  auto ppe_work = [&](cell::OpCounters& c) {
+    const auto& rem = plan.remainder;
+    if (rem.width == 0) return;
+    for (std::size_t y = 0; y < h; ++y) {
+      if (color) {
+        jp2k::shift_rct_forward_row(planes[0].row(y) + rem.x0,
+                                    planes[1].row(y) + rem.x0,
+                                    planes[2].row(y) + rem.x0, rem.width,
+                                    depth);
+        c.s_int += 3 * rem.width * kPpeShiftRctOps / 3;
+        for (std::size_t cc = 3; cc < planes.size(); ++cc) {
+          jp2k::level_shift_row(planes[cc].row(y) + rem.x0, rem.width, depth);
+          c.s_int += rem.width * kPpeShiftOps;
+        }
+      } else {
+        for (auto& plane : planes) {
+          jp2k::level_shift_row(plane.row(y) + rem.x0, rem.width, depth);
+          c.s_int += rem.width * kPpeShiftOps;
+        }
+      }
+    }
+  };
+
+  return m.run_data_parallel("levelshift+mct", spe_work, ppe_work);
+}
+
+cell::StageTiming stage_mct_lossy(cell::Machine& m, const Image& img,
+                                  std::vector<AlignedBuffer<float>>& fplanes,
+                                  std::size_t stride, bool color,
+                                  unsigned depth) {
+  const std::size_t w = img.width();
+  const std::size_t h = img.height();
+  const std::size_t ncomp = img.components();
+  const auto plan = decomp::plan_chunks(
+      w, sizeof(Sample), static_cast<std::size_t>(m.num_spes()));
+
+  auto spe_work = [&](int i, cell::SpeContext& ctx) {
+    if (static_cast<std::size_t>(i) >= plan.spe_chunks.size()) return;
+    const auto& ch = plan.spe_chunks[static_cast<std::size_t>(i)];
+    const std::size_t cw = ch.width;
+    Sample* lr = ctx.ls.alloc<Sample>(cw);
+    Sample* lg = ctx.ls.alloc<Sample>(cw);
+    Sample* lb = ctx.ls.alloc<Sample>(cw);
+    float* fy = ctx.ls.alloc<float>(cw);
+    float* fcb = ctx.ls.alloc<float>(cw);
+    float* fcr = ctx.ls.alloc<float>(cw);
+    for (std::size_t y = 0; y < h; ++y) {
+      if (color) {
+        dma_get_row(ctx.dma, lr, img.plane(0).row(y) + ch.x0, cw);
+        dma_get_row(ctx.dma, lg, img.plane(1).row(y) + ch.x0, cw);
+        dma_get_row(ctx.dma, lb, img.plane(2).row(y) + ch.x0, cw);
+        simd_shift_ict_row(ctx.simd, lr, lg, lb, fy, fcb, fcr, cw, depth);
+        dma_put_row(ctx.dma, fy, &fplanes[0][y * stride + ch.x0], cw);
+        dma_put_row(ctx.dma, fcb, &fplanes[1][y * stride + ch.x0], cw);
+        dma_put_row(ctx.dma, fcr, &fplanes[2][y * stride + ch.x0], cw);
+        for (std::size_t c = 3; c < ncomp; ++c) {
+          dma_get_row(ctx.dma, lr, img.plane(c).row(y) + ch.x0, cw);
+          simd_shift_to_float_row(ctx.simd, lr, fy, cw, depth);
+          dma_put_row(ctx.dma, fy, &fplanes[c][y * stride + ch.x0], cw);
+        }
+      } else {
+        for (std::size_t c = 0; c < ncomp; ++c) {
+          dma_get_row(ctx.dma, lr, img.plane(c).row(y) + ch.x0, cw);
+          simd_shift_to_float_row(ctx.simd, lr, fy, cw, depth);
+          dma_put_row(ctx.dma, fy, &fplanes[c][y * stride + ch.x0], cw);
+        }
+      }
+    }
+    ctx.ls.reset();
+  };
+
+  auto ppe_work = [&](cell::OpCounters& c) {
+    const auto& rem = plan.remainder;
+    if (rem.width == 0) return;
+    const float off = static_cast<float>(Sample{1} << (depth - 1));
+    for (std::size_t y = 0; y < h; ++y) {
+      if (color) {
+        jp2k::shift_ict_forward_row(
+            img.plane(0).row(y) + rem.x0, img.plane(1).row(y) + rem.x0,
+            img.plane(2).row(y) + rem.x0, &fplanes[0][y * stride + rem.x0],
+            &fplanes[1][y * stride + rem.x0],
+            &fplanes[2][y * stride + rem.x0], rem.width, depth);
+        c.s_float += rem.width * kPpeShiftIctOps;
+        for (std::size_t cc = 3; cc < ncomp; ++cc) {
+          const Sample* src = img.plane(cc).row(y) + rem.x0;
+          float* dst = &fplanes[cc][y * stride + rem.x0];
+          for (std::size_t x = 0; x < rem.width; ++x) {
+            dst[x] = static_cast<float>(src[x]) - off;
+          }
+          c.s_float += rem.width * kPpeShiftOps;
+        }
+      } else {
+        for (std::size_t cc = 0; cc < ncomp; ++cc) {
+          const Sample* src = img.plane(cc).row(y) + rem.x0;
+          float* dst = &fplanes[cc][y * stride + rem.x0];
+          for (std::size_t x = 0; x < rem.width; ++x) {
+            dst[x] = static_cast<float>(src[x]) - off;
+          }
+          c.s_float += rem.width * kPpeShiftOps;
+        }
+      }
+    }
+  };
+
+  return m.run_data_parallel("levelshift+ict", spe_work, ppe_work);
+}
+
+cell::StageTiming stage_mct_lossy_fixed(cell::Machine& m, const Image& img,
+                                        std::vector<Plane>& fxplanes,
+                                        bool color, unsigned depth) {
+  const std::size_t w = img.width();
+  const std::size_t h = img.height();
+  const std::size_t ncomp = img.components();
+  const auto plan = decomp::plan_chunks(
+      w, sizeof(Sample), static_cast<std::size_t>(m.num_spes()));
+
+  auto spe_work = [&](int i, cell::SpeContext& ctx) {
+    if (static_cast<std::size_t>(i) >= plan.spe_chunks.size()) return;
+    const auto& ch = plan.spe_chunks[static_cast<std::size_t>(i)];
+    const std::size_t cw = ch.width;
+    Sample* lr = ctx.ls.alloc<Sample>(cw);
+    Sample* lg = ctx.ls.alloc<Sample>(cw);
+    Sample* lb = ctx.ls.alloc<Sample>(cw);
+    Sample* fy = ctx.ls.alloc<Sample>(cw);
+    Sample* fcb = ctx.ls.alloc<Sample>(cw);
+    Sample* fcr = ctx.ls.alloc<Sample>(cw);
+    for (std::size_t y = 0; y < h; ++y) {
+      if (color) {
+        dma_get_row(ctx.dma, lr, img.plane(0).row(y) + ch.x0, cw);
+        dma_get_row(ctx.dma, lg, img.plane(1).row(y) + ch.x0, cw);
+        dma_get_row(ctx.dma, lb, img.plane(2).row(y) + ch.x0, cw);
+        simd_shift_ict_fixed_row(ctx.simd, lr, lg, lb, fy, fcb, fcr, cw,
+                                 depth);
+        dma_put_row(ctx.dma, fy, fxplanes[0].row(y) + ch.x0, cw);
+        dma_put_row(ctx.dma, fcb, fxplanes[1].row(y) + ch.x0, cw);
+        dma_put_row(ctx.dma, fcr, fxplanes[2].row(y) + ch.x0, cw);
+        for (std::size_t c = 3; c < ncomp; ++c) {
+          dma_get_row(ctx.dma, lr, img.plane(c).row(y) + ch.x0, cw);
+          simd_shift_to_fixed_row(ctx.simd, lr, fy, cw, depth);
+          dma_put_row(ctx.dma, fy, fxplanes[c].row(y) + ch.x0, cw);
+        }
+      } else {
+        for (std::size_t c = 0; c < ncomp; ++c) {
+          dma_get_row(ctx.dma, lr, img.plane(c).row(y) + ch.x0, cw);
+          simd_shift_to_fixed_row(ctx.simd, lr, fy, cw, depth);
+          dma_put_row(ctx.dma, fy, fxplanes[c].row(y) + ch.x0, cw);
+        }
+      }
+    }
+    ctx.ls.reset();
+  };
+
+  auto ppe_work = [&](cell::OpCounters& c) {
+    const auto& rem = plan.remainder;
+    if (rem.width == 0) return;
+    for (std::size_t y = 0; y < h; ++y) {
+      if (color) {
+        jp2k::shift_ict_forward_row_fixed(
+            img.plane(0).row(y) + rem.x0, img.plane(1).row(y) + rem.x0,
+            img.plane(2).row(y) + rem.x0, fxplanes[0].row(y) + rem.x0,
+            fxplanes[1].row(y) + rem.x0, fxplanes[2].row(y) + rem.x0,
+            rem.width, depth);
+        c.s_int += rem.width * kPpeShiftIctOps;
+        for (std::size_t cc = 3; cc < ncomp; ++cc) {
+          jp2k::shift_to_fixed_row(img.plane(cc).row(y) + rem.x0,
+                                   fxplanes[cc].row(y) + rem.x0, rem.width,
+                                   depth);
+          c.s_int += rem.width * kPpeShiftOps;
+        }
+      } else {
+        for (std::size_t cc = 0; cc < ncomp; ++cc) {
+          jp2k::shift_to_fixed_row(img.plane(cc).row(y) + rem.x0,
+                                   fxplanes[cc].row(y) + rem.x0, rem.width,
+                                   depth);
+          c.s_int += rem.width * kPpeShiftOps;
+        }
+      }
+    }
+  };
+
+  return m.run_data_parallel("levelshift+ict(fx)", spe_work, ppe_work);
+}
+
+}  // namespace cj2k::cellenc

@@ -1,0 +1,32 @@
+// Pipeline stage: merged level shift + inter-component transform over the
+// chunk decomposition (paper §3.2 — fully parallelized on PPE + SPEs, the
+// two stages fused to halve their DMA traffic).
+#pragma once
+
+#include <vector>
+
+#include "cell/machine.hpp"
+#include "common/aligned_buffer.hpp"
+#include "image/image.hpp"
+
+namespace cj2k::cellenc {
+
+/// Lossless path: level shift (+ RCT when `color`) in place on the planes.
+cell::StageTiming stage_mct_lossless(cell::Machine& m,
+                                     std::vector<Plane>& planes, bool color,
+                                     unsigned depth);
+
+/// Lossy path: level shift (+ ICT when `color`), integer planes -> float
+/// planes of the same stride (cache-line aligned storage).
+cell::StageTiming stage_mct_lossy(cell::Machine& m, const Image& img,
+                                  std::vector<AlignedBuffer<float>>& fplanes,
+                                  std::size_t stride, bool color,
+                                  unsigned depth);
+
+/// Fixed-point lossy path: level shift (+ fixed ICT when `color`), integer
+/// planes -> Q13 planes (the paper's §4 "before" configuration).
+cell::StageTiming stage_mct_lossy_fixed(cell::Machine& m, const Image& img,
+                                        std::vector<Plane>& fxplanes,
+                                        bool color, unsigned depth);
+
+}  // namespace cj2k::cellenc

@@ -1,0 +1,134 @@
+#include "cellenc/stage_quant.hpp"
+
+#include <algorithm>
+
+#include "cellenc/kernels.hpp"
+#include "common/error.hpp"
+#include "decomp/chunk.hpp"
+#include "jp2k/quant.hpp"
+
+namespace cj2k::cellenc {
+
+namespace {
+
+/// One constant-step segment of a plane row.
+struct Segment {
+  std::size_t x0;
+  std::size_t width;
+  float inv_step;
+  double step;  ///< Exact step for the (scalar) PPE path.
+};
+
+/// The subbands that intersect row y, as left-to-right segments tiling
+/// [0, plane width).
+std::vector<Segment> segments_for_row(const jp2k::TileComponent& tc,
+                                      std::size_t y) {
+  std::vector<Segment> segs;
+  for (const auto& sb : tc.subbands) {
+    if (y >= sb.info.y0 && y < sb.info.y0 + sb.info.h) {
+      segs.push_back({sb.info.x0, sb.info.w,
+                      static_cast<float>(1.0 / sb.quant_step),
+                      sb.quant_step});
+    }
+  }
+  std::sort(segs.begin(), segs.end(),
+            [](const Segment& a, const Segment& b) { return a.x0 < b.x0; });
+  return segs;
+}
+
+constexpr std::uint64_t kPpeQuantOpsPerSample = 7;
+
+}  // namespace
+
+cell::StageTiming stage_quant(cell::Machine& m, Span2d<const float> fplane,
+                              Span2d<Sample> qplane,
+                              const jp2k::TileComponent& tc) {
+  const std::size_t w = fplane.width();
+  const std::size_t h = fplane.height();
+  CJ2K_CHECK(qplane.width() == w && qplane.height() == h);
+
+  const auto rows = decomp::split_rows(
+      h, static_cast<std::size_t>(std::max(1, m.num_spes())));
+
+  auto spe_work = [&](int i, cell::SpeContext& ctx) {
+    if (m.num_spes() == 0 ||
+        static_cast<std::size_t>(i) >= rows.size()) {
+      return;
+    }
+    const auto [start, count] = rows[static_cast<std::size_t>(i)];
+    const std::size_t pad = round_up(w, 32);
+    float* fin = ctx.ls.alloc<float>(pad);
+    Sample* qout = ctx.ls.alloc<Sample>(pad);
+    for (std::size_t y = start; y < start + count; ++y) {
+      dma_get_row(ctx.dma, fin, fplane.row(y), w);
+      for (const auto& seg : segments_for_row(tc, y)) {
+        simd_quant_row(ctx.simd, fin + seg.x0, qout + seg.x0, seg.width,
+                       seg.inv_step);
+      }
+      dma_put_row(ctx.dma, qout, qplane.row(y), w);
+    }
+    ctx.ls.reset();
+  };
+
+  auto ppe_work = [&](cell::OpCounters& c) {
+    if (m.num_spes() > 0) return;  // SPEs took every row
+    for (std::size_t y = 0; y < h; ++y) {
+      for (const auto& seg : segments_for_row(tc, y)) {
+        jp2k::quantize_row(fplane.row(y) + seg.x0, qplane.row(y) + seg.x0,
+                           seg.width, seg.step);
+      }
+      c.s_float += w * kPpeQuantOpsPerSample;
+    }
+  };
+
+  return m.run_data_parallel("quantize", spe_work, ppe_work);
+}
+
+cell::StageTiming stage_quant_fixed(cell::Machine& m,
+                                    Span2d<const Sample> fxplane,
+                                    Span2d<Sample> qplane,
+                                    const jp2k::TileComponent& tc) {
+  const std::size_t w = fxplane.width();
+  const std::size_t h = fxplane.height();
+  CJ2K_CHECK(qplane.width() == w && qplane.height() == h);
+
+  const auto rows = decomp::split_rows(
+      h, static_cast<std::size_t>(std::max(1, m.num_spes())));
+
+  auto spe_work = [&](int i, cell::SpeContext& ctx) {
+    if (m.num_spes() == 0 || static_cast<std::size_t>(i) >= rows.size()) {
+      return;
+    }
+    const auto [start, count] = rows[static_cast<std::size_t>(i)];
+    const std::size_t pad = round_up(w, 32);
+    Sample* fin = ctx.ls.alloc<Sample>(pad);
+    Sample* qout = ctx.ls.alloc<Sample>(pad);
+    for (std::size_t y = start; y < start + count; ++y) {
+      dma_get_row(ctx.dma, fin, fxplane.row(y), w);
+      for (const auto& seg : segments_for_row(tc, y)) {
+        const auto inv = static_cast<std::int64_t>(
+            (65536.0 / seg.step) + 0.5);
+        simd_quant_fixed_row(ctx.simd, fin + seg.x0, qout + seg.x0,
+                             seg.width, inv);
+      }
+      dma_put_row(ctx.dma, qout, qplane.row(y), w);
+    }
+    ctx.ls.reset();
+  };
+
+  auto ppe_work = [&](cell::OpCounters& c) {
+    if (m.num_spes() > 0) return;
+    for (std::size_t y = 0; y < h; ++y) {
+      for (const auto& seg : segments_for_row(tc, y)) {
+        jp2k::quantize_fixed_row(fxplane.row(y) + seg.x0,
+                                 qplane.row(y) + seg.x0, seg.width,
+                                 seg.step);
+      }
+      c.s_int += w * (kPpeQuantOpsPerSample + 3);
+    }
+  };
+
+  return m.run_data_parallel("quantize(fx)", spe_work, ppe_work);
+}
+
+}  // namespace cj2k::cellenc

@@ -1,0 +1,118 @@
+#include "cellenc/stage_t1.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+#include "decomp/work_queue.hpp"
+#include "jp2k/t1_encoder.hpp"
+
+namespace cj2k::cellenc {
+
+namespace {
+
+struct BlockRef {
+  jp2k::Subband* sb;
+  jp2k::CodeBlock* cb;
+  std::size_t component;
+};
+
+}  // namespace
+
+T1StageResult stage_t1(cell::Machine& m, jp2k::Tile& tile,
+                       const std::vector<Span2d<const Sample>>& coeff_planes,
+                       T1Distribution dist, const jp2k::T1Options& t1opt) {
+  CJ2K_CHECK(coeff_planes.size() == tile.components.size());
+
+  // Flatten the block list (the work queue's contents).
+  std::vector<BlockRef> blocks;
+  for (std::size_t c = 0; c < tile.components.size(); ++c) {
+    for (auto& sb : tile.components[c].subbands) {
+      for (auto& cb : sb.blocks) blocks.push_back({&sb, &cb, c});
+    }
+  }
+
+  // Host-parallel encode through a real work queue.
+  decomp::WorkQueue queue(blocks.size());
+  const unsigned host_threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::thread> pool;
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    try {
+      std::size_t idx;
+      while (queue.pop(idx)) {
+        BlockRef& br = blocks[idx];
+        const auto view = coeff_planes[br.component].subview(
+            br.sb->info.x0 + br.cb->x0, br.sb->info.y0 + br.cb->y0, br.cb->w,
+            br.cb->h);
+        br.cb->enc = jp2k::t1_encode_block(view, br.sb->info.orient, t1opt);
+        br.cb->include_all();
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+  for (unsigned t = 1; t < host_threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Band bit-plane maxima (needed by Tier-2).
+  for (auto& tc : tile.components) {
+    for (auto& sb : tc.subbands) {
+      int numbps = 0;
+      for (const auto& cb : sb.blocks) {
+        numbps = std::max(numbps, cb.enc.num_bitplanes);
+      }
+      sb.band_numbps = numbps;
+    }
+  }
+
+  // Virtual-time replay: SPE and PPE workers with their per-symbol speeds.
+  const auto& cp = m.model().params();
+  std::vector<double> speed;  // seconds per symbol
+  for (int i = 0; i < m.num_spes(); ++i) {
+    speed.push_back(cp.spe_t1_cycles_per_symbol / cp.clock_hz);
+  }
+  for (int i = 0; i < m.num_ppe_threads(); ++i) {
+    speed.push_back(cp.ppe_t1_cycles_per_symbol / cp.clock_hz);
+  }
+  CJ2K_CHECK_MSG(!speed.empty(), "T1 needs at least one processing element");
+
+  std::vector<double> cost;  // symbols per block
+  cost.reserve(blocks.size());
+  T1StageResult res;
+  std::uint64_t dma_bytes = 0;
+  for (const auto& br : blocks) {
+    cost.push_back(static_cast<double>(br.cb->enc.total_symbols));
+    res.total_symbols += br.cb->enc.total_symbols;
+    dma_bytes += static_cast<std::uint64_t>(br.cb->w) * br.cb->h *
+                 sizeof(Sample)              // coefficients in
+                 + br.cb->enc.data.size();   // codeword out
+  }
+  res.total_blocks = blocks.size();
+
+  const auto queue_sched = decomp::schedule_virtual(cost, speed);
+  const auto static_sched = decomp::schedule_static(cost, speed);
+  res.queue_makespan = queue_sched.makespan;
+  res.static_makespan = static_sched.makespan;
+
+  const auto& chosen =
+      dist == T1Distribution::kWorkQueue ? queue_sched : static_sched;
+
+  res.timing.name = "tier1";
+  res.timing.dma_bytes = dma_bytes;
+  res.timing.dma_aggregate =
+      static_cast<double>(dma_bytes) / m.total_mem_bw();
+  res.timing.spe_compute = chosen.makespan;
+  // Computation dominates Tier-1 (high compute-to-communication ratio,
+  // paper §3.2); DMA overlaps under double buffering.
+  res.timing.seconds = std::max(chosen.makespan, res.timing.dma_aggregate);
+  return res;
+}
+
+}  // namespace cj2k::cellenc

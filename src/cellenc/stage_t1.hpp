@@ -1,0 +1,40 @@
+// Pipeline stage: Tier-1 EBCOT over a code-block work queue (paper §3.2).
+//
+// Blocks have content-dependent coding cost, so the stage uses a shared
+// FIFO of blocks drained by all processing elements — SPE threads *and* PPE
+// threads (the lossy rate-control stage between T1 and T2 prevents the
+// Muta-style PPE/Tier-2 overlap, so the paper dedicates the PPE to T1).
+// Simulated time comes from replaying the queue in virtual time with each
+// worker's per-symbol speed.
+#pragma once
+
+#include "cell/machine.hpp"
+#include "common/span2d.hpp"
+#include "image/image.hpp"
+#include "jp2k/tile.hpp"
+
+namespace cj2k::cellenc {
+
+enum class T1Distribution {
+  kWorkQueue,   ///< Earliest-free worker takes the next block (paper).
+  kStatic,      ///< Round-robin (ablation D baseline).
+};
+
+struct T1StageResult {
+  cell::StageTiming timing;
+  std::uint64_t total_symbols = 0;
+  std::uint64_t total_blocks = 0;
+  double queue_makespan = 0;    ///< Seconds (same as timing.seconds).
+  double static_makespan = 0;   ///< What static distribution would cost.
+};
+
+/// Encodes every code block of every subband of the tile (coefficients are
+/// read from `coeff_planes[c]`), filling the tile's CodeBlock::enc fields.
+/// Host execution is multithreaded; simulated time replays the chosen
+/// distribution policy over the per-block symbol counts.
+T1StageResult stage_t1(cell::Machine& m, jp2k::Tile& tile,
+                       const std::vector<Span2d<const Sample>>& coeff_planes,
+                       T1Distribution dist = T1Distribution::kWorkQueue,
+                       const jp2k::T1Options& t1opt = {});
+
+}  // namespace cj2k::cellenc

@@ -1,0 +1,43 @@
+// Alignment arithmetic used by the data decomposition scheme and the DMA
+// model.  The Cell/B.E. cache line (and PPE L2 line, and the granularity at
+// which the MIC arbitrates memory requests) is 128 bytes; SIMD loads/stores
+// require 16-byte (quad-word) alignment.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cj2k {
+
+/// Cell/B.E. cache line size in bytes (PPE L2 / memory interface granule).
+inline constexpr std::size_t kCacheLineBytes = 128;
+
+/// SIMD quad-word size in bytes (SPE register width).
+inline constexpr std::size_t kQuadWordBytes = 16;
+
+/// Rounds `n` up to the next multiple of `align` (align must be a power of 2).
+constexpr std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+/// Rounds `n` down to a multiple of `align` (align must be a power of 2).
+constexpr std::size_t round_down(std::size_t n, std::size_t align) {
+  return n & ~(align - 1);
+}
+
+/// True iff `n` is a multiple of `align` (align must be a power of 2).
+constexpr bool is_multiple_of(std::size_t n, std::size_t align) {
+  return (n & (align - 1)) == 0;
+}
+
+/// True iff the pointer value is `align`-byte aligned.
+inline bool is_aligned(const void* p, std::size_t align) {
+  return is_multiple_of(reinterpret_cast<std::uintptr_t>(p), align);
+}
+
+/// Ceiling division for non-negative integers.
+constexpr std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace cj2k

@@ -1,0 +1,70 @@
+// Heap buffer with guaranteed alignment (default: the Cell cache line).
+// Plane storage and the Cell pipeline's intermediate buffers use this so
+// that row starts are genuinely 128-byte aligned — the property the
+// decomposition scheme's DMA efficiency depends on.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+#include "common/align.hpp"
+
+namespace cj2k {
+
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count,
+                         std::size_t align = kCacheLineBytes)
+      : size_(count), align_(align) {
+    if (count > 0) {
+      data_ = static_cast<T*>(
+          ::operator new(count * sizeof(T), std::align_val_t{align}));
+      for (std::size_t i = 0; i < count; ++i) new (data_ + i) T{};
+    }
+  }
+
+  AlignedBuffer(AlignedBuffer&& o) noexcept
+      : data_(std::exchange(o.data_, nullptr)),
+        size_(std::exchange(o.size_, 0)),
+        align_(o.align_) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      data_ = std::exchange(o.data_, nullptr);
+      size_ = std::exchange(o.size_, 0);
+      align_ = o.align_;
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { destroy(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  void destroy() {
+    if (data_) {
+      for (std::size_t i = size_; i > 0; --i) data_[i - 1].~T();
+      ::operator delete(data_, std::align_val_t{align_});
+      data_ = nullptr;
+    }
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t align_ = kCacheLineBytes;
+};
+
+}  // namespace cj2k

@@ -1,0 +1,72 @@
+// Error handling primitives used across the library.
+//
+// We use exceptions for unrecoverable contract violations (bad codestream,
+// misaligned DMA, invalid parameters).  Hot paths use CJ2K_DCHECK, which
+// compiles out in release builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cj2k {
+
+/// Base class for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid user-supplied parameter (image geometry, coding options, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Malformed or truncated JPEG2000 codestream.
+class CodestreamError : public Error {
+ public:
+  explicit CodestreamError(const std::string& what) : Error(what) {}
+};
+
+/// Violation of a Cell/B.E. hardware rule (DMA alignment/size, Local Store
+/// overflow).  The simulator throws this where real hardware would raise a
+/// bus error or silently corrupt data.
+class CellHardwareError : public Error {
+ public:
+  explicit CellHardwareError(const std::string& what) : Error(what) {}
+};
+
+/// I/O failure (file missing, short read, ...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace cj2k
+
+/// Always-on invariant check; throws cj2k::Error on failure.
+#define CJ2K_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::cj2k::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+    }                                                                     \
+  } while (0)
+
+#define CJ2K_CHECK_MSG(expr, msg)                                           \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::cj2k::detail::throw_check_failure(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                       \
+  } while (0)
+
+/// Debug-only check for hot loops.
+#ifndef NDEBUG
+#define CJ2K_DCHECK(expr) CJ2K_CHECK(expr)
+#else
+#define CJ2K_DCHECK(expr) ((void)0)
+#endif

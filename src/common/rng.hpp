@@ -1,0 +1,36 @@
+// Deterministic PRNG (xoshiro256**) for synthetic workload generation and
+// property tests.  We avoid std::mt19937 so streams are reproducible across
+// standard library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace cj2k {
+
+/// xoshiro256** by Blackman & Vigna; seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) for bound >= 1.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Standard normal variate (Box–Muller, one value per call).
+  double next_gaussian();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace cj2k

@@ -1,0 +1,63 @@
+// Non-owning 2-D view over contiguous row-major storage with an explicit
+// stride.  The stride is in *elements*, not bytes, and may exceed the width —
+// that is exactly how the decomposition scheme's row padding is represented.
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace cj2k {
+
+template <typename T>
+class Span2d {
+ public:
+  Span2d() = default;
+
+  Span2d(T* data, std::size_t width, std::size_t height, std::size_t stride)
+      : data_(data), width_(width), height_(height), stride_(stride) {
+    CJ2K_DCHECK(stride >= width);
+  }
+
+  /// Dense view (stride == width).
+  Span2d(T* data, std::size_t width, std::size_t height)
+      : Span2d(data, width, height, width) {}
+
+  T* data() const { return data_; }
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+  std::size_t stride() const { return stride_; }
+  bool empty() const { return width_ == 0 || height_ == 0; }
+
+  T* row(std::size_t y) const {
+    CJ2K_DCHECK(y < height_);
+    return data_ + y * stride_;
+  }
+
+  T& at(std::size_t y, std::size_t x) const {
+    CJ2K_DCHECK(y < height_ && x < width_);
+    return data_[y * stride_ + x];
+  }
+
+  T& operator()(std::size_t y, std::size_t x) const { return at(y, x); }
+
+  /// Rectangular sub-view; [x0, x0+w) × [y0, y0+h) must be in range.
+  Span2d subview(std::size_t x0, std::size_t y0, std::size_t w,
+                 std::size_t h) const {
+    CJ2K_DCHECK(x0 + w <= width_ && y0 + h <= height_);
+    return Span2d(data_ + y0 * stride_ + x0, w, h, stride_);
+  }
+
+  /// Implicit conversion to a const view.
+  operator Span2d<const T>() const {
+    return Span2d<const T>(data_, width_, height_, stride_);
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::size_t stride_ = 0;
+};
+
+}  // namespace cj2k

@@ -1,0 +1,9 @@
+#include "common/timer.hpp"
+
+namespace cj2k {
+
+double Timer::seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+}  // namespace cj2k

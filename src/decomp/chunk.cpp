@@ -1,0 +1,73 @@
+#include "decomp/chunk.hpp"
+
+#include "common/error.hpp"
+
+namespace cj2k::decomp {
+
+ChunkPlan plan_chunks(std::size_t row_elems, std::size_t elem_size,
+                      std::size_t num_spes, std::size_t line_bytes) {
+  CJ2K_CHECK_MSG(elem_size > 0 && is_multiple_of(line_bytes, elem_size),
+                 "cache line must be a multiple of the element size");
+  const std::size_t line_elems = line_bytes / elem_size;
+
+  ChunkPlan plan;
+  if (num_spes == 0 || row_elems < line_elems) {
+    // Everything is remainder: the PPE handles narrow arrays alone.
+    plan.remainder = {0, row_elems, true};
+    return plan;
+  }
+
+  // Largest line-multiple width such that num_spes chunks fit.
+  std::size_t width = round_down(row_elems / num_spes, line_elems);
+  std::size_t spes = num_spes;
+  if (width == 0) {
+    // Row too narrow for one line per SPE: give one line to as many SPEs
+    // as fit.
+    width = line_elems;
+    spes = row_elems / line_elems;
+  }
+  plan.chunk_width = width;
+  std::size_t x = 0;
+  for (std::size_t i = 0; i < spes; ++i) {
+    plan.spe_chunks.push_back({x, width, false});
+    x += width;
+  }
+  plan.remainder = {x, row_elems - x, true};
+  return plan;
+}
+
+ChunkPlan plan_chunks_fixed_width(std::size_t row_elems,
+                                  std::size_t elem_size,
+                                  std::size_t chunk_elems,
+                                  std::size_t line_bytes) {
+  CJ2K_CHECK_MSG(elem_size > 0 && is_multiple_of(line_bytes, elem_size),
+                 "cache line must be a multiple of the element size");
+  CJ2K_CHECK_MSG(chunk_elems > 0, "chunk width must be positive");
+  ChunkPlan plan;
+  plan.chunk_width = chunk_elems;
+  std::size_t x = 0;
+  while (x + chunk_elems <= row_elems) {
+    plan.spe_chunks.push_back({x, chunk_elems, false});
+    x += chunk_elems;
+  }
+  plan.remainder = {x, row_elems - x, true};
+  return plan;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> split_rows(
+    std::size_t num_rows, std::size_t num_workers) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  if (num_workers == 0 || num_rows == 0) return out;
+  const std::size_t base = num_rows / num_workers;
+  const std::size_t extra = num_rows % num_workers;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    const std::size_t count = base + (i < extra ? 1 : 0);
+    if (count == 0) continue;
+    out.emplace_back(start, count);
+    start += count;
+  }
+  return out;
+}
+
+}  // namespace cj2k::decomp

@@ -1,0 +1,61 @@
+// The paper's data decomposition scheme (§2, Figure 1).
+//
+// Given a row-padded 2-D array (every row start cache-line aligned), the
+// width is split into:
+//   * `num_workers` constant-width chunks whose width is a multiple of the
+//     cache line — one per SPE; and
+//   * one remainder chunk of arbitrary width — processed by the PPE.
+//
+// Consequences (all asserted by tests): every SPE DMA is cache-line aligned
+// with a size that is a multiple of the line; the Local Store requirement
+// per SPE is constant (one row of a constant-width chunk) independent of
+// image size;
+// no cache line is touched by more than one processing element.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/align.hpp"
+
+namespace cj2k::decomp {
+
+/// One vertical chunk: a column range [x0, x0 + width) of every row.
+struct Chunk {
+  std::size_t x0 = 0;
+  std::size_t width = 0;       ///< In elements.
+  bool ppe_remainder = false;  ///< True for the arbitrary-width tail chunk.
+};
+
+struct ChunkPlan {
+  std::vector<Chunk> spe_chunks;  ///< Constant width, cache-line multiple.
+  Chunk remainder;                ///< May be empty (width 0).
+  std::size_t chunk_width = 0;    ///< The constant SPE chunk width.
+};
+
+/// Plans the decomposition of `row_elems` elements of `elem_size` bytes
+/// across `num_spes` SPEs (plus the PPE remainder).
+///
+/// The constant chunk width is the largest cache-line multiple such that
+/// `num_spes` chunks fit; whatever is left is the PPE remainder.  When the
+/// row is too narrow even for one line per SPE, fewer SPE chunks are
+/// produced (never zero-width chunks).
+ChunkPlan plan_chunks(std::size_t row_elems, std::size_t elem_size,
+                      std::size_t num_spes,
+                      std::size_t line_bytes = kCacheLineBytes);
+
+/// Splits `row_elems` into SPE chunks of exactly `chunk_elems` (must be a
+/// cache-line multiple) plus the remainder; used by the column-group-width
+/// ablation.
+ChunkPlan plan_chunks_fixed_width(std::size_t row_elems,
+                                  std::size_t elem_size,
+                                  std::size_t chunk_elems,
+                                  std::size_t line_bytes = kCacheLineBytes);
+
+/// Splits a row count into `num_workers` near-equal contiguous ranges
+/// (the paper's horizontal-filtering distribution: an identical number of
+/// rows per SPE).  Returns (start, count) pairs; empty ranges are omitted.
+std::vector<std::pair<std::size_t, std::size_t>> split_rows(
+    std::size_t num_rows, std::size_t num_workers);
+
+}  // namespace cj2k::decomp

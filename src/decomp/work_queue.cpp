@@ -1,0 +1,51 @@
+#include "decomp/work_queue.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cj2k::decomp {
+
+namespace {
+double finish(const Schedule& s) {
+  double m = 0;
+  for (double t : s.worker_time) m = std::max(m, t);
+  return m;
+}
+}  // namespace
+
+Schedule schedule_virtual(const std::vector<double>& item_cost,
+                          const std::vector<double>& worker_speed_factor) {
+  CJ2K_CHECK_MSG(!worker_speed_factor.empty(), "need at least one worker");
+  Schedule s;
+  s.assignment.resize(item_cost.size());
+  s.worker_time.assign(worker_speed_factor.size(), 0.0);
+  for (std::size_t i = 0; i < item_cost.size(); ++i) {
+    // Earliest-free worker takes the next queue item.
+    std::size_t best = 0;
+    for (std::size_t w = 1; w < s.worker_time.size(); ++w) {
+      if (s.worker_time[w] < s.worker_time[best]) best = w;
+    }
+    s.worker_time[best] += item_cost[i] * worker_speed_factor[best];
+    s.assignment[i] = static_cast<int>(best);
+  }
+  s.makespan = finish(s);
+  return s;
+}
+
+Schedule schedule_static(const std::vector<double>& item_cost,
+                         const std::vector<double>& worker_speed_factor) {
+  CJ2K_CHECK_MSG(!worker_speed_factor.empty(), "need at least one worker");
+  Schedule s;
+  s.assignment.resize(item_cost.size());
+  s.worker_time.assign(worker_speed_factor.size(), 0.0);
+  for (std::size_t i = 0; i < item_cost.size(); ++i) {
+    const std::size_t w = i % s.worker_time.size();
+    s.worker_time[w] += item_cost[i] * worker_speed_factor[w];
+    s.assignment[i] = static_cast<int>(w);
+  }
+  s.makespan = finish(s);
+  return s;
+}
+
+}  // namespace cj2k::decomp

@@ -1,0 +1,20 @@
+// Minimal BMP (Windows BITMAPINFOHEADER, uncompressed 24-bit) reader/writer.
+// The paper's workload is a .bmp photo transcoded to JPEG2000; this module
+// lets the examples consume/produce real files.
+#pragma once
+
+#include <string>
+
+#include "image/image.hpp"
+
+namespace cj2k::bmp {
+
+/// Reads a 24-bit uncompressed BMP into a 3-component 8-bit image.
+/// Throws IoError on malformed or unsupported files.
+Image read(const std::string& path);
+
+/// Writes a 3-component 8-bit image as a 24-bit BMP.  A 1-component image is
+/// written as grey (R=G=B).
+void write(const std::string& path, const Image& img);
+
+}  // namespace cj2k::bmp

@@ -1,0 +1,62 @@
+#include "image/metrics.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace cj2k::metrics {
+
+namespace {
+void check_same_geometry(const Image& a, const Image& b) {
+  CJ2K_CHECK_MSG(a.width() == b.width() && a.height() == b.height() &&
+                     a.components() == b.components(),
+                 "metric operands must share geometry");
+}
+}  // namespace
+
+double mse(const Image& a, const Image& b) {
+  check_same_geometry(a, b);
+  double acc = 0.0;
+  for (std::size_t c = 0; c < a.components(); ++c) {
+    for (std::size_t y = 0; y < a.height(); ++y) {
+      const Sample* ra = a.plane(c).row(y);
+      const Sample* rb = b.plane(c).row(y);
+      for (std::size_t x = 0; x < a.width(); ++x) {
+        const double d = static_cast<double>(ra[x]) - static_cast<double>(rb[x]);
+        acc += d * d;
+      }
+    }
+  }
+  return acc / static_cast<double>(a.total_samples());
+}
+
+double psnr(const Image& a, const Image& b) {
+  const double m = mse(a, b);
+  if (m == 0.0) return std::numeric_limits<double>::infinity();
+  const double peak = static_cast<double>((1u << a.bit_depth()) - 1);
+  return 10.0 * std::log10(peak * peak / m);
+}
+
+bool identical(const Image& a, const Image& b) {
+  return max_abs_diff(a, b) == 0;
+}
+
+Sample max_abs_diff(const Image& a, const Image& b) {
+  check_same_geometry(a, b);
+  Sample worst = 0;
+  for (std::size_t c = 0; c < a.components(); ++c) {
+    for (std::size_t y = 0; y < a.height(); ++y) {
+      const Sample* ra = a.plane(c).row(y);
+      const Sample* rb = b.plane(c).row(y);
+      for (std::size_t x = 0; x < a.width(); ++x) {
+        const Sample d = std::abs(ra[x] - rb[x]);
+        if (d > worst) worst = d;
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace cj2k::metrics

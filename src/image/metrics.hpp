@@ -1,0 +1,21 @@
+// Image fidelity metrics for lossy-path verification.
+#pragma once
+
+#include "image/image.hpp"
+
+namespace cj2k::metrics {
+
+/// Mean squared error across all components.  Images must share geometry.
+double mse(const Image& a, const Image& b);
+
+/// Peak signal-to-noise ratio in dB at the images' bit depth.
+/// Returns +inf when the images are identical.
+double psnr(const Image& a, const Image& b);
+
+/// True iff every sample of every component is equal.
+bool identical(const Image& a, const Image& b);
+
+/// Maximum absolute per-sample difference.
+Sample max_abs_diff(const Image& a, const Image& b);
+
+}  // namespace cj2k::metrics

@@ -1,0 +1,19 @@
+// PGX — the single-component raw format used by the JPEG2000 reference
+// test suite (one header line, then big-endian samples).  Supports 8- and
+// 16-bit unsigned grey, which covers the medical/remote-sensing depth
+// range this library's 12/16-bit path targets.
+#pragma once
+
+#include <string>
+
+#include "image/image.hpp"
+
+namespace cj2k::pgx {
+
+/// Reads a PGX file ("PG ML +<depth> <width> <height>").
+Image read(const std::string& path);
+
+/// Writes a 1-component image at its bit depth.
+void write(const std::string& path, const Image& img);
+
+}  // namespace cj2k::pgx

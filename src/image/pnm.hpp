@@ -1,0 +1,16 @@
+// Binary PGM (P5) / PPM (P6) reader and writer, 8-bit.
+#pragma once
+
+#include <string>
+
+#include "image/image.hpp"
+
+namespace cj2k::pnm {
+
+/// Reads a binary PGM (1 component) or PPM (3 components) file.
+Image read(const std::string& path);
+
+/// Writes a 1-component image as P5 or a 3-component image as P6.
+void write(const std::string& path, const Image& img);
+
+}  // namespace cj2k::pnm

@@ -1,0 +1,199 @@
+#include "image/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace cj2k::synth {
+
+namespace {
+
+Sample clamp8(double v) {
+  return static_cast<Sample>(std::clamp(v, 0.0, 255.0));
+}
+
+/// Separable box blur with radius r, applied `passes` times; repeated box
+/// blurs approximate a Gaussian and give the low-pass spatial correlation of
+/// natural photos without an FFT dependency.
+void box_blur(std::vector<double>& img, std::size_t w, std::size_t h,
+              std::size_t r, int passes) {
+  std::vector<double> tmp(img.size());
+  for (int p = 0; p < passes; ++p) {
+    // Horizontal.
+    for (std::size_t y = 0; y < h; ++y) {
+      const double* src = img.data() + y * w;
+      double* dst = tmp.data() + y * w;
+      double acc = 0;
+      const std::size_t win = 2 * r + 1;
+      for (std::size_t x = 0; x < std::min(win, w); ++x) acc += src[x];
+      for (std::size_t x = 0; x < w; ++x) {
+        const std::size_t lo = x > r ? x - r : 0;
+        const std::size_t hi = std::min(x + r, w - 1);
+        dst[x] = acc / static_cast<double>(hi - lo + 1);
+        if (hi + 1 < w) acc += src[hi + 1];
+        if (x >= r) acc -= src[lo];
+      }
+    }
+    // Vertical.
+    for (std::size_t x = 0; x < w; ++x) {
+      double acc = 0;
+      const std::size_t win = 2 * r + 1;
+      for (std::size_t y = 0; y < std::min(win, h); ++y) acc += tmp[y * w + x];
+      for (std::size_t y = 0; y < h; ++y) {
+        const std::size_t lo = y > r ? y - r : 0;
+        const std::size_t hi = std::min(y + r, h - 1);
+        img[y * w + x] = acc / static_cast<double>(hi - lo + 1);
+        if (hi + 1 < h) acc += tmp[(hi + 1) * w + x];
+        if (y >= r) acc -= tmp[lo * w + x];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Image photographic(std::size_t width, std::size_t height,
+                   std::size_t components, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t w = width;
+  const std::size_t h = height;
+
+  // Luma field: base gradient + ellipses + texture, blurred for correlation.
+  std::vector<double> luma(w * h);
+  const double gx = rng.next_double() * 0.4 + 0.1;
+  const double gy = rng.next_double() * 0.4 + 0.1;
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      luma[y * w + x] = 90.0 +
+                        gx * 120.0 * static_cast<double>(x) / static_cast<double>(w) +
+                        gy * 120.0 * static_cast<double>(y) / static_cast<double>(h);
+    }
+  }
+  // Random elliptical "objects" create edges and region structure.
+  const std::size_t n_objects = 12 + rng.next_below(12);
+  for (std::size_t i = 0; i < n_objects; ++i) {
+    const double cx = rng.next_double() * static_cast<double>(w);
+    const double cy = rng.next_double() * static_cast<double>(h);
+    const double rx = (0.05 + 0.2 * rng.next_double()) * static_cast<double>(w);
+    const double ry = (0.05 + 0.2 * rng.next_double()) * static_cast<double>(h);
+    const double level = rng.next_double() * 160.0 - 80.0;
+    const std::size_t x0 = static_cast<std::size_t>(std::max(0.0, cx - rx));
+    const std::size_t x1 = static_cast<std::size_t>(
+        std::min(static_cast<double>(w), cx + rx + 1));
+    const std::size_t y0 = static_cast<std::size_t>(std::max(0.0, cy - ry));
+    const std::size_t y1 = static_cast<std::size_t>(
+        std::min(static_cast<double>(h), cy + ry + 1));
+    for (std::size_t y = y0; y < y1; ++y) {
+      for (std::size_t x = x0; x < x1; ++x) {
+        const double dx = (static_cast<double>(x) - cx) / rx;
+        const double dy = (static_cast<double>(y) - cy) / ry;
+        if (dx * dx + dy * dy <= 1.0) luma[y * w + x] += level;
+      }
+    }
+  }
+  box_blur(luma, w, h, std::max<std::size_t>(1, w / 256), 2);
+
+  // Overlapping objects can push the field far outside [0,255]; normalize
+  // to a photographic range before adding texture so nothing saturates.
+  double lo = luma[0], hi = luma[0];
+  for (double v : luma) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+  for (auto& v : luma) v = 16.0 + (v - lo) / span * 224.0;
+
+  // Fine texture on top of the smooth field (keeps T1 bit planes busy).
+  for (auto& v : luma) v += rng.next_gaussian() * 4.0;
+
+  Image img(w, h, components, 8);
+  if (components == 1) {
+    for (std::size_t y = 0; y < h; ++y) {
+      Sample* row = img.plane(0).row(y);
+      for (std::size_t x = 0; x < w; ++x) row[x] = clamp8(luma[y * w + x]);
+    }
+    return img;
+  }
+
+  // Chroma: slowly varying tint fields, correlated with luma the way real
+  // photos are (RCT/ICT decorrelation then has something to do).
+  const double tint_r = rng.next_double() * 0.5 - 0.25;
+  const double tint_b = rng.next_double() * 0.5 - 0.25;
+  for (std::size_t y = 0; y < h; ++y) {
+    Sample* r = img.plane(0).row(y);
+    Sample* g = img.plane(1).row(y);
+    Sample* b = img.plane(2 < components ? 2 : components - 1).row(y);
+    for (std::size_t x = 0; x < w; ++x) {
+      const double l = luma[y * w + x];
+      const double phase =
+          std::sin(static_cast<double>(x) / static_cast<double>(w) * 3.1) +
+          std::cos(static_cast<double>(y) / static_cast<double>(h) * 2.3);
+      r[x] = clamp8(l * (1.0 + tint_r) + 10.0 * phase);
+      g[x] = clamp8(l);
+      b[x] = clamp8(l * (1.0 + tint_b) - 8.0 * phase);
+    }
+  }
+  return img;
+}
+
+Image gradient(std::size_t width, std::size_t height, std::size_t components) {
+  Image img(width, height, components, 8);
+  for (std::size_t c = 0; c < components; ++c) {
+    for (std::size_t y = 0; y < height; ++y) {
+      Sample* row = img.plane(c).row(y);
+      for (std::size_t x = 0; x < width; ++x) {
+        row[x] = static_cast<Sample>(
+            (x * 255 / std::max<std::size_t>(1, width - 1) +
+             y * 255 / std::max<std::size_t>(1, height - 1) + c * 37) /
+            2 % 256);
+      }
+    }
+  }
+  return img;
+}
+
+Image noise(std::size_t width, std::size_t height, std::size_t components,
+            std::uint64_t seed) {
+  Rng rng(seed);
+  Image img(width, height, components, 8);
+  for (std::size_t c = 0; c < components; ++c) {
+    for (std::size_t y = 0; y < height; ++y) {
+      Sample* row = img.plane(c).row(y);
+      for (std::size_t x = 0; x < width; ++x) {
+        row[x] = static_cast<Sample>(rng.next_below(256));
+      }
+    }
+  }
+  return img;
+}
+
+Image checkerboard(std::size_t width, std::size_t height, std::size_t cell) {
+  Image img(width, height, 1, 8);
+  for (std::size_t y = 0; y < height; ++y) {
+    Sample* row = img.plane(0).row(y);
+    for (std::size_t x = 0; x < width; ++x) {
+      row[x] = ((x / cell + y / cell) % 2) ? 255 : 0;
+    }
+  }
+  return img;
+}
+
+Image skewed(std::size_t width, std::size_t height, std::uint64_t seed) {
+  Rng rng(seed);
+  Image img(width, height, 1, 8);
+  for (std::size_t y = 0; y < height; ++y) {
+    Sample* row = img.plane(0).row(y);
+    for (std::size_t x = 0; x < width; ++x) {
+      if (x < width / 2) {
+        row[x] = 128;  // flat half: near-zero coding cost
+      } else {
+        row[x] = static_cast<Sample>(rng.next_below(256));  // noisy half
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace cj2k::synth

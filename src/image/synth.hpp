@@ -1,0 +1,39 @@
+// Synthetic test-image generators.
+//
+// The paper's workload is a 28.3 MB natural photograph (waltham_dial.bmp,
+// ~3172×3116 RGB).  We cannot ship that file, so `photographic` synthesizes
+// an image with natural-photo statistics: strong spatial correlation
+// (low-pass 1/f-like energy), object edges, and texture.  That matters
+// because EBCOT Tier-1 cost and DWT energy compaction both depend on content
+// smoothness, and the paper's load-balancing argument (§3.2) depends on code
+// blocks having *unequal* coding cost.
+#pragma once
+
+#include <cstdint>
+
+#include "image/image.hpp"
+
+namespace cj2k::synth {
+
+/// Natural-photo-statistics image: smooth gradients + random ellipses/edges
+/// + fine Gaussian texture.  Deterministic for a given seed.
+Image photographic(std::size_t width, std::size_t height,
+                   std::size_t components = 3, std::uint64_t seed = 1);
+
+/// Smooth 2-D gradient (cheapest content; nearly all-zero wavelet detail).
+Image gradient(std::size_t width, std::size_t height,
+               std::size_t components = 1);
+
+/// Uniform random noise (worst case for compression; maximal T1 work).
+Image noise(std::size_t width, std::size_t height,
+            std::size_t components = 1, std::uint64_t seed = 2);
+
+/// Checkerboard with the given cell size (hard edges; stresses sign coding).
+Image checkerboard(std::size_t width, std::size_t height,
+                   std::size_t cell = 8);
+
+/// Half smooth / half noise: maximally *skewed* per-code-block cost, the
+/// workload used to demonstrate the work-queue's load balancing.
+Image skewed(std::size_t width, std::size_t height, std::uint64_t seed = 3);
+
+}  // namespace cj2k::synth

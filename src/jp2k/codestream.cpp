@@ -1,0 +1,247 @@
+#include "jp2k/codestream.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace cj2k::jp2k {
+
+namespace {
+
+constexpr std::uint16_t kSoc = 0xFF4F;
+constexpr std::uint16_t kSiz = 0xFF51;
+constexpr std::uint16_t kCod = 0xFF52;
+constexpr std::uint16_t kQcd = 0xFF5C;
+constexpr std::uint16_t kSot = 0xFF90;
+constexpr std::uint16_t kSod = 0xFF93;
+constexpr std::uint16_t kEoc = 0xFFD9;
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u32(static_cast<std::uint32_t>(bits >> 32));
+    u32(static_cast<std::uint32_t>(bits));
+  }
+  void raw(const std::uint8_t* p, std::size_t n) {
+    out_.insert(out_.end(), p, p + n);
+  }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* p, std::size_t n) : p_(p), n_(n) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return p_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    const std::uint16_t v =
+        static_cast<std::uint16_t>((p_[pos_] << 8) | p_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    const std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+  double f64() {
+    const std::uint64_t hi = u32();
+    const std::uint64_t bits = (hi << 32) | u32();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::size_t pos() const { return pos_; }
+  void seek(std::size_t p) {
+    CJ2K_CHECK_MSG(p <= n_, "seek past end of codestream");
+    pos_ = p;
+  }
+
+ private:
+  void need(std::size_t k) const {
+    if (pos_ + k > n_) throw CodestreamError("truncated codestream");
+  }
+  const std::uint8_t* p_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> write_codestream(
+    const StreamHeader& hdr, const std::vector<std::uint8_t>& packets) {
+  ByteWriter w;
+  w.u16(kSoc);
+
+  // SIZ.
+  w.u16(kSiz);
+  w.u16(2 + 4 + 4 + 2 + 1);  // segment length excluding the marker
+  w.u32(static_cast<std::uint32_t>(hdr.width));
+  w.u32(static_cast<std::uint32_t>(hdr.height));
+  w.u16(static_cast<std::uint16_t>(hdr.components));
+  w.u8(static_cast<std::uint8_t>(hdr.bit_depth));
+
+  // COD.
+  w.u16(kCod);
+  w.u16(2 + 1 + 1 + 2 + 2 + 1 + 1 + 1 + 1 + 8);
+  w.u8(static_cast<std::uint8_t>(hdr.params.wavelet));
+  w.u8(static_cast<std::uint8_t>(hdr.params.levels));
+  w.u16(static_cast<std::uint16_t>(hdr.params.cb_width));
+  w.u16(static_cast<std::uint16_t>(hdr.params.cb_height));
+  w.u8(hdr.params.mct ? 1 : 0);
+  // Style flags: bit 0 = RESET contexts, bit 1 = VSC, bit 2 = fixed-point
+  // 9/7 arithmetic.
+  w.u8(static_cast<std::uint8_t>((hdr.params.t1.reset_contexts ? 1 : 0) |
+                                 (hdr.params.t1.vertically_causal ? 2 : 0) |
+                                 (hdr.params.fixed_point_97 ? 4 : 0)));
+  w.u8(static_cast<std::uint8_t>(hdr.params.layers));
+  w.u8(static_cast<std::uint8_t>(hdr.params.progression));
+  w.f64(hdr.params.base_quant_step);
+
+  // QCD: explicit per-band metadata.
+  ByteWriter q;
+  q.u16(static_cast<std::uint16_t>(hdr.band_meta.size()));
+  for (const auto& comp : hdr.band_meta) {
+    q.u16(static_cast<std::uint16_t>(comp.size()));
+    for (const auto& bm : comp) {
+      q.u8(bm.orient);
+      q.u8(bm.level);
+      q.u8(static_cast<std::uint8_t>(bm.numbps));
+      q.f64(bm.step);
+    }
+  }
+  auto qbody = q.take();
+  w.u16(kQcd);
+  w.u16(static_cast<std::uint16_t>(2 + qbody.size()));
+  w.raw(qbody.data(), qbody.size());
+
+  // Single tile: SOT carries the packet-stream length, SOD starts it.
+  w.u16(kSot);
+  w.u16(2 + 2 + 4);
+  w.u16(0);  // tile index
+  w.u32(static_cast<std::uint32_t>(packets.size()));
+  w.u16(kSod);
+  w.raw(packets.data(), packets.size());
+
+  w.u16(kEoc);
+  return w.take();
+}
+
+StreamHeader parse_codestream(const std::vector<std::uint8_t>& bytes,
+                              std::size_t& packet_offset,
+                              std::size_t& packet_size) {
+  ByteReader r(bytes.data(), bytes.size());
+  StreamHeader hdr;
+
+  if (r.u16() != kSoc) throw CodestreamError("missing SOC marker");
+
+  bool saw_siz = false, saw_cod = false, saw_qcd = false;
+  for (;;) {
+    const std::uint16_t marker = r.u16();
+    if (marker == kSot) {
+      const std::uint16_t len = r.u16();
+      if (len != 8) throw CodestreamError("bad SOT length");
+      (void)r.u16();  // tile index
+      packet_size = r.u32();
+      if (r.u16() != kSod) throw CodestreamError("missing SOD marker");
+      packet_offset = r.pos();
+      break;
+    }
+    const std::uint16_t len = r.u16();
+    if (len < 2) throw CodestreamError("bad marker segment length");
+    const std::size_t seg_end = r.pos() + (len - 2);
+    switch (marker) {
+      case kSiz: {
+        hdr.width = r.u32();
+        hdr.height = r.u32();
+        hdr.components = r.u16();
+        hdr.bit_depth = r.u8();
+        if (hdr.width == 0 || hdr.height == 0 || hdr.components == 0 ||
+            hdr.components > 16384 || hdr.bit_depth < 1 ||
+            hdr.bit_depth > 16) {
+          throw CodestreamError("implausible SIZ geometry");
+        }
+        saw_siz = true;
+        break;
+      }
+      case kCod: {
+        const std::uint8_t wk = r.u8();
+        if (wk > 1) throw CodestreamError("unknown wavelet kind in COD");
+        hdr.params.wavelet = static_cast<WaveletKind>(wk);
+        hdr.params.levels = r.u8();
+        hdr.params.cb_width = r.u16();
+        hdr.params.cb_height = r.u16();
+        hdr.params.mct = r.u8() != 0;
+        const std::uint8_t cb_style = r.u8();
+        if (cb_style > 7) throw CodestreamError("unknown code-block style");
+        hdr.params.t1.reset_contexts = (cb_style & 1) != 0;
+        hdr.params.t1.vertically_causal = (cb_style & 2) != 0;
+        hdr.params.fixed_point_97 = (cb_style & 4) != 0;
+        hdr.params.layers = r.u8();
+        if (hdr.params.layers < 1 || hdr.params.layers > 64) {
+          throw CodestreamError("implausible layer count");
+        }
+        const std::uint8_t prog = r.u8();
+        if (prog > 1) throw CodestreamError("unknown progression order");
+        hdr.params.progression = static_cast<Progression>(prog);
+        hdr.params.base_quant_step = r.f64();
+        if (hdr.params.levels > 32 || hdr.params.cb_width == 0 ||
+            hdr.params.cb_height == 0 || hdr.params.cb_width > 1024 ||
+            hdr.params.cb_height > 1024) {
+          throw CodestreamError("implausible COD parameters");
+        }
+        saw_cod = true;
+        break;
+      }
+      case kQcd: {
+        const std::size_t ncomp = r.u16();
+        hdr.band_meta.resize(ncomp);
+        for (auto& comp : hdr.band_meta) {
+          const std::size_t nbands = r.u16();
+          comp.resize(nbands);
+          for (auto& bm : comp) {
+            bm.orient = r.u8();
+            bm.level = r.u8();
+            bm.numbps = r.u8();
+            bm.step = r.f64();
+            if (bm.orient > 3 || bm.numbps > 38 || !(bm.step > 0)) {
+              throw CodestreamError("implausible QCD band metadata");
+            }
+          }
+        }
+        saw_qcd = true;
+        break;
+      }
+      default:
+        throw CodestreamError("unknown marker in main header");
+    }
+    r.seek(seg_end);
+  }
+  if (!saw_siz || !saw_cod || !saw_qcd) {
+    throw CodestreamError("main header missing SIZ/COD/QCD");
+  }
+  if (packet_offset + packet_size + 2 > bytes.size()) {
+    throw CodestreamError("tile data runs past end of stream");
+  }
+  return hdr;
+}
+
+}  // namespace cj2k::jp2k

@@ -1,0 +1,73 @@
+// Codestream framing: marker-delimited headers around the Tier-2 packet
+// stream, modeled on the JPEG2000 Part-1 main-header structure (SOC, SIZ,
+// COD, QCD, SOT/SOD, EOC).  The QCD payload carries explicit per-band
+// bit-plane counts and quantizer steps (see DESIGN.md — we do not claim
+// bit-level interop with third-party decoders; the paper's claims don't
+// depend on it, and carrying the values explicitly keeps the decoder free
+// of guard-bit conventions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jp2k/dwt2d.hpp"
+#include "jp2k/t1_common.hpp"
+#include "jp2k/tile.hpp"
+
+namespace cj2k::jp2k {
+
+/// Packet progression order (which dimension varies slowest).
+enum class Progression : std::uint8_t {
+  kLRCP = 0,  ///< Layer -> Resolution -> Component (quality progressive).
+  kRLCP = 1,  ///< Resolution -> Layer -> Component (resolution progressive).
+};
+
+/// Everything the encoder chose, carried in the main header.
+struct CodingParams {
+  WaveletKind wavelet = WaveletKind::kReversible53;
+  int levels = 5;
+  std::size_t cb_width = 64;
+  std::size_t cb_height = 64;
+  bool mct = true;            ///< RCT/ICT when the image has 3 components.
+  double rate = 0.0;          ///< Target size as a fraction of raw bytes
+                              ///< (Jasper's -O rate=...); 0 disables.
+  double base_quant_step = 1.0 / 16.0;  ///< Lossy base step (image domain).
+  T1Options t1;               ///< Code-block style flags (RESET / VSC).
+  /// Run the lossy path in Jasper's Q13 fixed point instead of float —
+  /// the representation the paper replaces on the Cell (§4).  Lossless
+  /// (5/3) ignores this.
+  bool fixed_point_97 = false;
+  /// Quality layers: >1 produces a quality-progressive stream whose layer
+  /// boundaries are R-D-optimized truncation points.
+  int layers = 1;
+  Progression progression = Progression::kLRCP;
+};
+
+/// Parsed main header.
+struct StreamHeader {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::size_t components = 0;
+  unsigned bit_depth = 8;
+  CodingParams params;
+  /// Per component, per subband (layout order): band_numbps and step.
+  struct BandMeta {
+    std::uint8_t orient;
+    std::uint8_t level;
+    std::int32_t numbps;
+    double step;
+  };
+  std::vector<std::vector<BandMeta>> band_meta;
+};
+
+/// Serializes main header + tile header + packets + EOC.
+std::vector<std::uint8_t> write_codestream(
+    const StreamHeader& hdr, const std::vector<std::uint8_t>& packets);
+
+/// Parses the main header; on return `packet_offset`/`packet_size` delimit
+/// the Tier-2 packet stream.  Throws CodestreamError on malformed input.
+StreamHeader parse_codestream(const std::vector<std::uint8_t>& bytes,
+                              std::size_t& packet_offset,
+                              std::size_t& packet_size);
+
+}  // namespace cj2k::jp2k

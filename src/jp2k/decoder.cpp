@@ -1,0 +1,214 @@
+#include "jp2k/decoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "jp2k/codestream.hpp"
+#include "jp2k/dwt2d.hpp"
+#include "jp2k/mct.hpp"
+#include "jp2k/quant.hpp"
+#include "jp2k/t1_decoder.hpp"
+#include "jp2k/t2_decoder.hpp"
+
+namespace cj2k::jp2k {
+
+namespace {
+
+/// Rebuilds the Tile skeleton the T2 decoder fills in.
+Tile make_skeleton(const StreamHeader& hdr) {
+  Tile tile;
+  tile.width = hdr.width;
+  tile.height = hdr.height;
+  tile.levels = hdr.params.levels;
+  tile.layers = hdr.params.layers;
+  for (std::size_t c = 0; c < hdr.components; ++c) {
+    TileComponent tc;
+    const auto layout =
+        subband_layout(hdr.width, hdr.height, hdr.params.levels);
+    CJ2K_CHECK_MSG(c < hdr.band_meta.size() &&
+                       hdr.band_meta[c].size() == layout.size(),
+                   "QCD band metadata does not match geometry");
+    for (std::size_t b = 0; b < layout.size(); ++b) {
+      Subband sb;
+      sb.info = layout[b];
+      const auto& bm = hdr.band_meta[c][b];
+      if (static_cast<SubbandOrient>(bm.orient) != sb.info.orient ||
+          bm.level != sb.info.level) {
+        throw CodestreamError("QCD band order mismatch");
+      }
+      sb.band_numbps = bm.numbps;
+      sb.quant_step = bm.step;
+      make_block_grid(sb, hdr.params.cb_width, hdr.params.cb_height);
+      tc.subbands.push_back(std::move(sb));
+    }
+    tile.components.push_back(std::move(tc));
+  }
+  return tile;
+}
+
+}  // namespace
+
+Image decode(const std::vector<std::uint8_t>& bytes, int max_layers) {
+  std::size_t pkt_off = 0, pkt_size = 0;
+  const StreamHeader hdr = parse_codestream(bytes, pkt_off, pkt_size);
+
+  Tile tile = make_skeleton(hdr);
+  tile.progression = static_cast<int>(hdr.params.progression);
+  if (max_layers > 0 && hdr.params.progression != Progression::kLRCP) {
+    throw InvalidArgument(
+        "progressive layer truncation requires LRCP ordering");
+  }
+  const std::size_t consumed =
+      t2_decode(bytes.data() + pkt_off, pkt_size, tile, max_layers);
+  if (consumed > pkt_size) throw CodestreamError("packet stream overrun");
+
+  const std::size_t w = hdr.width;
+  const std::size_t h = hdr.height;
+  const unsigned depth = hdr.bit_depth;
+  const bool color = hdr.params.mct && hdr.components >= 3;
+
+  Image img(w, h, hdr.components, depth);
+
+  if (hdr.params.wavelet == WaveletKind::kReversible53) {
+    std::vector<Plane> work;
+    for (std::size_t c = 0; c < hdr.components; ++c) {
+      Plane plane(w, h);
+      auto view = plane.view();
+      for (auto& sb : tile.components[c].subbands) {
+        for (auto& cb : sb.blocks) {
+          auto dst = view.subview(sb.info.x0 + cb.x0, sb.info.y0 + cb.y0,
+                                  cb.w, cb.h);
+          t1_decode_block(cb.enc.data.data(), cb.enc.data.size(),
+                          cb.enc.num_bitplanes, cb.included_passes,
+                          sb.info.orient, dst, hdr.params.t1);
+        }
+      }
+      inverse53(view, hdr.params.levels);
+      work.push_back(std::move(plane));
+    }
+    for (std::size_t y = 0; y < h; ++y) {
+      if (color) {
+        rct_inverse_row(work[0].row(y), work[1].row(y), work[2].row(y), w);
+      }
+      for (std::size_t c = 0; c < hdr.components; ++c) {
+        level_unshift_row(work[c].row(y), w, depth);
+        std::copy_n(work[c].row(y), w, img.plane(c).row(y));
+      }
+    }
+  } else if (hdr.params.fixed_point_97) {
+    // Fixed-point lossy path (mirrors the fixed encoder).
+    std::vector<Plane> fx;
+    Plane qplane(w, h);
+    for (std::size_t c = 0; c < hdr.components; ++c) {
+      fx.emplace_back(w, h);
+      auto qview = qplane.view();
+      for (auto& sb : tile.components[c].subbands) {
+        for (auto& cb : sb.blocks) {
+          auto dst = qview.subview(sb.info.x0 + cb.x0, sb.info.y0 + cb.y0,
+                                   cb.w, cb.h);
+          t1_decode_block(cb.enc.data.data(), cb.enc.data.size(),
+                          cb.enc.num_bitplanes, cb.included_passes,
+                          sb.info.orient, dst, hdr.params.t1);
+        }
+        for (std::size_t y = 0; y < sb.info.h; ++y) {
+          dequantize_fixed_row(qplane.row(sb.info.y0 + y) + sb.info.x0,
+                               fx[c].row(sb.info.y0 + y) + sb.info.x0,
+                               sb.info.w, sb.quant_step);
+        }
+      }
+      inverse97_fixed(fx[c].view(), hdr.params.levels);
+    }
+    const Sample off = Sample{1} << (depth - 1);
+    const Sample hi = (Sample{1} << depth) - 1;
+    std::vector<Sample> r(w), g(w), b(w);
+    for (std::size_t y = 0; y < h; ++y) {
+      if (color) {
+        ict_inverse_row_fixed(fx[0].row(y), fx[1].row(y), fx[2].row(y),
+                              r.data(), g.data(), b.data(), w);
+        for (std::size_t x = 0; x < w; ++x) {
+          img.plane(0).row(y)[x] = std::clamp<Sample>(r[x] + off, 0, hi);
+          img.plane(1).row(y)[x] = std::clamp<Sample>(g[x] + off, 0, hi);
+          img.plane(2).row(y)[x] = std::clamp<Sample>(b[x] + off, 0, hi);
+        }
+        for (std::size_t c = 3; c < hdr.components; ++c) {
+          fixed_to_int_row(fx[c].row(y), r.data(), w);
+          Sample* dst = img.plane(c).row(y);
+          for (std::size_t x = 0; x < w; ++x) {
+            dst[x] = std::clamp<Sample>(r[x] + off, 0, hi);
+          }
+        }
+      } else {
+        for (std::size_t c = 0; c < hdr.components; ++c) {
+          fixed_to_int_row(fx[c].row(y), r.data(), w);
+          Sample* dst = img.plane(c).row(y);
+          for (std::size_t x = 0; x < w; ++x) {
+            dst[x] = std::clamp<Sample>(r[x] + off, 0, hi);
+          }
+        }
+      }
+    }
+  } else {
+    const std::size_t stride = img.plane(0).stride();
+    std::vector<std::vector<float>> fplanes(hdr.components);
+    Plane qplane(w, h);
+    for (std::size_t c = 0; c < hdr.components; ++c) {
+      fplanes[c].assign(stride * h, 0.0f);
+      Span2d<float> fview(fplanes[c].data(), w, h, stride);
+      auto qview = qplane.view();
+      for (auto& sb : tile.components[c].subbands) {
+        for (auto& cb : sb.blocks) {
+          auto dst = qview.subview(sb.info.x0 + cb.x0, sb.info.y0 + cb.y0,
+                                   cb.w, cb.h);
+          t1_decode_block(cb.enc.data.data(), cb.enc.data.size(),
+                          cb.enc.num_bitplanes, cb.included_passes,
+                          sb.info.orient, dst, hdr.params.t1);
+        }
+        dequantize(
+            qview.subview(sb.info.x0, sb.info.y0, sb.info.w, sb.info.h),
+            fview.subview(sb.info.x0, sb.info.y0, sb.info.w, sb.info.h),
+            sb.quant_step);
+      }
+      inverse97(fview, hdr.params.levels);
+    }
+    const float off = static_cast<float>(Sample{1} << (depth - 1));
+    const Sample hi = (Sample{1} << depth) - 1;
+    std::vector<Sample> r(w), g(w), b(w);
+    for (std::size_t y = 0; y < h; ++y) {
+      if (color) {
+        ict_inverse_row(&fplanes[0][y * stride], &fplanes[1][y * stride],
+                        &fplanes[2][y * stride], r.data(), g.data(), b.data(),
+                        w);
+        for (std::size_t x = 0; x < w; ++x) {
+          img.plane(0).row(y)[x] = std::clamp<Sample>(
+              r[x] + static_cast<Sample>(off), 0, hi);
+          img.plane(1).row(y)[x] = std::clamp<Sample>(
+              g[x] + static_cast<Sample>(off), 0, hi);
+          img.plane(2).row(y)[x] = std::clamp<Sample>(
+              b[x] + static_cast<Sample>(off), 0, hi);
+        }
+        for (std::size_t c = 3; c < hdr.components; ++c) {
+          const float* src = &fplanes[c][y * stride];
+          Sample* dst = img.plane(c).row(y);
+          for (std::size_t x = 0; x < w; ++x) {
+            dst[x] = std::clamp<Sample>(
+                static_cast<Sample>(std::lround(src[x] + off)), 0, hi);
+          }
+        }
+      } else {
+        for (std::size_t c = 0; c < hdr.components; ++c) {
+          const float* src = &fplanes[c][y * stride];
+          Sample* dst = img.plane(c).row(y);
+          for (std::size_t x = 0; x < w; ++x) {
+            dst[x] = std::clamp<Sample>(
+                static_cast<Sample>(std::lround(src[x] + off)), 0, hi);
+          }
+        }
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace cj2k::jp2k

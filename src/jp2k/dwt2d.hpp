@@ -1,0 +1,62 @@
+// Multilevel 2-D Mallat DWT driver and subband geometry.
+//
+// After L levels the plane holds the usual pyramid layout: LL_L in the
+// top-left corner, and for each level l (L..1) the HL_l / LH_l / HH_l
+// rectangles.  Geometry follows the standard's ceil/floor split: a length-n
+// signal produces ceil(n/2) low and floor(n/2) high samples.
+#pragma once
+
+#include <vector>
+
+#include "common/span2d.hpp"
+#include "image/image.hpp"
+#include "jp2k/t1_common.hpp"
+
+namespace cj2k::jp2k {
+
+/// Which wavelet kernel a pipeline uses.
+enum class WaveletKind : std::uint8_t {
+  kReversible53 = 0,   ///< Integer 5/3, lossless path.
+  kIrreversible97 = 1, ///< Float 9/7, lossy path.
+};
+
+/// One subband rectangle within the transformed plane.
+struct SubbandInfo {
+  SubbandOrient orient;
+  int level;        ///< Decomposition level (1 = finest); 0 only for LL.
+  std::size_t x0, y0, w, h;  ///< Placement in the transformed plane.
+};
+
+/// Computes the subband layout for a w×h plane decomposed `levels` times.
+/// Bands are returned coarsest-first: LL_L, then per level l = L..1 the
+/// HL_l, LH_l, HH_l bands.  Degenerate (zero-area) bands are omitted.
+std::vector<SubbandInfo> subband_layout(std::size_t w, std::size_t h,
+                                        int levels);
+
+/// In-place forward 5/3 transform, `levels` levels.
+void forward53(Span2d<Sample> plane, int levels);
+
+/// In-place inverse 5/3 transform.
+void inverse53(Span2d<Sample> plane, int levels);
+
+/// In-place forward 9/7 float transform.
+void forward97(Span2d<float> plane, int levels);
+
+/// In-place inverse 9/7 float transform.
+void inverse97(Span2d<float> plane, int levels);
+
+/// In-place forward 9/7 transform on Q13 fixed-point samples (Jasper's
+/// original arithmetic, kept for the paper's §4 fixed-vs-float experiment).
+void forward97_fixed(Span2d<Sample> plane, int levels);
+
+/// In-place inverse 9/7 fixed-point transform.
+void inverse97_fixed(Span2d<Sample> plane, int levels);
+
+/// L2 norm of the synthesis basis vectors of a subband — the factor that
+/// converts squared coefficient error into image-domain squared error for
+/// PCRD rate allocation.  Computed numerically from the actual inverse
+/// transform (robust to normalization conventions) and memoized.
+double subband_synthesis_gain(WaveletKind kind, int level,
+                              SubbandOrient orient, int total_levels);
+
+}  // namespace cj2k::jp2k

@@ -1,0 +1,45 @@
+// Reversible 5/3 (LeGall) lifting DWT, 1-D primitives (ISO/IEC 15444-1
+// Annex F).  Even-indexed samples carry the low-pass band.  Boundary
+// handling is whole-sample symmetric extension.
+//
+// Two formulations are provided:
+//  * analyze/synthesize — the textbook per-step implementation (one pass per
+//    lifting step), matching Jasper's structure and the paper's Algorithm 1.
+//  * analyze_interleaved — the paper's Algorithm 2: both lifting steps fused
+//    into a single sweep, used by the Cell vertical-filtering kernel.
+#pragma once
+
+#include <cstddef>
+
+#include "image/image.hpp"
+
+namespace cj2k::jp2k::dwt53 {
+
+/// Number of low-pass samples for a length-n signal (even start parity).
+constexpr std::size_t low_count(std::size_t n) { return (n + 1) / 2; }
+/// Number of high-pass samples.
+constexpr std::size_t high_count(std::size_t n) { return n / 2; }
+
+/// Forward transform of a strided signal, in place, leaving the result
+/// deinterleaved: data[0..low) = L band, data[low..n) = H band (both at the
+/// same stride).  `scratch` must hold at least n samples.
+void analyze(Sample* data, std::size_t n, std::size_t stride,
+             Sample* scratch);
+
+/// Inverse of analyze().
+void synthesize(Sample* data, std::size_t n, std::size_t stride,
+                Sample* scratch);
+
+/// Forward lifting only (no deinterleave): the two lifting steps applied to
+/// an interleaved signal, as separate sweeps (paper Algorithm 1).  Exposed
+/// for the merged-kernel equivalence tests and the DMA-traffic ablation.
+void lift_two_pass(Sample* data, std::size_t n, std::size_t stride);
+
+/// Forward lifting only, single fused sweep (paper Algorithm 2).  Must
+/// produce bit-identical results to lift_two_pass.
+void lift_interleaved(Sample* data, std::size_t n, std::size_t stride);
+
+/// Undoes lift_* (interleaved domain).
+void unlift(Sample* data, std::size_t n, std::size_t stride);
+
+}  // namespace cj2k::jp2k::dwt53

@@ -1,0 +1,47 @@
+// The paper's §4 vertical-filtering optimization: the splitting
+// (deinterleave) step, the lifting steps, and (lossy) the scaling step are
+// merged into a single sweep over the rows of a column group, using an
+// auxiliary buffer for the high-pass rows to avoid the overwrite hazard of
+// Figure 3.  One sweep touches each input row once, so DMA traffic drops
+// from 3 row-passes to 1.5 (lossless) and from 6 to 1.5 (lossy).
+//
+// These functions are the host-side reference algorithms; the Cell DWT
+// stage streams the same row schedule through the DMA model.  Results are
+// bit/float-identical to the plain per-step vertical transform.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/span2d.hpp"
+#include "image/image.hpp"
+
+namespace cj2k::jp2k::dwt_merged {
+
+/// Row-transfer accounting for the DMA-traffic ablation.
+struct Traffic {
+  std::uint64_t rows_read = 0;     ///< Input/aux rows read.
+  std::uint64_t rows_written = 0;  ///< Output/aux rows written.
+};
+
+/// Merged vertical 5/3 analysis of a column group: on return the group's
+/// rows hold the deinterleaved result (L rows on top, H rows below).
+/// `aux` is resized to hold the high-pass half.
+Traffic vertical_analyze_53(Span2d<Sample> group,
+                            std::vector<Sample>& aux);
+
+/// Naive vertical 5/3 analysis: separate predict, update and split sweeps
+/// (paper Algorithm 1 + splitting step).  Identical output; used as the
+/// ablation baseline for DMA traffic.
+Traffic vertical_analyze_53_multipass(Span2d<Sample> group,
+                                      std::vector<Sample>& scratch_column);
+
+/// Merged vertical 9/7 analysis (split + 4 lifting steps + scaling in one
+/// sweep, the Kutil single-loop the paper adopts).
+Traffic vertical_analyze_97(Span2d<float> group, std::vector<float>& aux);
+
+/// Naive vertical 9/7 analysis (six sweeps).  Identical output.
+Traffic vertical_analyze_97_multipass(Span2d<float> group,
+                                      std::vector<float>& scratch_column);
+
+}  // namespace cj2k::jp2k::dwt_merged

@@ -1,0 +1,355 @@
+#include "jp2k/encoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "jp2k/dwt2d.hpp"
+#include "jp2k/mct.hpp"
+#include "jp2k/quant.hpp"
+#include "jp2k/t1_encoder.hpp"
+#include "jp2k/t2_encoder.hpp"
+
+namespace cj2k::jp2k {
+
+namespace {
+
+void validate(const Image& img, const CodingParams& p) {
+  CJ2K_CHECK_MSG(img.components() >= 1, "image has no components");
+  if (p.mct && img.components() >= 3) {
+    // RCT/ICT applies to the first three components.
+  }
+  if (p.levels < 0 || p.levels > 32) {
+    throw InvalidArgument("decomposition levels out of range");
+  }
+  if (p.cb_width < 4 || p.cb_width > 1024 || p.cb_height < 4 ||
+      p.cb_height > 1024) {
+    throw InvalidArgument("code block dimensions out of range");
+  }
+  if (p.layers < 1 || p.layers > 64) {
+    throw InvalidArgument("quality layer count out of range");
+  }
+}
+
+/// Builds the subband skeleton for one component.
+TileComponent make_component_skeleton(std::size_t w, std::size_t h,
+                                      const CodingParams& p) {
+  TileComponent tc;
+  for (const auto& info : subband_layout(w, h, p.levels)) {
+    Subband sb;
+    sb.info = info;
+    make_block_grid(sb, p.cb_width, p.cb_height);
+    tc.subbands.push_back(std::move(sb));
+  }
+  return tc;
+}
+
+/// Runs Tier-1 over every block of a subband whose coefficients sit in
+/// `coeff_plane` at the band's offsets.
+void t1_over_band(Subband& sb, Span2d<const Sample> coeff_plane,
+                  const T1Options& t1opt, EncodeStats* stats) {
+  int band_numbps = 0;
+  for (auto& cb : sb.blocks) {
+    const auto view = coeff_plane.subview(sb.info.x0 + cb.x0,
+                                          sb.info.y0 + cb.y0, cb.w, cb.h);
+    cb.enc = t1_encode_block(view, sb.info.orient, t1opt);
+    cb.include_all();
+    band_numbps = std::max(band_numbps, cb.enc.num_bitplanes);
+    if (stats) {
+      stats->t1_symbols += cb.enc.total_symbols;
+      stats->t1_passes += cb.enc.passes.size();
+    }
+  }
+  sb.band_numbps = band_numbps;
+}
+
+}  // namespace
+
+Tile build_tile(const Image& img, const CodingParams& params,
+                EncodeStats* stats) {
+  validate(img, params);
+  Timer stage;
+
+  const std::size_t w = img.width();
+  const std::size_t h = img.height();
+  const std::size_t ncomp = img.components();
+  const bool color = params.mct && ncomp >= 3;
+  const unsigned depth = img.bit_depth();
+
+  Tile tile;
+  tile.width = w;
+  tile.height = h;
+  tile.levels = params.levels;
+  tile.layers = params.layers;
+  tile.progression = static_cast<int>(params.progression);
+
+  if (stats) stats->samples = img.total_samples();
+
+  if (params.wavelet == WaveletKind::kReversible53) {
+    // Working copies of the planes (padded like the originals).
+    std::vector<Plane> work;
+    work.reserve(ncomp);
+    for (std::size_t c = 0; c < ncomp; ++c) {
+      Plane pl(w, h);
+      for (std::size_t y = 0; y < h; ++y) {
+        std::copy_n(img.plane(c).row(y), w, pl.row(y));
+      }
+      work.push_back(std::move(pl));
+    }
+
+    // Level shift + RCT (merged, as in the paper).
+    stage.reset();
+    for (std::size_t y = 0; y < h; ++y) {
+      if (color) {
+        shift_rct_forward_row(work[0].row(y), work[1].row(y), work[2].row(y),
+                              w, depth);
+        for (std::size_t c = 3; c < ncomp; ++c) {
+          level_shift_row(work[c].row(y), w, depth);
+        }
+      } else {
+        for (std::size_t c = 0; c < ncomp; ++c) {
+          level_shift_row(work[c].row(y), w, depth);
+        }
+      }
+    }
+    if (stats) stats->mct_seconds = stage.seconds();
+
+    // DWT.
+    stage.reset();
+    for (std::size_t c = 0; c < ncomp; ++c) {
+      forward53(work[c].view(), params.levels);
+    }
+    if (stats) stats->dwt_seconds = stage.seconds();
+
+    // Tier-1.
+    stage.reset();
+    for (std::size_t c = 0; c < ncomp; ++c) {
+      TileComponent tc = make_component_skeleton(w, h, params);
+      for (auto& sb : tc.subbands) {
+        sb.quant_step = 1.0;
+        t1_over_band(sb, work[c].view(), params.t1, stats);
+      }
+      tile.components.push_back(std::move(tc));
+    }
+    if (stats) stats->t1_seconds = stage.seconds();
+  } else if (params.fixed_point_97) {
+    // Lossy path in Q13 fixed point — Jasper's original arithmetic, kept
+    // for the paper's §4 fixed-vs-float experiment.
+    std::vector<Plane> fx;
+    fx.reserve(ncomp);
+    for (std::size_t c = 0; c < ncomp; ++c) fx.emplace_back(w, h);
+
+    stage.reset();
+    for (std::size_t y = 0; y < h; ++y) {
+      if (color) {
+        shift_ict_forward_row_fixed(img.plane(0).row(y), img.plane(1).row(y),
+                                    img.plane(2).row(y), fx[0].row(y),
+                                    fx[1].row(y), fx[2].row(y), w, depth);
+        for (std::size_t c = 3; c < ncomp; ++c) {
+          shift_to_fixed_row(img.plane(c).row(y), fx[c].row(y), w, depth);
+        }
+      } else {
+        for (std::size_t c = 0; c < ncomp; ++c) {
+          shift_to_fixed_row(img.plane(c).row(y), fx[c].row(y), w, depth);
+        }
+      }
+    }
+    if (stats) stats->mct_seconds = stage.seconds();
+
+    stage.reset();
+    for (std::size_t c = 0; c < ncomp; ++c) {
+      forward97_fixed(fx[c].view(), params.levels);
+    }
+    if (stats) stats->dwt_seconds = stage.seconds();
+
+    Plane qplane(w, h);
+    for (std::size_t c = 0; c < ncomp; ++c) {
+      TileComponent tc = make_component_skeleton(w, h, params);
+      stage.reset();
+      for (auto& sb : tc.subbands) {
+        sb.quant_step = quant_step_for_band(params.base_quant_step,
+                                            params.wavelet, sb.info.level,
+                                            sb.info.orient, params.levels);
+        for (std::size_t y = 0; y < sb.info.h; ++y) {
+          quantize_fixed_row(fx[c].row(sb.info.y0 + y) + sb.info.x0,
+                             qplane.row(sb.info.y0 + y) + sb.info.x0,
+                             sb.info.w, sb.quant_step);
+        }
+      }
+      if (stats) stats->quant_seconds += stage.seconds();
+
+      stage.reset();
+      for (auto& sb : tc.subbands) {
+        t1_over_band(sb, qplane.view(), params.t1, stats);
+      }
+      if (stats) stats->t1_seconds += stage.seconds();
+      tile.components.push_back(std::move(tc));
+    }
+  } else {
+    // Lossy path: float planes.
+    std::vector<std::vector<float>> fplanes(ncomp);
+    const std::size_t stride = img.plane(0).stride();
+    for (auto& fp : fplanes) fp.assign(stride * h, 0.0f);
+
+    stage.reset();
+    for (std::size_t y = 0; y < h; ++y) {
+      if (color) {
+        shift_ict_forward_row(img.plane(0).row(y), img.plane(1).row(y),
+                              img.plane(2).row(y), &fplanes[0][y * stride],
+                              &fplanes[1][y * stride],
+                              &fplanes[2][y * stride], w, depth);
+        for (std::size_t c = 3; c < ncomp; ++c) {
+          const Sample* src = img.plane(c).row(y);
+          float* dst = &fplanes[c][y * stride];
+          const float off = static_cast<float>(Sample{1} << (depth - 1));
+          for (std::size_t x = 0; x < w; ++x) {
+            dst[x] = static_cast<float>(src[x]) - off;
+          }
+        }
+      } else {
+        for (std::size_t c = 0; c < ncomp; ++c) {
+          const Sample* src = img.plane(c).row(y);
+          float* dst = &fplanes[c][y * stride];
+          const float off = static_cast<float>(Sample{1} << (depth - 1));
+          for (std::size_t x = 0; x < w; ++x) {
+            dst[x] = static_cast<float>(src[x]) - off;
+          }
+        }
+      }
+    }
+    if (stats) stats->mct_seconds = stage.seconds();
+
+    stage.reset();
+    for (std::size_t c = 0; c < ncomp; ++c) {
+      forward97(Span2d<float>(fplanes[c].data(), w, h, stride),
+                params.levels);
+    }
+    if (stats) stats->dwt_seconds = stage.seconds();
+
+    // Quantize per band into an integer coefficient plane, then Tier-1.
+    Plane qplane(w, h);
+    for (std::size_t c = 0; c < ncomp; ++c) {
+      TileComponent tc = make_component_skeleton(w, h, params);
+      Span2d<float> fview(fplanes[c].data(), w, h, stride);
+      stage.reset();
+      for (auto& sb : tc.subbands) {
+        sb.quant_step = quant_step_for_band(params.base_quant_step,
+                                            params.wavelet, sb.info.level,
+                                            sb.info.orient, params.levels);
+        quantize(fview.subview(sb.info.x0, sb.info.y0, sb.info.w, sb.info.h),
+                 qplane.view().subview(sb.info.x0, sb.info.y0, sb.info.w,
+                                       sb.info.h),
+                 sb.quant_step);
+      }
+      if (stats) stats->quant_seconds += stage.seconds();
+
+      stage.reset();
+      for (auto& sb : tc.subbands) {
+        t1_over_band(sb, qplane.view(), params.t1, stats);
+      }
+      if (stats) stats->t1_seconds += stage.seconds();
+      tile.components.push_back(std::move(tc));
+    }
+  }
+  return tile;
+}
+
+std::vector<std::uint8_t> finish_tile(Tile& tile, const Image& img,
+                                      const CodingParams& params,
+                                      EncodeStats* stats) {
+  Timer stage;
+
+  // Rate control / layer allocation.
+  if (params.layers > 1) {
+    // Layer budgets: final from the rate target (or "everything" for
+    // lossless), intermediates spaced logarithmically (each layer roughly
+    // doubles the bit budget — the usual quality-progressive spacing).
+    std::size_t final_budget;
+    if (params.rate > 0.0) {
+      final_budget = static_cast<std::size_t>(
+          params.rate * static_cast<double>(img.raw_bytes()));
+    } else {
+      std::size_t all = 4096;
+      for (const auto& tc : tile.components) {
+        for (const auto& sb : tc.subbands) {
+          for (const auto& cb : sb.blocks) all += cb.enc.data.size() + 8;
+        }
+      }
+      final_budget = 2 * all;  // effectively unbounded
+    }
+    std::vector<std::size_t> budgets(static_cast<std::size_t>(params.layers));
+    for (int l = 0; l < params.layers; ++l) {
+      budgets[static_cast<std::size_t>(l)] =
+          final_budget >> (params.layers - 1 - l);
+    }
+    const auto rc = rate_control_layered(tile, budgets, params.wavelet);
+    if (params.rate <= 0.0) {
+      // Lossless multi-layer: the final layer must carry every pass (the
+      // R-D hull may drop zero-distortion tail passes otherwise).
+      for (auto& tc : tile.components) {
+        for (auto& sb : tc.subbands) {
+          for (auto& cb : sb.blocks) {
+            cb.included_passes = static_cast<int>(cb.enc.passes.size());
+            cb.included_len = cb.enc.data.size();
+            if (!cb.layer_passes.empty()) {
+              cb.layer_passes.back() = cb.included_passes;
+            }
+          }
+        }
+      }
+    }
+    if (stats) {
+      stats->rate = rc;
+      stats->rate_seconds = stage.seconds();
+    }
+  } else if (params.rate > 0.0) {
+    const auto budget = static_cast<std::size_t>(
+        params.rate * static_cast<double>(img.raw_bytes()));
+    const auto rc = rate_control(tile, budget, params.wavelet);
+    if (stats) {
+      stats->rate = rc;
+      stats->rate_seconds = stage.seconds();
+    }
+  } else {
+    for (auto& tc : tile.components) {
+      for (auto& sb : tc.subbands) {
+        for (auto& cb : sb.blocks) cb.include_all();
+      }
+    }
+  }
+
+  stage.reset();
+  const auto packets = t2_encode(tile);
+
+  StreamHeader hdr;
+  hdr.width = img.width();
+  hdr.height = img.height();
+  hdr.components = img.components();
+  hdr.bit_depth = img.bit_depth();
+  hdr.params = params;
+  hdr.band_meta.resize(tile.components.size());
+  for (std::size_t c = 0; c < tile.components.size(); ++c) {
+    for (const auto& sb : tile.components[c].subbands) {
+      hdr.band_meta[c].push_back(
+          {static_cast<std::uint8_t>(sb.info.orient),
+           static_cast<std::uint8_t>(sb.info.level), sb.band_numbps,
+           sb.quant_step});
+    }
+  }
+  auto bytes = write_codestream(hdr, packets);
+  if (stats) stats->t2_seconds = stage.seconds();
+  return bytes;
+}
+
+std::vector<std::uint8_t> encode(const Image& img, const CodingParams& params,
+                                 EncodeStats* stats) {
+  Timer total;
+  Tile tile = build_tile(img, params, stats);
+  auto bytes = finish_tile(tile, img, params, stats);
+  if (stats) stats->total_seconds = total.seconds();
+  return bytes;
+}
+
+}  // namespace cj2k::jp2k

@@ -1,0 +1,46 @@
+// Serial reference JPEG2000 encoder: the "Jasper role" in the paper.  The
+// Cell pipeline (cellenc/) runs the same math through instrumented kernels
+// and must produce bit-identical codestreams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.hpp"
+#include "jp2k/codestream.hpp"
+#include "jp2k/rate_control.hpp"
+
+namespace cj2k::jp2k {
+
+/// Per-stage wall-clock seconds and work counters from one encode.
+struct EncodeStats {
+  double mct_seconds = 0;
+  double dwt_seconds = 0;
+  double quant_seconds = 0;
+  double t1_seconds = 0;
+  double rate_seconds = 0;
+  double t2_seconds = 0;
+  double total_seconds = 0;
+  std::uint64_t t1_symbols = 0;      ///< MQ decisions across all blocks.
+  std::uint64_t t1_passes = 0;
+  std::uint64_t samples = 0;         ///< Pixels × components.
+  RateControlStats rate;
+};
+
+/// Encodes an image into a codestream.  Throws InvalidArgument on
+/// unsupported parameter combinations.
+std::vector<std::uint8_t> encode(const Image& img, const CodingParams& params,
+                                 EncodeStats* stats = nullptr);
+
+/// Builds the encoded Tile (T1 output, before rate control / T2) — exposed
+/// so the Cell pipeline and the tests can share the machinery.
+Tile build_tile(const Image& img, const CodingParams& params,
+                EncodeStats* stats = nullptr);
+
+/// Finishes a Tile into a codestream (rate control + T2 + framing);
+/// `img` supplies geometry/raw-size for the rate budget.
+std::vector<std::uint8_t> finish_tile(Tile& tile, const Image& img,
+                                      const CodingParams& params,
+                                      EncodeStats* stats = nullptr);
+
+}  // namespace cj2k::jp2k

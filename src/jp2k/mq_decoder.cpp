@@ -1,0 +1,82 @@
+#include "jp2k/mq_decoder.hpp"
+
+namespace cj2k::jp2k {
+
+void MqDecoder::init(const std::uint8_t* data, std::size_t size) {
+  data_ = data;
+  size_ = size;
+  bp_ = 0;
+  c_ = static_cast<std::uint32_t>(byte_at(0)) << 16;
+  bytein();
+  c_ <<= 7;
+  ct_ -= 7;
+  a_ = 0x8000;
+}
+
+void MqDecoder::bytein() {
+  // Annex C, Figure C.17.
+  if (byte_at(bp_) == 0xFF) {
+    if (byte_at(bp_ + 1) > 0x8F) {
+      // A marker (or the end of data): feed 1-bits without consuming.
+      c_ += 0xFF00;
+      ct_ = 8;
+    } else {
+      ++bp_;
+      c_ += static_cast<std::uint32_t>(byte_at(bp_)) << 9;
+      ct_ = 7;
+    }
+  } else {
+    ++bp_;
+    c_ += static_cast<std::uint32_t>(byte_at(bp_)) << 8;
+    ct_ = 8;
+  }
+}
+
+void MqDecoder::renorm() {
+  do {
+    if (ct_ == 0) bytein();
+    a_ <<= 1;
+    c_ <<= 1;
+    --ct_;
+  } while ((a_ & 0x8000) == 0);
+}
+
+int MqDecoder::decode(MqContext& cx) {
+  const MqStateRow& st = kMqTable[cx.index];
+  const std::uint32_t qe = st.qe;
+  int d;
+
+  a_ -= qe;
+  if (((c_ >> 16) & 0xFFFF) < qe) {
+    // LPS exchange path (Figure C.16 right side).
+    if (a_ < qe) {
+      d = cx.mps;  // MPS exchange: conditional swap of senses.
+      cx.index = st.nmps;
+    } else {
+      d = 1 - cx.mps;
+      if (st.sw) cx.mps ^= 1;
+      cx.index = st.nlps;
+    }
+    a_ = qe;
+    renorm();
+  } else {
+    c_ -= static_cast<std::uint32_t>(qe) << 16;
+    if ((a_ & 0x8000) == 0) {
+      // MPS exchange path.
+      if (a_ < qe) {
+        d = 1 - cx.mps;
+        if (st.sw) cx.mps ^= 1;
+        cx.index = st.nlps;
+      } else {
+        d = cx.mps;
+        cx.index = st.nmps;
+      }
+      renorm();
+    } else {
+      d = cx.mps;
+    }
+  }
+  return d;
+}
+
+}  // namespace cj2k::jp2k

@@ -1,0 +1,40 @@
+// MQ arithmetic decoder (ISO/IEC 15444-1 Annex C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jp2k/mq.hpp"
+
+namespace cj2k::jp2k {
+
+/// Streaming MQ decoder over a byte buffer.  Reads past the end of the
+/// buffer return 0xFF as the standard requires (the decoder then synthesizes
+/// 1-bits, which is what makes truncated codewords decodable).
+class MqDecoder {
+ public:
+  MqDecoder(const std::uint8_t* data, std::size_t size) { init(data, size); }
+
+  /// (Re)initializes on a new buffer (Annex C INITDEC).
+  void init(const std::uint8_t* data, std::size_t size);
+
+  /// Decodes one binary decision in context `cx`.
+  int decode(MqContext& cx);
+
+ private:
+  void bytein();
+  void renorm();
+
+  std::uint8_t byte_at(std::size_t i) const {
+    return i < size_ ? data_[i] : 0xFF;
+  }
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t bp_ = 0;     ///< Index of the "current" byte B.
+  std::uint32_t c_ = 0;
+  std::uint32_t a_ = 0;
+  int ct_ = 0;
+};
+
+}  // namespace cj2k::jp2k

@@ -1,0 +1,54 @@
+// MQ arithmetic encoder (ISO/IEC 15444-1 Annex C software conventions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jp2k/mq.hpp"
+
+namespace cj2k::jp2k {
+
+/// Streaming MQ encoder.  Contexts live outside the coder (they belong to
+/// the Tier-1 code-block state) and are passed per decision.
+class MqEncoder {
+ public:
+  MqEncoder() { reset(); }
+
+  /// Re-initializes coder state and clears the output buffer.
+  void reset();
+
+  /// Encodes one binary decision `d` (0/1) in context `cx`.
+  void encode(MqContext& cx, int d);
+
+  /// Terminates the codeword (Annex C FLUSH) so the emitted bytes decode
+  /// unambiguously.  Must be called exactly once, after the last encode().
+  void flush();
+
+  /// Bytes emitted so far.  Only final after flush().
+  const std::vector<std::uint8_t>& bytes() const { return out_; }
+
+  /// Number of bytes the codeword would occupy if truncated after the
+  /// decision stream seen so far (Tier-1 uses this to place pass boundaries
+  /// without terminating every pass).  This is the conservative estimate of
+  /// Taubman's "length computation": all buffered state counts.
+  std::size_t truncation_length() const;
+
+  /// Total decisions encoded (instrumentation for the cost models).
+  std::uint64_t decisions() const { return decisions_; }
+
+  /// Moves the output buffer out of the coder.
+  std::vector<std::uint8_t> take_bytes() { return std::move(out_); }
+
+ private:
+  void renorm();
+  void byteout();
+
+  std::uint32_t c_ = 0;   ///< Code register.
+  std::uint32_t a_ = 0;   ///< Interval register.
+  int ct_ = 0;            ///< Bits until next byteout.
+  bool flushed_ = false;
+  std::uint64_t decisions_ = 0;
+  std::vector<std::uint8_t> out_;
+};
+
+}  // namespace cj2k::jp2k

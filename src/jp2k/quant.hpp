@@ -1,0 +1,45 @@
+// Dead-zone scalar quantizer for the irreversible (9/7) path
+// (ISO/IEC 15444-1 Annex E).
+#pragma once
+
+#include <cstddef>
+
+#include "common/span2d.hpp"
+#include "image/image.hpp"
+#include "jp2k/dwt2d.hpp"
+
+namespace cj2k::jp2k {
+
+/// Per-subband quantization step chosen so image-domain distortion per unit
+/// coefficient error is equalized: step = base_step / synthesis_gain(band).
+double quant_step_for_band(double base_step, WaveletKind kind, int level,
+                           SubbandOrient orient, int total_levels);
+
+/// Quantizes a float coefficient rectangle into signed integer indices:
+/// q = sign(v) * floor(|v| / step).
+void quantize_row(const float* in, Sample* out, std::size_t n, double step);
+
+/// Dequantizes with midpoint reconstruction:
+/// v = sign(q) * (|q| + 0.5) * step, 0 stays 0.
+void dequantize_row(const Sample* in, float* out, std::size_t n, double step);
+
+/// Convenience: whole-rectangle quantize (used by the serial encoder).
+void quantize(Span2d<const float> in, Span2d<Sample> out, double step);
+
+/// Convenience: whole-rectangle dequantize.
+void dequantize(Span2d<const Sample> in, Span2d<float> out, double step);
+
+// ---------------------------------------------------------------------------
+// Q13 fixed-point flavour (paper §4 / Jasper): quantization by fixed-point
+// reciprocal multiply — the 32-bit multiplies the SPE must emulate.
+// ---------------------------------------------------------------------------
+
+/// Quantizes a Q13 coefficient row: q = sign(v) * floor(|v| / step).
+void quantize_fixed_row(const Sample* in_q13, Sample* out, std::size_t n,
+                        double step);
+
+/// Dequantizes into Q13 with midpoint reconstruction.
+void dequantize_fixed_row(const Sample* in, Sample* out_q13, std::size_t n,
+                          double step);
+
+}  // namespace cj2k::jp2k

@@ -1,0 +1,215 @@
+#include "jp2k/rate_control.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "jp2k/t2_encoder.hpp"
+
+namespace cj2k::jp2k {
+
+namespace {
+
+/// One convex-hull segment of a block's R-D curve.
+struct HullSegment {
+  double slope;          ///< Weighted distortion reduction per byte.
+  std::size_t delta_r;   ///< Bytes this segment adds.
+  CodeBlock* block;
+  int pass_count;        ///< Passes included once this segment is taken.
+  std::size_t trunc_len; ///< Codeword bytes at that point.
+};
+
+/// Builds the strictly-decreasing-slope convex hull of one block's
+/// cumulative (rate, distortion) pass curve.
+void build_hull(CodeBlock& cb, double weight,
+                std::vector<HullSegment>& out, RateControlStats& stats) {
+  struct Point {
+    std::size_t r;
+    double d;
+    int passes;
+  };
+  std::vector<Point> hull;
+  hull.push_back({0, 0.0, 0});
+
+  std::size_t r = 0;
+  double d = 0.0;
+  for (std::size_t i = 0; i < cb.enc.passes.size(); ++i) {
+    ++stats.passes_considered;
+    const auto& pi = cb.enc.passes[i];
+    r = pi.trunc_len;
+    d += pi.dist_reduction * weight;
+    // Pop hull points that this one dominates (keeps slopes decreasing).
+    while (hull.size() >= 2) {
+      const Point& a = hull[hull.size() - 2];
+      const Point& b = hull.back();
+      const double s_ab =
+          b.r > a.r ? (b.d - a.d) / static_cast<double>(b.r - a.r) : 1e300;
+      const double s_bx =
+          r > b.r ? (d - b.d) / static_cast<double>(r - b.r) : 1e300;
+      if (s_bx >= s_ab) {
+        hull.pop_back();
+      } else {
+        break;
+      }
+    }
+    if (r > hull.back().r && d > hull.back().d) {
+      hull.push_back({r, d, static_cast<int>(i) + 1});
+    } else if (r <= hull.back().r && d > hull.back().d) {
+      // Same rate, more distortion reduction: replace.
+      hull.back() = {hull.back().r, d, static_cast<int>(i) + 1};
+    }
+  }
+
+  for (std::size_t i = 1; i < hull.size(); ++i) {
+    ++stats.hull_points;
+    const auto& a = hull[i - 1];
+    const auto& b = hull[i];
+    out.push_back({(b.d - a.d) / static_cast<double>(b.r - a.r), b.r - a.r,
+                   &cb, b.passes, b.r});
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// Builds and slope-sorts the R-D hull segments for the whole tile.
+std::vector<HullSegment> build_sorted_segments(Tile& tile, WaveletKind kind,
+                                               RateControlStats& stats) {
+  std::vector<HullSegment> segments;
+  for (auto& tc : tile.components) {
+    for (auto& sb : tc.subbands) {
+      const double gain = subband_synthesis_gain(kind, sb.info.level,
+                                                 sb.info.orient, tile.levels);
+      const double w = (sb.quant_step * gain) * (sb.quant_step * gain);
+      for (auto& cb : sb.blocks) {
+        cb.included_passes = 0;
+        cb.included_len = 0;
+        cb.layer_passes.clear();
+        build_hull(cb, w, segments, stats);
+      }
+    }
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const HullSegment& a, const HullSegment& b) {
+              return a.slope > b.slope;
+            });
+  return segments;
+}
+
+}  // namespace
+
+RateControlStats rate_control(Tile& tile, std::size_t total_budget_bytes,
+                              WaveletKind kind) {
+  RateControlStats stats;
+  stats.target_bytes = total_budget_bytes;
+  const auto segments = build_sorted_segments(tile, kind, stats);
+
+  // Iteratively shrink the body budget until headers + bodies fit.
+  std::size_t body_budget =
+      total_budget_bytes > total_budget_bytes / 20 + 32
+          ? total_budget_bytes - total_budget_bytes / 20 - 32
+          : 0;
+  for (int iter = 0; iter < 8; ++iter) {
+    ++stats.iterations;
+    // Greedy prefix of the slope-sorted segments.  A block's segments have
+    // decreasing slopes, so a prefix always yields consistent truncation
+    // points.
+    for (auto& tc : tile.components) {
+      for (auto& sb : tc.subbands) {
+        for (auto& cb : sb.blocks) {
+          cb.included_passes = 0;
+          cb.included_len = 0;
+        }
+      }
+    }
+    std::size_t used = 0;
+    double lambda = 0.0;
+    for (const auto& seg : segments) {
+      if (used + seg.delta_r > body_budget) break;
+      used += seg.delta_r;
+      seg.block->included_passes = seg.pass_count;
+      seg.block->included_len = seg.trunc_len;
+      lambda = seg.slope;
+    }
+    stats.selected_bytes = used;
+    stats.lambda = lambda;
+
+    const std::size_t total = t2_encoded_size(tile);
+    if (total <= total_budget_bytes || body_budget == 0) break;
+    const std::size_t overshoot = total - total_budget_bytes;
+    body_budget = body_budget > overshoot + 16 ? body_budget - overshoot - 16
+                                               : 0;
+  }
+  return stats;
+}
+
+RateControlStats rate_control_layered(Tile& tile,
+                                      const std::vector<std::size_t>& budgets,
+                                      WaveletKind kind) {
+  CJ2K_CHECK_MSG(!budgets.empty(), "need at least one layer budget");
+  for (std::size_t i = 1; i < budgets.size(); ++i) {
+    CJ2K_CHECK_MSG(budgets[i] >= budgets[i - 1],
+                   "layer budgets must be ascending");
+  }
+  tile.layers = static_cast<int>(budgets.size());
+
+  RateControlStats stats;
+  stats.target_bytes = budgets.back();
+  const auto segments = build_sorted_segments(tile, kind, stats);
+
+  // Final-layer body budget, refined against the real T2 size as in the
+  // single-layer path; intermediate layers scale proportionally.
+  std::size_t final_body =
+      budgets.back() > budgets.back() / 20 + 32 * budgets.size()
+          ? budgets.back() - budgets.back() / 20 - 32 * budgets.size()
+          : 0;
+  for (int iter = 0; iter < 8; ++iter) {
+    ++stats.iterations;
+    for (auto& tc : tile.components) {
+      for (auto& sb : tc.subbands) {
+        for (auto& cb : sb.blocks) {
+          cb.included_passes = 0;
+          cb.included_len = 0;
+          cb.layer_passes.assign(budgets.size(), 0);
+        }
+      }
+    }
+    const double scale = budgets.back() > 0
+                             ? static_cast<double>(final_body) /
+                                   static_cast<double>(budgets.back())
+                             : 0.0;
+    std::size_t used = 0;
+    std::size_t seg_idx = 0;
+    for (std::size_t l = 0; l < budgets.size(); ++l) {
+      const auto layer_body = static_cast<std::size_t>(
+          static_cast<double>(budgets[l]) * scale);
+      for (; seg_idx < segments.size(); ++seg_idx) {
+        const auto& seg = segments[seg_idx];
+        if (used + seg.delta_r > layer_body) break;
+        used += seg.delta_r;
+        seg.block->included_passes = seg.pass_count;
+        seg.block->included_len = seg.trunc_len;
+        stats.lambda = seg.slope;
+      }
+      // Freeze this layer's cumulative pass counts.
+      for (auto& tc : tile.components) {
+        for (auto& sb : tc.subbands) {
+          for (auto& cb : sb.blocks) {
+            cb.layer_passes[l] = cb.included_passes;
+          }
+        }
+      }
+    }
+    stats.selected_bytes = used;
+
+    const std::size_t total = t2_encoded_size(tile);
+    if (total <= budgets.back() || final_body == 0) break;
+    const std::size_t overshoot = total - budgets.back();
+    final_body =
+        final_body > overshoot + 16 ? final_body - overshoot - 16 : 0;
+  }
+  return stats;
+}
+
+}  // namespace cj2k::jp2k

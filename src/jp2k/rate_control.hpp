@@ -1,0 +1,44 @@
+// Post-compression rate-distortion optimization (PCRD, Taubman's EBCOT
+// Tier-1.5): choose a truncation point for every code block so total bytes
+// meet the rate budget while maximizing the weighted distortion reduction.
+//
+// In the paper this stage is the *serial* bottleneck of lossy encoding —
+// it sits between Tier-1 and Tier-2 (preventing their overlap) and grows to
+// ~60% of total time at 16 SPEs.  The instrumentation counters here feed
+// that part of the performance model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "jp2k/tile.hpp"
+
+namespace cj2k::jp2k {
+
+struct RateControlStats {
+  std::size_t target_bytes = 0;    ///< Body-byte budget given.
+  std::size_t selected_bytes = 0;  ///< Body bytes actually selected.
+  double lambda = 0.0;             ///< Final R-D slope threshold.
+  std::uint64_t passes_considered = 0;  ///< Work metric for the cost model.
+  std::uint64_t hull_points = 0;
+  int iterations = 0;              ///< Budget-refinement iterations.
+};
+
+/// Selects `included_passes`/`included_len` for every block of the tile so
+/// the final T2 output (headers + bodies) fits `total_budget_bytes`.
+/// Distortion is weighted by (quant_step × synthesis gain)² per subband.
+/// With a zero/negative budget every block is truncated to nothing; with a
+/// huge budget everything is included.
+RateControlStats rate_control(Tile& tile, std::size_t total_budget_bytes,
+                              WaveletKind kind);
+
+/// Multi-layer PCRD: `budgets` are ascending cumulative byte targets, one
+/// per quality layer; the last is the final-stream budget.  Sets each
+/// block's `layer_passes` (cumulative passes per layer) so that decoding
+/// layers 0..l approximates the R-D optimum at budgets[l].  Returns stats
+/// for the final layer.
+RateControlStats rate_control_layered(Tile& tile,
+                                      const std::vector<std::size_t>& budgets,
+                                      WaveletKind kind);
+
+}  // namespace cj2k::jp2k

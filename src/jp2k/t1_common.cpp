@@ -1,0 +1,74 @@
+#include "jp2k/t1_common.hpp"
+
+#include "common/error.hpp"
+
+namespace cj2k::jp2k {
+
+namespace {
+
+/// Table D.1 column for LL/LH subbands (ΣH is the primary discriminator).
+int zc_hprimary(int h, int v, int d) {
+  if (h == 2) return 8;
+  if (h == 1) {
+    if (v >= 1) return 7;
+    return d >= 1 ? 6 : 5;
+  }
+  // h == 0
+  if (v == 2) return 4;
+  if (v == 1) return 3;
+  if (d >= 2) return 2;
+  return d == 1 ? 1 : 0;
+}
+
+/// Table D.1 column for HH subbands (ΣD is the primary discriminator).
+int zc_dprimary(int h, int v, int d) {
+  const int hv = h + v;
+  if (d >= 3) return 8;
+  if (d == 2) return hv >= 1 ? 7 : 6;
+  if (d == 1) {
+    if (hv >= 2) return 5;
+    return hv == 1 ? 4 : 3;
+  }
+  // d == 0
+  if (hv >= 2) return 2;
+  return hv == 1 ? 1 : 0;
+}
+
+}  // namespace
+
+int zc_context(SubbandOrient orient, int h, int v, int d) {
+  CJ2K_DCHECK(h >= 0 && h <= 2 && v >= 0 && v <= 2 && d >= 0 && d <= 4);
+  switch (orient) {
+    case SubbandOrient::LL:
+    case SubbandOrient::LH:
+      return kCtxZcBase + zc_hprimary(h, v, d);
+    case SubbandOrient::HL:
+      // Horizontally high-pass: the roles of H and V swap.
+      return kCtxZcBase + zc_hprimary(v, h, d);
+    case SubbandOrient::HH:
+      return kCtxZcBase + zc_dprimary(h, v, d);
+  }
+  return kCtxZcBase;
+}
+
+ScLookup sc_lookup(int hc, int vc) {
+  CJ2K_DCHECK(hc >= -1 && hc <= 1 && vc >= -1 && vc <= 1);
+  // Annex D Table D.2.  Negating both contributions flips the XOR bit and
+  // keeps the context, which the table below encodes explicitly.
+  if (hc == 1) {
+    if (vc == 1) return {kCtxScBase + 4, 0};
+    if (vc == 0) return {kCtxScBase + 3, 0};
+    return {kCtxScBase + 2, 0};
+  }
+  if (hc == 0) {
+    if (vc == 1) return {kCtxScBase + 1, 0};
+    if (vc == 0) return {kCtxScBase + 0, 0};
+    return {kCtxScBase + 1, 1};
+  }
+  // hc == -1
+  if (vc == 1) return {kCtxScBase + 2, 1};
+  if (vc == 0) return {kCtxScBase + 3, 1};
+  return {kCtxScBase + 4, 1};
+}
+
+}  // namespace cj2k::jp2k

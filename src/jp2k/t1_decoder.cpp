@@ -1,0 +1,200 @@
+#include "jp2k/t1_decoder.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "jp2k/mq_decoder.hpp"
+
+namespace cj2k::jp2k {
+
+namespace {
+
+class BlockDecoder {
+ public:
+  BlockDecoder(const std::uint8_t* data, std::size_t size, int num_bitplanes,
+               int num_passes, SubbandOrient orient, Span2d<Sample> out,
+               const T1Options& options)
+      : opt_(options),
+        w_(out.width()),
+        h_(out.height()),
+        orient_(orient),
+        num_planes_(num_bitplanes),
+        num_passes_(num_passes),
+        out_(out),
+        flags_(w_, h_),
+        mag_(w_ * h_, 0),
+        mq_(data, size) {}
+
+  void run() {
+    for (std::size_t y = 0; y < h_; ++y) {
+      for (std::size_t x = 0; x < w_; ++x) out_(y, x) = 0;
+    }
+    if (num_planes_ == 0 || num_passes_ == 0) return;
+
+    int remaining = num_passes_;
+    int final_plane = num_planes_ - 1;
+    for (int p = num_planes_ - 1; p >= 0 && remaining > 0; --p) {
+      final_plane = p;
+      if (p != num_planes_ - 1) {
+        if (opt_.reset_contexts) ctx_.reset();
+        significance_pass(p);
+        if (--remaining == 0) break;
+        if (opt_.reset_contexts) ctx_.reset();
+        refinement_pass(p);
+        if (--remaining == 0) break;
+      }
+      if (opt_.reset_contexts) ctx_.reset();
+      cleanup_pass(p);
+      --remaining;
+      flags_.clear_visit();
+    }
+
+    // Reconstruct: exact when final_plane == 0 and all passes ran;
+    // otherwise midpoint-offset within the last decoded plane.
+    const bool partial =
+        final_plane > 0 || remaining > 0 ||
+        num_passes_ < 1 + 3 * (num_planes_ - 1);
+    for (std::size_t y = 0; y < h_; ++y) {
+      for (std::size_t x = 0; x < w_; ++x) {
+        std::uint32_t m = mag_[y * w_ + x];
+        if (m != 0 && partial && final_plane > 0) {
+          m += (1u << final_plane) >> 1;
+        }
+        Sample v = static_cast<Sample>(m);
+        if (flags_.at(y, x) & kFlagSign) v = -v;
+        out_(y, x) = v;
+      }
+    }
+  }
+
+ private:
+  void decode_sign(std::size_t y, std::size_t x) {
+    int hc, vc;
+    flags_.sign_contributions(y, x, hc, vc, opt_.vertically_causal);
+    const ScLookup sc = sc_lookup(hc, vc);
+    const int bit = mq_.decode(ctx_[sc.context]);
+    if ((bit ^ sc.xor_bit) != 0) flags_.at(y, x) |= kFlagSign;
+  }
+
+  bool decode_significance(std::size_t y, std::size_t x, int p, int zc_ctx) {
+    const int bit = mq_.decode(ctx_[zc_ctx]);
+    if (bit) {
+      decode_sign(y, x);
+      flags_.at(y, x) |= kFlagSig;
+      mag_[y * w_ + x] |= 1u << p;
+      return true;
+    }
+    return false;
+  }
+
+  void significance_pass(int p) {
+    for (std::size_t y0 = 0; y0 < h_; y0 += kStripeHeight) {
+      const std::size_t ymax = std::min(y0 + kStripeHeight, h_);
+      for (std::size_t x = 0; x < w_; ++x) {
+        for (std::size_t y = y0; y < ymax; ++y) {
+          std::uint16_t& f = flags_.at(y, x);
+          if (f & kFlagSig) continue;
+          int h, v, d;
+          flags_.neighbor_counts(y, x, h, v, d, opt_.vertically_causal);
+          if (h + v + d == 0) continue;
+          decode_significance(y, x, p, zc_context(orient_, h, v, d));
+          f |= kFlagVisit;
+        }
+      }
+    }
+  }
+
+  void refinement_pass(int p) {
+    for (std::size_t y0 = 0; y0 < h_; y0 += kStripeHeight) {
+      const std::size_t ymax = std::min(y0 + kStripeHeight, h_);
+      for (std::size_t x = 0; x < w_; ++x) {
+        for (std::size_t y = y0; y < ymax; ++y) {
+          std::uint16_t& f = flags_.at(y, x);
+          if (!(f & kFlagSig) || (f & kFlagVisit)) continue;
+          int mr_ctx;
+          if (!(f & kFlagRefined)) {
+            int h, v, d;
+            flags_.neighbor_counts(y, x, h, v, d, opt_.vertically_causal);
+            mr_ctx = (h + v + d > 0) ? kCtxMrBase + 1 : kCtxMrBase;
+          } else {
+            mr_ctx = kCtxMrBase + 2;
+          }
+          const int bit = mq_.decode(ctx_[mr_ctx]);
+          if (bit) mag_[y * w_ + x] |= 1u << p;
+          f |= kFlagRefined;
+        }
+      }
+    }
+  }
+
+  void cleanup_pass(int p) {
+    for (std::size_t y0 = 0; y0 < h_; y0 += kStripeHeight) {
+      const std::size_t ymax = std::min(y0 + kStripeHeight, h_);
+      const bool full_stripe = (ymax - y0) == kStripeHeight;
+      for (std::size_t x = 0; x < w_; ++x) {
+        std::size_t y = y0;
+        bool run_mode = full_stripe;
+        if (run_mode) {
+          for (std::size_t j = y0; j < ymax; ++j) {
+            const std::uint16_t f = flags_.at(j, x);
+            if (f & (kFlagSig | kFlagVisit)) {
+              run_mode = false;
+              break;
+            }
+            int h, v, d;
+            flags_.neighbor_counts(j, x, h, v, d, opt_.vertically_causal);
+            if (h + v + d != 0) {
+              run_mode = false;
+              break;
+            }
+          }
+        }
+        if (run_mode) {
+          if (mq_.decode(ctx_[kCtxRunLength]) == 0) continue;
+          int first_one = mq_.decode(ctx_[kCtxUniform]) << 1;
+          first_one |= mq_.decode(ctx_[kCtxUniform]);
+          const std::size_t yr = y0 + static_cast<std::size_t>(first_one);
+          decode_sign(yr, x);
+          flags_.at(yr, x) |= kFlagSig;
+          mag_[yr * w_ + x] |= 1u << p;
+          y = yr + 1;
+        }
+        for (; y < ymax; ++y) {
+          const std::uint16_t f = flags_.at(y, x);
+          if (f & (kFlagSig | kFlagVisit)) continue;
+          int h, v, d;
+          flags_.neighbor_counts(y, x, h, v, d, opt_.vertically_causal);
+          decode_significance(y, x, p, zc_context(orient_, h, v, d));
+        }
+      }
+    }
+  }
+
+  T1Options opt_;
+  std::size_t w_;
+  std::size_t h_;
+  SubbandOrient orient_;
+  int num_planes_;
+  int num_passes_;
+  Span2d<Sample> out_;
+  T1Flags flags_;
+  std::vector<std::uint32_t> mag_;
+  MqDecoder mq_;
+  T1ContextBank ctx_;
+};
+
+}  // namespace
+
+void t1_decode_block(const std::uint8_t* data, std::size_t size,
+                     int num_bitplanes, int num_passes, SubbandOrient orient,
+                     Span2d<Sample> out, const T1Options& options) {
+  CJ2K_CHECK_MSG(num_bitplanes >= 0 && num_bitplanes <= 31,
+                 "bad bit plane count");
+  const int max_passes = num_bitplanes == 0 ? 0 : 1 + 3 * (num_bitplanes - 1);
+  CJ2K_CHECK_MSG(num_passes >= 0 && num_passes <= max_passes,
+                 "pass count exceeds the plane budget");
+  BlockDecoder(data, size, num_bitplanes, num_passes, orient, out, options)
+      .run();
+}
+
+}  // namespace cj2k::jp2k

@@ -1,0 +1,21 @@
+// Tier-2 packet decoder: parses the LRCP packet sequence produced by
+// t2_encode into a Tile whose geometry (subbands, block grids, band_numbps,
+// quantizer steps) the caller has already reconstructed from the codestream
+// headers.  Fills each block's codeword bytes, bit-plane count and pass
+// count.
+#pragma once
+
+#include <cstdint>
+
+#include "jp2k/tile.hpp"
+
+namespace cj2k::jp2k {
+
+/// Parses packets from `data`; returns the number of bytes consumed.
+/// `max_layers` > 0 stops after that many quality layers (progressive
+/// decoding); 0 decodes everything.  Throws CodestreamError on malformed
+/// input.
+std::size_t t2_decode(const std::uint8_t* data, std::size_t size, Tile& tile,
+                      int max_layers = 0);
+
+}  // namespace cj2k::jp2k

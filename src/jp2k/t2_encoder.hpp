@@ -1,0 +1,23 @@
+// Tier-2 packet encoder (ISO/IEC 15444-1 Annex B): tag-tree-coded packet
+// headers plus concatenated code-block segments, one packet per
+// (resolution, component) in LRCP order with a single quality layer and one
+// precinct per resolution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jp2k/tile.hpp"
+
+namespace cj2k::jp2k {
+
+/// Serializes all packets of the tile.  Blocks contribute their first
+/// `included_passes` passes (`included_len` bytes); call include_all() or
+/// run rate control first.
+std::vector<std::uint8_t> t2_encode(const Tile& tile);
+
+/// Byte size t2_encode would produce (used by rate control to budget
+/// header overhead without a second serialization).
+std::size_t t2_encoded_size(const Tile& tile);
+
+}  // namespace cj2k::jp2k

@@ -1,0 +1,98 @@
+// Tag trees (ISO/IEC 15444-1 B.10.2) and the bit-stuffed packet-header
+// bit I/O they ride on.  Tag trees communicate monotone 2-D integer fields
+// (code-block inclusion layers, missing-bit-plane counts) incrementally.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cj2k::jp2k {
+
+/// MSB-first bit writer with JPEG2000 packet-header stuffing: a byte equal
+/// to 0xFF is followed by a byte whose MSB is a stuffed 0 (only 7 payload
+/// bits).
+class BitWriter {
+ public:
+  void put_bit(int bit);
+  void put_bits(std::uint32_t value, int count);  ///< MSB first.
+
+  /// Byte-aligns with zero padding; appends a 0x00 if the last byte would
+  /// otherwise be 0xFF (a header cannot end on 0xFF).
+  void flush();
+
+  const std::vector<std::uint8_t>& bytes() const { return out_; }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+  std::uint32_t acc_ = 0;
+  int nbits_ = 0;      ///< Bits currently in acc_.
+  int limit_ = 8;      ///< Bits in the next byte (7 after an 0xFF).
+};
+
+/// Mirror of BitWriter.
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  int get_bit();
+  std::uint32_t get_bits(int count);
+
+  /// Skips to the next byte boundary (consuming the stuffed byte that
+  /// follows a trailing 0xFF), mirroring BitWriter::flush().
+  void align();
+
+  /// Bytes consumed so far (only meaningful right after align()).
+  std::size_t position() const { return pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::uint32_t acc_ = 0;
+  int nbits_ = 0;
+  bool prev_ff_ = false;
+};
+
+/// Quad tag tree over a leaves_w × leaves_h grid.
+class TagTree {
+ public:
+  TagTree(std::size_t leaves_w, std::size_t leaves_h);
+
+  std::size_t leaves_w() const { return lw_; }
+  std::size_t leaves_h() const { return lh_; }
+
+  /// Sets a leaf value (encoder side).  Call finalize() after all values.
+  void set_value(std::size_t x, std::size_t y, int value);
+
+  /// Propagates minima up the tree and clears coding state.
+  void finalize();
+
+  /// Resets decoder-side state (values unknown, bounds zero).
+  void reset_for_decode();
+
+  /// Emits the bits that tell the decoder whether value(x,y) < threshold.
+  void encode(BitWriter& bw, std::size_t x, std::size_t y, int threshold);
+
+  /// Consumes bits; returns true iff value(x,y) < threshold.
+  bool decode(BitReader& br, std::size_t x, std::size_t y, int threshold);
+
+  /// Decoder-side: returns the leaf value once fully resolved.
+  int value(std::size_t x, std::size_t y) const;
+
+ private:
+  struct Node {
+    int value = 0;
+    int low = 0;
+    bool known = false;
+    int parent = -1;  ///< Index into nodes_, -1 at the root.
+  };
+
+  std::size_t leaf_index(std::size_t x, std::size_t y) const;
+
+  std::size_t lw_, lh_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace cj2k::jp2k

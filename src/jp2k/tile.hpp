@@ -1,0 +1,98 @@
+// In-memory representation of an encoded tile between Tier-1 and Tier-2:
+// subbands, their code-block grids, and each block's coding passes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/align.hpp"
+#include "jp2k/dwt2d.hpp"
+#include "jp2k/t1_common.hpp"
+
+namespace cj2k::jp2k {
+
+/// One encoded code block.
+struct CodeBlock {
+  std::size_t gx = 0, gy = 0;        ///< Position in the subband block grid.
+  std::size_t x0 = 0, y0 = 0;        ///< Offset within the subband.
+  std::size_t w = 0, h = 0;
+  T1EncodedBlock enc;                ///< Codeword + pass records.
+  int included_passes = 0;           ///< Chosen by rate control (total).
+  std::size_t included_len = 0;      ///< Codeword bytes for those passes.
+  /// Cumulative pass count at the end of each quality layer (ascending;
+  /// back() == included_passes).  Empty means a single layer.
+  std::vector<int> layer_passes;
+
+  /// Marks all passes included (lossless / no rate limit), single layer.
+  void include_all() {
+    included_passes = static_cast<int>(enc.passes.size());
+    included_len = enc.data.size();
+    layer_passes.clear();
+  }
+
+  /// Cumulative passes at the end of layer l (layers total).
+  int passes_at_layer(int l, int layers) const {
+    if (layer_passes.empty()) {
+      return l == layers - 1 ? included_passes : 0;
+    }
+    return layer_passes[static_cast<std::size_t>(l)];
+  }
+
+  /// Codeword bytes covering the first `passes` passes.  Falls back to the
+  /// whole included segment when per-pass records are absent (tiles built
+  /// by the T2 decoder or by hand).
+  std::size_t len_at_passes(int passes) const {
+    if (passes <= 0) return 0;
+    if (static_cast<std::size_t>(passes) > enc.passes.size()) {
+      return included_len > 0 ? included_len : enc.data.size();
+    }
+    return std::min(enc.passes[static_cast<std::size_t>(passes - 1)].trunc_len,
+                    enc.data.size());
+  }
+};
+
+/// One subband of one component.
+struct Subband {
+  SubbandInfo info;
+  double quant_step = 1.0;           ///< 1.0 on the reversible path.
+  int band_numbps = 0;               ///< Max bit planes over the blocks.
+  std::size_t grid_w = 0, grid_h = 0;
+  std::vector<CodeBlock> blocks;     ///< Raster order over the grid.
+};
+
+/// One component of the (single) tile.
+struct TileComponent {
+  std::vector<Subband> subbands;     ///< Coarsest-first (subband_layout order).
+};
+
+/// The whole encoded tile.
+struct Tile {
+  std::size_t width = 0, height = 0;
+  int levels = 0;
+  int layers = 1;  ///< Quality layers (packets per resolution/component).
+  /// 0 = LRCP, 1 = RLCP (kept as int to avoid a circular include).
+  int progression = 0;
+  std::vector<TileComponent> components;
+};
+
+/// Splits a subband into its code-block grid (geometry only).
+inline void make_block_grid(Subband& sb, std::size_t cb_w, std::size_t cb_h) {
+  sb.grid_w = ceil_div(sb.info.w, cb_w);
+  sb.grid_h = ceil_div(sb.info.h, cb_h);
+  sb.blocks.clear();
+  sb.blocks.reserve(sb.grid_w * sb.grid_h);
+  for (std::size_t gy = 0; gy < sb.grid_h; ++gy) {
+    for (std::size_t gx = 0; gx < sb.grid_w; ++gx) {
+      CodeBlock cb;
+      cb.gx = gx;
+      cb.gy = gy;
+      cb.x0 = gx * cb_w;
+      cb.y0 = gy * cb_h;
+      cb.w = std::min(cb_w, sb.info.w - cb.x0);
+      cb.h = std::min(cb_h, sb.info.h - cb.y0);
+      sb.blocks.push_back(cb);
+    }
+  }
+}
+
+}  // namespace cj2k::jp2k

@@ -1,0 +1,244 @@
+// Cell/B.E. machine model tests: Local Store limits, DMA rules, SIMD
+// instrumentation, cost model relations, machine timing composition.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cell/cost_model.hpp"
+#include "cell/dma.hpp"
+#include "cell/local_store.hpp"
+#include "cell/machine.hpp"
+#include "cell/simd.hpp"
+#include "common/aligned_buffer.hpp"
+#include "common/error.hpp"
+
+namespace cj2k::cell {
+namespace {
+
+TEST(LocalStore, AllocatesAlignedAndTracksUsage) {
+  LocalStore ls;
+  auto* a = ls.alloc<float>(100);
+  EXPECT_TRUE(is_aligned(a, kCacheLineBytes));
+  auto* b = ls.alloc<std::int32_t>(7, kQuadWordBytes);
+  EXPECT_TRUE(is_aligned(b, kQuadWordBytes));
+  EXPECT_GT(ls.used(), 0u);
+  const auto peak = ls.peak_used();
+  ls.reset();
+  EXPECT_EQ(ls.used(), 0u);
+  EXPECT_EQ(ls.peak_used(), peak);  // high-water survives reset
+}
+
+TEST(LocalStore, ThrowsWhenExhausted) {
+  LocalStore ls;
+  EXPECT_THROW(ls.alloc<std::uint8_t>(LocalStore::kCapacity), CellHardwareError);
+  // 256 KB minus the code reserve fits a bounded working set only.
+  auto* p = ls.alloc<std::uint8_t>(100 * 1024);
+  EXPECT_NE(p, nullptr);
+  EXPECT_THROW(ls.alloc<std::uint8_t>(200 * 1024), CellHardwareError);
+}
+
+TEST(LocalStore, ConstantFootprintScenario) {
+  // The decomposition scheme's point: one row of a constant-width chunk
+  // fits regardless of image size.  A full image row of a 3172-wide image
+  // would be 12.7 KB; ten of them for a 9/7 ring is ~127 KB — fits; but a
+  // full 3172x3116 column group would not.
+  LocalStore ls;
+  auto* ring = ls.alloc<float>(10 * 3172);
+  EXPECT_NE(ring, nullptr);
+  EXPECT_THROW(ls.alloc<float>(3172 * 3116 / 8), CellHardwareError);
+}
+
+TEST(Dma, EnforcesCellTransferRules) {
+  OpCounters c;
+  DmaEngine dma(c);
+  AlignedBuffer<std::uint8_t> main_buf(4096);
+  LocalStore ls;
+  auto* lsb = ls.alloc<std::uint8_t>(4096);
+
+  // Efficient path: cache-line aligned, line-multiple size.
+  dma.get(lsb, main_buf.data(), 256);
+  EXPECT_EQ(c.dma_transfers, 1u);
+  EXPECT_EQ(c.dma_unaligned, 0u);
+  EXPECT_EQ(c.dma_bytes_in, 256u);
+
+  // Quad-word path (valid but not line-efficient).
+  dma.put(lsb + 16, main_buf.data() + 16, 32);
+  EXPECT_EQ(c.dma_unaligned, 1u);
+
+  // Small naturally-aligned transfers.
+  dma.get(lsb + 4, main_buf.data() + 4, 4);
+  dma.get(lsb + 8, main_buf.data() + 8, 8);
+
+  // Violations.
+  EXPECT_THROW(dma.get(lsb, main_buf.data(), 0), CellHardwareError);
+  EXPECT_THROW(dma.get(lsb, main_buf.data(), 17), CellHardwareError);
+  EXPECT_THROW(dma.get(lsb + 1, main_buf.data(), 16), CellHardwareError);
+  EXPECT_THROW(dma.get(lsb, main_buf.data() + 3, 4), CellHardwareError);
+  EXPECT_THROW(dma.get(lsb, main_buf.data(), 32 * 1024), CellHardwareError);
+}
+
+TEST(Dma, LargeTransfersChunkAt16K) {
+  OpCounters c;
+  DmaEngine dma(c);
+  AlignedBuffer<std::uint8_t> main_buf(100 * 1024);
+  LocalStore ls;
+  auto* lsb = ls.alloc<std::uint8_t>(100 * 1024);
+  dma.get_large(lsb, main_buf.data(), 40 * 1024);
+  EXPECT_EQ(c.dma_transfers, 3u);  // 16 + 16 + 8 KB
+  EXPECT_EQ(c.dma_bytes_in, 40u * 1024u);
+}
+
+TEST(Dma, MovesRealData) {
+  OpCounters c;
+  DmaEngine dma(c);
+  AlignedBuffer<std::int32_t> main_buf(64);
+  LocalStore ls;
+  auto* lsb = ls.alloc<std::int32_t>(64);
+  for (int i = 0; i < 64; ++i) main_buf[static_cast<std::size_t>(i)] = i * 3;
+  dma.get(lsb, main_buf.data(), 256);
+  EXPECT_EQ(lsb[10], 30);
+  lsb[10] = -1;
+  dma.put(lsb, main_buf.data(), 256);
+  EXPECT_EQ(main_buf[10], -1);
+}
+
+TEST(Simd, CountsAndComputes) {
+  OpCounters c;
+  Simd s(c);
+  alignas(16) float a[4] = {1, 2, 3, 4};
+  alignas(16) float b[4] = {10, 20, 30, 40};
+  auto va = s.load(a);
+  auto vb = s.load(b);
+  auto sum = s.add(va, vb);
+  auto prod = s.madd(va, vb, sum);
+  alignas(16) float out[4];
+  s.store(out, prod);
+  EXPECT_EQ(out[0], 1 * 10 + 11);
+  EXPECT_EQ(out[3], 4 * 40 + 44);
+  EXPECT_EQ(c.v_load, 2u);
+  EXPECT_EQ(c.v_store, 1u);
+  EXPECT_EQ(c.v_add, 1u);
+  EXPECT_EQ(c.v_mul_f, 1u);
+}
+
+TEST(Simd, RejectsMisalignedAccess) {
+  OpCounters c;
+  Simd s(c);
+  alignas(16) float buf[8] = {};
+  EXPECT_THROW(s.load(buf + 1), CellHardwareError);
+  EXPECT_NO_THROW(s.load_shifted(buf + 1));  // the shuffle path allows it
+  EXPECT_EQ(c.v_shuffle, 1u);
+  EXPECT_EQ(c.v_load, 2u);  // shifted load = two quad loads
+}
+
+TEST(Simd, EmulatedIntegerMultiply) {
+  OpCounters c;
+  Simd s(c);
+  auto a = s.splat(std::int32_t{7});
+  auto b = s.splat(std::int32_t{-3});
+  auto r = s.mul_emulated(a, b);
+  EXPECT_EQ(r.lane[0], -21);
+  EXPECT_EQ(c.v_mul_i_emul, 1u);
+  auto q = s.mul_fix_q13(s.splat(std::int32_t{1 << 13}),
+                         s.splat(std::int32_t{100}));
+  EXPECT_EQ(q.lane[2], 100);
+  EXPECT_EQ(c.v_mul_i_emul, 2u);
+}
+
+TEST(CostModel, Table1Relations) {
+  // The §4 argument: a fixed-point lifting step (emulated multiply) costs
+  // materially more SPE issue slots than the float step (fm).
+  CostModel m;
+  OpCounters fixed_step, float_step;
+  fixed_step.v_mul_i_emul = 1000;
+  fixed_step.v_add = 1000;
+  float_step.v_mul_f = 1000;
+  float_step.v_add = 1000;
+  EXPECT_GT(m.spe_seconds(fixed_step), m.spe_seconds(float_step) * 2.0);
+}
+
+TEST(CostModel, PpeBeatsSpeOnT1AndLosesOnStreams) {
+  CostModel m;
+  OpCounters t1;
+  t1.t1_symbols = 1000000;
+  EXPECT_LT(m.ppe_seconds(t1), m.spe_seconds(t1));  // branchy integer code
+
+  OpCounters stream;  // vectorized streaming kernel
+  stream.v_load = 1000;
+  stream.v_store = 1000;
+  stream.v_add = 2000;
+  stream.v_mul_f = 2000;
+  EXPECT_LT(m.spe_seconds(stream), m.ppe_seconds(stream) / 3.0);
+}
+
+TEST(CostModel, UnalignedDmaIsPenalized) {
+  CostModel m;
+  OpCounters aligned, unaligned;
+  aligned.dma_bytes_in = 1 << 20;
+  aligned.dma_transfers = 100;
+  unaligned.dma_bytes_in = 1 << 20;
+  unaligned.dma_transfers = 100;
+  unaligned.dma_unaligned = 100;
+  EXPECT_GT(m.effective_dma_bytes(unaligned),
+            m.effective_dma_bytes(aligned) * 3 / 2);
+}
+
+TEST(Machine, ComposesStageTiming) {
+  MachineConfig cfg;
+  cfg.num_spes = 4;
+  Machine m(cfg);
+  std::vector<int> touched(4, 0);
+  const auto t = m.run_data_parallel(
+      "test",
+      [&](int i, SpeContext& ctx) {
+        touched[static_cast<std::size_t>(i)] = 1;
+        ctx.counters.v_add = 1000 * static_cast<std::uint64_t>(i + 1);
+        ctx.counters.dma_bytes_in = 1 << 20;
+        ctx.counters.dma_transfers = 10;
+      },
+      [&](OpCounters& c) { c.s_int = 500; });
+  for (int v : touched) EXPECT_EQ(v, 1);
+  EXPECT_EQ(t.name, "test");
+  EXPECT_GT(t.spe_compute, 0.0);
+  EXPECT_GT(t.dma_aggregate, 0.0);
+  EXPECT_GT(t.ppe, 0.0);
+  EXPECT_GE(t.seconds, t.spe_compute);
+  EXPECT_GE(t.seconds, t.dma_aggregate);
+  EXPECT_EQ(t.dma_bytes, 4u << 20);
+}
+
+TEST(Machine, BandwidthScalesWithChips) {
+  MachineConfig one, two;
+  two.chips = 2;
+  EXPECT_EQ(Machine(two).total_mem_bw(), 2.0 * Machine(one).total_mem_bw());
+}
+
+TEST(Machine, NoOverlapSerializesComputeAndDma) {
+  MachineConfig cfg;
+  cfg.num_spes = 1;
+  Machine m(cfg);
+  std::vector<OpCounters> spe(1);
+  spe[0].v_add = 1u << 24;
+  spe[0].dma_bytes_in = 1u << 28;
+  spe[0].dma_transfers = 1;
+  const auto overlapped = m.compose("a", spe, {}, true);
+  const auto serial = m.compose("b", spe, {}, false);
+  EXPECT_GT(serial.seconds, overlapped.seconds);
+}
+
+TEST(Machine, WorkerExceptionsPropagate) {
+  MachineConfig cfg;
+  cfg.num_spes = 2;
+  Machine m(cfg);
+  EXPECT_THROW(
+      m.run_data_parallel(
+          "boom",
+          [](int i, SpeContext&) {
+            if (i == 1) throw CellHardwareError("kernel fault");
+          },
+          nullptr),
+      CellHardwareError);
+}
+
+}  // namespace
+}  // namespace cj2k::cell

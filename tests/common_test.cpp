@@ -1,0 +1,130 @@
+// Tests for the common substrate: alignment math, Span2d, the PRNG, and
+// the aligned buffer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+
+#include "common/align.hpp"
+#include "common/aligned_buffer.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/span2d.hpp"
+
+namespace cj2k {
+namespace {
+
+TEST(Align, RoundUpDown) {
+  EXPECT_EQ(round_up(0, 128), 0u);
+  EXPECT_EQ(round_up(1, 128), 128u);
+  EXPECT_EQ(round_up(128, 128), 128u);
+  EXPECT_EQ(round_up(129, 128), 256u);
+  EXPECT_EQ(round_down(127, 128), 0u);
+  EXPECT_EQ(round_down(128, 128), 128u);
+  EXPECT_EQ(round_down(255, 128), 128u);
+}
+
+TEST(Align, Multiples) {
+  EXPECT_TRUE(is_multiple_of(0, 16));
+  EXPECT_TRUE(is_multiple_of(256, 128));
+  EXPECT_FALSE(is_multiple_of(100, 16));
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+}
+
+TEST(AlignedBuffer, RespectsAlignment) {
+  for (std::size_t align : {16u, 64u, 128u, 256u}) {
+    AlignedBuffer<std::int32_t> buf(1000, align);
+    EXPECT_TRUE(is_aligned(buf.data(), align));
+    EXPECT_EQ(buf.size(), 1000u);
+    EXPECT_EQ(buf[0], 0);  // zero-initialized
+    EXPECT_EQ(buf[999], 0);
+  }
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(64);
+  a[3] = 7;
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b[3], 7);
+  EXPECT_EQ(a.data(), nullptr);
+  AlignedBuffer<int> c;
+  c = std::move(b);
+  EXPECT_EQ(c[3], 7);
+}
+
+TEST(Span2d, SubviewAndStride) {
+  std::vector<int> data(6 * 10);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<int>(i);
+  }
+  Span2d<int> v(data.data(), 8, 6, 10);
+  EXPECT_EQ(v(0, 0), 0);
+  EXPECT_EQ(v(1, 0), 10);
+  EXPECT_EQ(v(2, 3), 23);
+  auto sub = v.subview(2, 1, 4, 3);
+  EXPECT_EQ(sub(0, 0), 12);
+  EXPECT_EQ(sub(2, 3), 35);
+  EXPECT_EQ(sub.stride(), 10u);
+  sub(0, 0) = -1;
+  EXPECT_EQ(v(1, 2), -1);
+}
+
+TEST(Rng, DeterministicAndWellDistributed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+
+  Rng r(5);
+  std::map<std::uint64_t, int> counts;
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) ++counts[r.next_below(6)];
+  for (const auto& [v, n] : counts) {
+    EXPECT_LT(v, 6u);
+    EXPECT_NEAR(n, trials / 6, trials / 40);
+  }
+}
+
+TEST(Rng, BoundsAreInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(77);
+  double sum = 0, sum2 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Error, CheckMacroThrowsWithContext) {
+  EXPECT_THROW(
+      [] { CJ2K_CHECK_MSG(1 == 2, "impossible arithmetic"); }(), Error);
+  try {
+    CJ2K_CHECK(false);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("common_test.cpp"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cj2k

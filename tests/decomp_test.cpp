@@ -1,0 +1,159 @@
+// Data decomposition scheme and work-queue tests — the paper's §2
+// properties, asserted over a parameter sweep.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/align.hpp"
+#include "decomp/chunk.hpp"
+#include "decomp/work_queue.hpp"
+
+namespace cj2k::decomp {
+namespace {
+
+struct PlanCase {
+  std::size_t row_elems;
+  std::size_t num_spes;
+};
+
+class PlanSweep : public ::testing::TestWithParam<PlanCase> {};
+
+TEST_P(PlanSweep, PaperSection2Invariants) {
+  const auto [row_elems, num_spes] = GetParam();
+  const auto plan = plan_chunks(row_elems, sizeof(std::int32_t), num_spes);
+  const std::size_t line_elems = kCacheLineBytes / sizeof(std::int32_t);
+
+  // 1. SPE chunks are constant-width multiples of the cache line.
+  for (const auto& ch : plan.spe_chunks) {
+    EXPECT_EQ(ch.width, plan.chunk_width);
+    EXPECT_TRUE(is_multiple_of(ch.width, line_elems));
+    EXPECT_TRUE(is_multiple_of(ch.x0, line_elems));
+    EXPECT_FALSE(ch.ppe_remainder);
+    EXPECT_GT(ch.width, 0u);
+  }
+  EXPECT_LE(plan.spe_chunks.size(), std::max<std::size_t>(num_spes, 1));
+
+  // 2. Chunks + remainder tile the row exactly, in order, no overlap.
+  std::size_t x = 0;
+  for (const auto& ch : plan.spe_chunks) {
+    EXPECT_EQ(ch.x0, x);
+    x += ch.width;
+  }
+  EXPECT_EQ(plan.remainder.x0, x);
+  EXPECT_EQ(x + plan.remainder.width, row_elems);
+  EXPECT_TRUE(plan.remainder.ppe_remainder);
+
+  // 3. No cache line is shared between two processing elements: every SPE
+  // chunk boundary is line-aligned, so only the remainder can be partial.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlanSweep,
+    ::testing::Values(PlanCase{3172, 8}, PlanCase{3172, 16},
+                      PlanCase{3172, 1}, PlanCase{3172, 0},
+                      PlanCase{1280, 8}, PlanCase{31, 8}, PlanCase{32, 8},
+                      PlanCase{33, 8}, PlanCase{256, 8}, PlanCase{257, 3},
+                      PlanCase{100000, 16}, PlanCase{64, 2},
+                      PlanCase{1, 8}));
+
+TEST(PlanChunks, NarrowRowFallsBackToPpe) {
+  const auto plan = plan_chunks(10, 4, 8);
+  EXPECT_TRUE(plan.spe_chunks.empty());
+  EXPECT_EQ(plan.remainder.width, 10u);
+}
+
+TEST(PlanChunks, FixedWidthVariant) {
+  const auto plan = plan_chunks_fixed_width(1000, 4, 128);
+  for (const auto& ch : plan.spe_chunks) EXPECT_EQ(ch.width, 128u);
+  EXPECT_EQ(plan.spe_chunks.size(), 7u);
+  EXPECT_EQ(plan.remainder.width, 1000u - 7u * 128u);
+}
+
+TEST(SplitRows, CoversExactlyOnce) {
+  for (std::size_t rows : {0u, 1u, 7u, 8u, 100u, 3116u}) {
+    for (std::size_t workers : {1u, 2u, 8u, 16u}) {
+      const auto parts = split_rows(rows, workers);
+      std::size_t covered = 0;
+      std::size_t expect_start = 0;
+      for (const auto& [start, count] : parts) {
+        EXPECT_EQ(start, expect_start);
+        EXPECT_GT(count, 0u);
+        expect_start = start + count;
+        covered += count;
+      }
+      EXPECT_EQ(covered, rows);
+      // Near-equal: max-min <= 1.
+      if (!parts.empty()) {
+        std::size_t mn = rows, mx = 0;
+        for (const auto& [s, c] : parts) {
+          mn = std::min(mn, c);
+          mx = std::max(mx, c);
+        }
+        EXPECT_LE(mx - mn, 1u);
+      }
+    }
+  }
+}
+
+TEST(WorkQueue, DispensesEachIndexExactlyOnceAcrossThreads) {
+  WorkQueue q(10000);
+  std::vector<std::vector<std::size_t>> got(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      std::size_t idx;
+      while (q.pop(idx)) got[static_cast<std::size_t>(t)].push_back(idx);
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<std::size_t> all;
+  std::size_t total = 0;
+  for (const auto& v : got) {
+    total += v.size();
+    all.insert(v.begin(), v.end());
+  }
+  EXPECT_EQ(total, 10000u);
+  EXPECT_EQ(all.size(), 10000u);
+  EXPECT_EQ(*all.begin(), 0u);
+  EXPECT_EQ(*all.rbegin(), 9999u);
+}
+
+TEST(Schedule, QueueBeatsStaticOnSkewedCosts) {
+  // Front-loaded heavy items (the skewed image scenario): round-robin
+  // piles them on the same workers; the queue balances.
+  std::vector<double> cost;
+  for (int i = 0; i < 64; ++i) cost.push_back(i % 8 == 0 ? 100.0 : 1.0);
+  const std::vector<double> speed(8, 1.0);
+  const auto q = schedule_virtual(cost, speed);
+  const auto s = schedule_static(cost, speed);
+  EXPECT_LT(q.makespan, s.makespan * 0.75);
+  // Both complete all items.
+  double qsum = 0, ssum = 0;
+  for (double t : q.worker_time) qsum += t;
+  for (double t : s.worker_time) ssum += t;
+  EXPECT_DOUBLE_EQ(qsum, ssum);
+}
+
+TEST(Schedule, HeterogeneousWorkersGetProportionalShares) {
+  // One fast worker (PPE at T1) + slow workers: the queue naturally feeds
+  // the fast one more items.
+  std::vector<double> cost(1000, 1.0);
+  std::vector<double> speed{1.0, 2.0, 2.0};  // worker 0 twice as fast
+  const auto sched = schedule_virtual(cost, speed);
+  int counts[3] = {0, 0, 0};
+  for (int w : sched.assignment) ++counts[w];
+  EXPECT_GT(counts[0], counts[1] * 3 / 2);
+  // Makespan close to the ideal 1000 / (1 + 0.5 + 0.5) = 500.
+  EXPECT_NEAR(sched.makespan, 500.0, 25.0);
+}
+
+TEST(Schedule, SingleWorkerMakespanIsTotalWork) {
+  std::vector<double> cost{3, 4, 5};
+  const auto sched = schedule_virtual(cost, {2.0});
+  EXPECT_DOUBLE_EQ(sched.makespan, 24.0);
+  EXPECT_EQ(sched.assignment, (std::vector<int>{0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace cj2k::decomp

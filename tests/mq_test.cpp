@@ -1,0 +1,177 @@
+// MQ arithmetic coder tests: table invariants, encoder/decoder roundtrip on
+// adversarial decision streams, truncation behavior.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "jp2k/mq_decoder.hpp"
+#include "jp2k/mq_encoder.hpp"
+
+namespace cj2k::jp2k {
+namespace {
+
+TEST(MqTable, IndicesStayInRange) {
+  for (const auto& row : kMqTable) {
+    EXPECT_LT(row.nmps, kMqTable.size());
+    EXPECT_LT(row.nlps, kMqTable.size());
+    EXPECT_GT(row.qe, 0u);
+    EXPECT_LE(row.qe, 0x5601u);
+  }
+}
+
+TEST(MqTable, TerminalStatesSelfLoop) {
+  // State 45 is the most-skewed adaptive state; 46 is the static UNIFORM.
+  EXPECT_EQ(kMqTable[45].nmps, 45);
+  EXPECT_EQ(kMqTable[46].nmps, 46);
+  EXPECT_EQ(kMqTable[46].nlps, 46);
+}
+
+TEST(MqTable, SwitchOnlyOnKnownStates) {
+  // SWITCH=1 exactly on states 0, 6, 14 (Table C.2).
+  for (std::size_t i = 0; i < kMqTable.size(); ++i) {
+    const bool expect_switch = (i == 0 || i == 6 || i == 14);
+    EXPECT_EQ(kMqTable[i].sw != 0, expect_switch) << "state " << i;
+  }
+}
+
+/// Encodes `bits` with `n_ctx` rotating contexts, decodes, compares.
+void roundtrip(const std::vector<int>& bits, int n_ctx,
+               std::uint64_t ctx_seed) {
+  std::vector<MqContext> enc_ctx(static_cast<std::size_t>(n_ctx));
+  std::vector<MqContext> dec_ctx(static_cast<std::size_t>(n_ctx));
+  Rng rng(ctx_seed);
+  std::vector<int> which(bits.size());
+  for (auto& w : which) w = static_cast<int>(rng.next_below(
+      static_cast<std::uint64_t>(n_ctx)));
+
+  MqEncoder enc;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    enc.encode(enc_ctx[static_cast<std::size_t>(which[i])], bits[i]);
+  }
+  enc.flush();
+  const auto& bytes = enc.bytes();
+
+  MqDecoder dec(bytes.data(), bytes.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_EQ(dec.decode(dec_ctx[static_cast<std::size_t>(which[i])]),
+              bits[i])
+        << "at decision " << i << " of " << bits.size();
+  }
+}
+
+TEST(MqRoundtrip, AllZeros) { roundtrip(std::vector<int>(5000, 0), 1, 7); }
+TEST(MqRoundtrip, AllOnes) { roundtrip(std::vector<int>(5000, 1), 1, 7); }
+
+TEST(MqRoundtrip, Alternating) {
+  std::vector<int> bits(4096);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = static_cast<int>(i & 1);
+  roundtrip(bits, 3, 11);
+}
+
+TEST(MqRoundtrip, RandomUniform) {
+  Rng rng(42);
+  std::vector<int> bits(20000);
+  for (auto& b : bits) b = static_cast<int>(rng.next_below(2));
+  roundtrip(bits, 19, 99);
+}
+
+TEST(MqRoundtrip, SkewedTowardMps) {
+  Rng rng(43);
+  std::vector<int> bits(20000);
+  for (auto& b : bits) b = rng.next_below(100) < 3 ? 1 : 0;
+  roundtrip(bits, 19, 100);
+}
+
+TEST(MqRoundtrip, SkewedTowardLps) {
+  Rng rng(44);
+  std::vector<int> bits(20000);
+  for (auto& b : bits) b = rng.next_below(100) < 3 ? 0 : 1;
+  roundtrip(bits, 5, 101);
+}
+
+TEST(MqRoundtrip, ShortStreams) {
+  for (int n = 1; n <= 24; ++n) {
+    Rng rng(static_cast<std::uint64_t>(n));
+    std::vector<int> bits(static_cast<std::size_t>(n));
+    for (auto& b : bits) b = static_cast<int>(rng.next_below(2));
+    roundtrip(bits, 2, static_cast<std::uint64_t>(n) * 7);
+  }
+}
+
+TEST(MqEncoder, TerminatedStreamNeverEndsInFF) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    MqEncoder enc;
+    MqContext cx;
+    const std::size_t n = 100 + rng.next_below(2000);
+    for (std::size_t i = 0; i < n; ++i) {
+      enc.encode(cx, static_cast<int>(rng.next_below(2)));
+    }
+    enc.flush();
+    ASSERT_FALSE(enc.bytes().empty());
+    EXPECT_NE(enc.bytes().back(), 0xFF);
+  }
+}
+
+TEST(MqEncoder, NoFFPairWithHighSecondByte) {
+  // Bit stuffing guarantees no 0xFF is followed by a byte > 0x8F.
+  Rng rng(5);
+  MqEncoder enc;
+  MqContext cx;
+  for (int i = 0; i < 50000; ++i) {
+    enc.encode(cx, static_cast<int>(rng.next_below(2)));
+  }
+  enc.flush();
+  const auto& b = enc.bytes();
+  for (std::size_t i = 0; i + 1 < b.size(); ++i) {
+    if (b[i] == 0xFF) {
+      EXPECT_LE(b[i + 1], 0x8F) << "offset " << i;
+    }
+  }
+}
+
+TEST(MqEncoder, TruncationLengthIsMonotoneAndCoversOutput) {
+  Rng rng(6);
+  MqEncoder enc;
+  MqContext cx;
+  std::size_t prev = 0;
+  for (int i = 0; i < 5000; ++i) {
+    enc.encode(cx, static_cast<int>(rng.next_below(2)));
+    const std::size_t len = enc.truncation_length();
+    EXPECT_GE(len, enc.bytes().size());
+    EXPECT_GE(len + 2, prev);  // near-monotone (allows byte-boundary slack)
+    prev = len;
+  }
+}
+
+TEST(MqDecoder, DecodesPastTruncationWithoutCrashing) {
+  // A truncated codeword must still produce *some* decisions (the decoder
+  // synthesizes 1-bits past the end) — this is what rate truncation relies
+  // on.
+  Rng rng(7);
+  MqEncoder enc;
+  MqContext cx;
+  std::vector<int> bits(2000);
+  for (auto& b : bits) b = static_cast<int>(rng.next_below(2));
+  for (int b : bits) enc.encode(cx, b);
+  enc.flush();
+
+  const auto& bytes = enc.bytes();
+  const std::size_t half = bytes.size() / 2;
+  MqDecoder dec(bytes.data(), half);
+  MqContext dcx;
+  int agree = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (dec.decode(dcx) == bits[i]) {
+      ++agree;
+    } else {
+      break;  // first disagreement marks the truncation horizon
+    }
+  }
+  // Roughly half the decisions should survive a half-length truncation.
+  EXPECT_GT(agree, static_cast<int>(bits.size() / 4));
+}
+
+}  // namespace
+}  // namespace cj2k::jp2k

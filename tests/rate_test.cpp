@@ -1,0 +1,104 @@
+// PCRD rate-control tests: budget adherence, monotonicity, R-D sanity.
+#include <gtest/gtest.h>
+
+#include "image/synth.hpp"
+#include "jp2k/encoder.hpp"
+#include "jp2k/rate_control.hpp"
+#include "jp2k/t2_encoder.hpp"
+
+namespace cj2k::jp2k {
+namespace {
+
+Tile encoded_tile(std::size_t w, std::size_t h) {
+  const Image img = synth::photographic(w, h, 1, 17);
+  CodingParams p;
+  p.wavelet = WaveletKind::kIrreversible97;
+  p.levels = 3;
+  p.mct = false;
+  return build_tile(img, p);
+}
+
+std::size_t total_selected(const Tile& tile) {
+  std::size_t s = 0;
+  for (const auto& tc : tile.components) {
+    for (const auto& sb : tc.subbands) {
+      for (const auto& cb : sb.blocks) s += cb.included_len;
+    }
+  }
+  return s;
+}
+
+TEST(RateControl, RespectsBudget) {
+  Tile tile = encoded_tile(256, 256);
+  for (std::size_t budget : {2000u, 8000u, 20000u}) {
+    const auto rc = rate_control(tile, budget, WaveletKind::kIrreversible97);
+    EXPECT_LE(t2_encoded_size(tile), budget) << budget;
+    EXPECT_LE(rc.selected_bytes, budget);
+    EXPECT_GT(rc.passes_considered, 0u);
+  }
+}
+
+TEST(RateControl, MoreBudgetNeverSelectsLess) {
+  Tile tile = encoded_tile(256, 256);
+  std::size_t prev = 0;
+  for (std::size_t budget : {1000u, 4000u, 16000u, 64000u, 256000u}) {
+    rate_control(tile, budget, WaveletKind::kIrreversible97);
+    const std::size_t sel = total_selected(tile);
+    EXPECT_GE(sel + 64, prev) << budget;  // small slack for header feedback
+    prev = sel;
+  }
+}
+
+TEST(RateControl, HugeBudgetIncludesEverything) {
+  Tile tile = encoded_tile(128, 128);
+  std::size_t all = 0;
+  for (const auto& tc : tile.components) {
+    for (const auto& sb : tc.subbands) {
+      for (const auto& cb : sb.blocks) all += cb.enc.data.size();
+    }
+  }
+  rate_control(tile, all * 10 + 100000, WaveletKind::kIrreversible97);
+  EXPECT_EQ(total_selected(tile), all);
+}
+
+TEST(RateControl, ZeroBudgetSelectsNothing) {
+  Tile tile = encoded_tile(128, 128);
+  rate_control(tile, 0, WaveletKind::kIrreversible97);
+  EXPECT_EQ(total_selected(tile), 0u);
+}
+
+TEST(RateControl, TruncationPointsAreAtPassBoundaries) {
+  Tile tile = encoded_tile(128, 128);
+  rate_control(tile, 5000, WaveletKind::kIrreversible97);
+  for (const auto& tc : tile.components) {
+    for (const auto& sb : tc.subbands) {
+      for (const auto& cb : sb.blocks) {
+        if (cb.included_passes == 0) {
+          EXPECT_EQ(cb.included_len, 0u);
+          continue;
+        }
+        ASSERT_LE(cb.included_passes,
+                  static_cast<int>(cb.enc.passes.size()));
+        EXPECT_EQ(cb.included_len,
+                  cb.enc.passes[static_cast<std::size_t>(
+                                    cb.included_passes - 1)]
+                      .trunc_len);
+      }
+    }
+  }
+}
+
+TEST(RateControl, LambdaDecreasesWithBudget) {
+  Tile tile = encoded_tile(128, 128);
+  const auto rc_small =
+      rate_control(tile, 2000, WaveletKind::kIrreversible97);
+  const auto rc_big =
+      rate_control(tile, 50000, WaveletKind::kIrreversible97);
+  // Larger budget admits flatter R-D slopes.
+  if (rc_small.lambda > 0 && rc_big.lambda > 0) {
+    EXPECT_LE(rc_big.lambda, rc_small.lambda);
+  }
+}
+
+}  // namespace
+}  // namespace cj2k::jp2k

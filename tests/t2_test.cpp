@@ -1,0 +1,201 @@
+// Tier-2 packet encoder/decoder roundtrip on synthetic tiles.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "jp2k/t2_decoder.hpp"
+#include "jp2k/t2_encoder.hpp"
+
+namespace cj2k::jp2k {
+namespace {
+
+/// Builds a synthetic encoded tile with random codewords and pass counts.
+Tile make_tile(std::size_t w, std::size_t h, int levels, std::size_t ncomp,
+               std::size_t cb, std::uint64_t seed, double include_prob) {
+  Rng rng(seed);
+  Tile tile;
+  tile.width = w;
+  tile.height = h;
+  tile.levels = levels;
+  for (std::size_t c = 0; c < ncomp; ++c) {
+    TileComponent tc;
+    for (const auto& info : subband_layout(w, h, levels)) {
+      Subband sb;
+      sb.info = info;
+      sb.quant_step = 1.0;
+      make_block_grid(sb, cb, cb);
+      int numbps_band = 0;
+      for (auto& blk : sb.blocks) {
+        if (rng.next_double() < include_prob) {
+          const int planes = 1 + static_cast<int>(rng.next_below(12));
+          const int max_passes = 1 + 3 * (planes - 1);
+          blk.enc.num_bitplanes = planes;
+          blk.included_passes =
+              1 + static_cast<int>(rng.next_below(
+                      static_cast<std::uint64_t>(max_passes)));
+          const std::size_t len = 1 + rng.next_below(5000);
+          blk.enc.data.resize(len);
+          for (auto& byte : blk.enc.data) {
+            byte = static_cast<std::uint8_t>(rng.next_below(255));  // no FF
+          }
+          blk.included_len = len;
+          numbps_band = std::max(numbps_band, planes);
+        } else {
+          blk.included_passes = 0;
+          blk.enc.num_bitplanes = 0;
+        }
+      }
+      sb.band_numbps = numbps_band;
+      tc.subbands.push_back(std::move(sb));
+    }
+    tile.components.push_back(std::move(tc));
+  }
+  return tile;
+}
+
+Tile skeleton_of(const Tile& src, std::size_t cb) {
+  Tile t;
+  t.width = src.width;
+  t.height = src.height;
+  t.levels = src.levels;
+  for (const auto& tc : src.components) {
+    TileComponent out;
+    for (const auto& sb : tc.subbands) {
+      Subband s;
+      s.info = sb.info;
+      s.quant_step = sb.quant_step;
+      s.band_numbps = sb.band_numbps;
+      make_block_grid(s, cb, cb);
+      out.subbands.push_back(std::move(s));
+    }
+    t.components.push_back(std::move(out));
+  }
+  return t;
+}
+
+void roundtrip(std::size_t w, std::size_t h, int levels, std::size_t ncomp,
+               std::size_t cb, std::uint64_t seed, double include_prob) {
+  const Tile tile = make_tile(w, h, levels, ncomp, cb, seed, include_prob);
+  const auto packets = t2_encode(tile);
+
+  Tile back = skeleton_of(tile, cb);
+  const std::size_t consumed = t2_decode(packets.data(), packets.size(), back);
+  EXPECT_EQ(consumed, packets.size());
+
+  for (std::size_t c = 0; c < tile.components.size(); ++c) {
+    const auto& tc = tile.components[c];
+    const auto& bc = back.components[c];
+    ASSERT_EQ(tc.subbands.size(), bc.subbands.size());
+    for (std::size_t s = 0; s < tc.subbands.size(); ++s) {
+      const auto& sb = tc.subbands[s];
+      const auto& sc = bc.subbands[s];
+      ASSERT_EQ(sb.blocks.size(), sc.blocks.size());
+      for (std::size_t i = 0; i < sb.blocks.size(); ++i) {
+        const auto& a = sb.blocks[i];
+        const auto& b = sc.blocks[i];
+        ASSERT_EQ(a.included_passes, b.included_passes)
+            << "c" << c << " s" << s << " blk" << i;
+        if (a.included_passes > 0) {
+          EXPECT_EQ(a.enc.num_bitplanes, b.enc.num_bitplanes);
+          ASSERT_EQ(b.enc.data.size(), a.included_len);
+          EXPECT_TRUE(std::equal(b.enc.data.begin(), b.enc.data.end(),
+                                 a.enc.data.begin()));
+        }
+      }
+    }
+  }
+}
+
+TEST(T2Roundtrip, SmallTileAllIncluded) { roundtrip(64, 64, 2, 1, 32, 1, 1.0); }
+TEST(T2Roundtrip, ColorTile) { roundtrip(128, 96, 3, 3, 64, 2, 1.0); }
+TEST(T2Roundtrip, SparseInclusion) { roundtrip(256, 256, 5, 3, 64, 3, 0.4); }
+TEST(T2Roundtrip, NothingIncluded) { roundtrip(128, 128, 3, 1, 64, 4, 0.0); }
+TEST(T2Roundtrip, OddGeometry) { roundtrip(97, 61, 3, 2, 32, 5, 0.7); }
+TEST(T2Roundtrip, TinyBlocks) { roundtrip(64, 64, 1, 1, 8, 6, 0.6); }
+
+TEST(T2, EncodedSizeMatchesEncode) {
+  const Tile tile = make_tile(128, 128, 3, 3, 64, 9, 0.8);
+  EXPECT_EQ(t2_encoded_size(tile), t2_encode(tile).size());
+}
+
+TEST(T2, TruncatedBodyThrows) {
+  const Tile tile = make_tile(64, 64, 2, 1, 32, 10, 1.0);
+  auto packets = t2_encode(tile);
+  packets.resize(packets.size() / 2);
+  Tile back = skeleton_of(tile, 32);
+  EXPECT_THROW(t2_decode(packets.data(), packets.size(), back),
+               Error);
+}
+
+
+TEST(T2Layers, MultiLayerRoundtripWithPassRecords) {
+  // Build a tile whose blocks have genuine pass records and layered
+  // allocations, encode 3 layers, decode, and compare the accumulated
+  // segments.
+  Rng rng(77);
+  Tile tile;
+  tile.width = 128;
+  tile.height = 128;
+  tile.levels = 2;
+  tile.layers = 3;
+  TileComponent tc;
+  for (const auto& info : subband_layout(128, 128, 2)) {
+    Subband sb;
+    sb.info = info;
+    sb.quant_step = 1.0;
+    make_block_grid(sb, 32, 32);
+    int numbps_band = 1;
+    for (auto& blk : sb.blocks) {
+      const int planes = 2 + static_cast<int>(rng.next_below(6));
+      const int total_passes = 1 + 3 * (planes - 1);
+      blk.enc.num_bitplanes = planes;
+      numbps_band = std::max(numbps_band, planes);
+      std::size_t len = 0;
+      for (int pi = 0; pi < total_passes; ++pi) {
+        PassInfo info2{};
+        len += 1 + rng.next_below(40);
+        info2.trunc_len = len;
+        blk.enc.passes.push_back(info2);
+      }
+      blk.enc.data.resize(len);
+      for (auto& byte : blk.enc.data) {
+        byte = static_cast<std::uint8_t>(rng.next_below(255));
+      }
+      // Random ascending layer allocation (possibly 0 in early layers).
+      const int l0 = static_cast<int>(rng.next_below(total_passes + 1));
+      const int l1 =
+          l0 + static_cast<int>(rng.next_below(total_passes - l0 + 1));
+      blk.layer_passes = {l0, l1, total_passes};
+      blk.included_passes = total_passes;
+      blk.included_len = len;
+    }
+    sb.band_numbps = numbps_band;
+    tc.subbands.push_back(std::move(sb));
+  }
+  tile.components.push_back(std::move(tc));
+
+  const auto packets = t2_encode(tile);
+
+  Tile back = skeleton_of(tile, 32);
+  back.layers = 3;
+  const std::size_t consumed = t2_decode(packets.data(), packets.size(), back);
+  EXPECT_EQ(consumed, packets.size());
+
+  for (std::size_t s2 = 0; s2 < tile.components[0].subbands.size(); ++s2) {
+    const auto& sb = tile.components[0].subbands[s2];
+    const auto& sc = back.components[0].subbands[s2];
+    for (std::size_t i = 0; i < sb.blocks.size(); ++i) {
+      const auto& a = sb.blocks[i];
+      const auto& b = sc.blocks[i];
+      ASSERT_EQ(b.included_passes, a.included_passes) << s2 << " " << i;
+      ASSERT_EQ(b.enc.data.size(), a.included_len);
+      EXPECT_TRUE(std::equal(b.enc.data.begin(), b.enc.data.end(),
+                             a.enc.data.begin()));
+      EXPECT_EQ(b.enc.num_bitplanes, a.enc.num_bitplanes);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cj2k::jp2k

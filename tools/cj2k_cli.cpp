@@ -1,0 +1,218 @@
+// cj2k — command-line encoder/decoder (the "Jasper transcoder" role).
+//
+//   cj2k encode  <in.bmp|in.ppm|in.pgm> <out.cj2k> [options]
+//   cj2k decode  <in.cj2k> <out.bmp|out.ppm|out.pgm> [--layers N]
+//   cj2k info    <in.cj2k>
+//   cj2k bench   <in.bmp|in.ppm> [--spes N] [--ppes N] [--chips N]
+//
+// Encode options:
+//   --lossy             9/7 irreversible (default: lossless 5/3)
+//   --rate R            target size as a fraction of raw bytes (implies --lossy)
+//   --layers N          quality layers (default 1)
+//   --levels N          decomposition levels (default 5)
+//   --cb N              code block size (default 64)
+//   --no-mct            disable RCT/ICT
+//   --fixed-point       Q13 fixed-point 9/7 (Jasper's original arithmetic)
+//   --reset-ctx         RESET contexts each coding pass
+//   --vsc               vertically stripe-causal contexts
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cellenc/pipeline.hpp"
+#include "image/bmp.hpp"
+#include "image/metrics.hpp"
+#include "image/pnm.hpp"
+#include "jp2k/decoder.hpp"
+#include "jp2k/encoder.hpp"
+
+using namespace cj2k;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cj2k encode <in.bmp|in.ppm> <out.cj2k> [--lossy] "
+               "[--rate R] [--layers N]\n"
+               "                   [--levels N] [--cb N] [--no-mct] "
+               "[--fixed-point] [--reset-ctx] [--vsc]\n"
+               "       cj2k decode <in.cj2k> <out.bmp|out.ppm> [--layers N]\n"
+               "       cj2k info   <in.cj2k>\n"
+               "       cj2k bench  <in.bmp|in.ppm> [--spes N] [--ppes N] "
+               "[--chips N]\n");
+  return 2;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+Image read_image(const std::string& path) {
+  if (ends_with(path, ".bmp")) return bmp::read(path);
+  return pnm::read(path);
+}
+
+void write_image(const std::string& path, const Image& img) {
+  if (ends_with(path, ".bmp")) {
+    bmp::write(path, img);
+  } else {
+    pnm::write(path, img);
+  }
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open: " + path);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot create: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Fetches the value of --name from args, or fallback.
+double opt_num(const std::vector<std::string>& args, const char* name,
+               double fallback) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == name) return std::stod(args[i + 1]);
+  }
+  return fallback;
+}
+
+bool opt_flag(const std::vector<std::string>& args, const char* name) {
+  for (const auto& a : args) {
+    if (a == name) return true;
+  }
+  return false;
+}
+
+int cmd_encode(const std::string& in, const std::string& out,
+               const std::vector<std::string>& args) {
+  const Image img = read_image(in);
+
+  jp2k::CodingParams p;
+  p.rate = opt_num(args, "--rate", 0.0);
+  if (p.rate > 0.0 || opt_flag(args, "--lossy")) {
+    p.wavelet = jp2k::WaveletKind::kIrreversible97;
+  }
+  p.layers = static_cast<int>(opt_num(args, "--layers", 1));
+  p.levels = static_cast<int>(opt_num(args, "--levels", 5));
+  const auto cb = static_cast<std::size_t>(opt_num(args, "--cb", 64));
+  p.cb_width = cb;
+  p.cb_height = cb;
+  p.mct = !opt_flag(args, "--no-mct");
+  p.fixed_point_97 = opt_flag(args, "--fixed-point");
+  p.t1.reset_contexts = opt_flag(args, "--reset-ctx");
+  p.t1.vertically_causal = opt_flag(args, "--vsc");
+
+  jp2k::EncodeStats stats;
+  const auto bytes = jp2k::encode(img, p, &stats);
+  write_file(out, bytes);
+  std::printf("%s: %zux%zu x%zu -> %zu bytes (%.2f:1, %.3f bpp) in %.0f ms\n",
+              out.c_str(), img.width(), img.height(), img.components(),
+              bytes.size(),
+              static_cast<double>(img.raw_bytes()) /
+                  static_cast<double>(bytes.size()),
+              8.0 * static_cast<double>(bytes.size()) /
+                  static_cast<double>(img.width() * img.height()),
+              stats.total_seconds * 1e3);
+  return 0;
+}
+
+int cmd_decode(const std::string& in, const std::string& out,
+               const std::vector<std::string>& args) {
+  const auto bytes = read_file(in);
+  const int layers = static_cast<int>(opt_num(args, "--layers", 0));
+  const Image img = jp2k::decode(bytes, layers);
+  write_image(out, img);
+  std::printf("%s: %zux%zu x%zu decoded%s\n", out.c_str(), img.width(),
+              img.height(), img.components(),
+              layers > 0 ? " (progressive)" : "");
+  return 0;
+}
+
+int cmd_info(const std::string& in) {
+  const auto bytes = read_file(in);
+  std::size_t off = 0, size = 0;
+  const auto hdr = jp2k::parse_codestream(bytes, off, size);
+  std::printf("codestream: %zu bytes total, %zu packet bytes\n", bytes.size(),
+              size);
+  std::printf("image: %zux%zu, %zu component(s), %u bpp\n", hdr.width,
+              hdr.height, hdr.components, hdr.bit_depth);
+  std::printf("coding: %s wavelet, %d levels, %zux%zu blocks, MCT %s, "
+              "%d layer(s)%s%s%s\n",
+              hdr.params.wavelet == jp2k::WaveletKind::kReversible53
+                  ? "5/3 reversible"
+                  : (hdr.params.fixed_point_97 ? "9/7 fixed-point"
+                                               : "9/7 float"),
+              hdr.params.levels, hdr.params.cb_width, hdr.params.cb_height,
+              hdr.params.mct ? "on" : "off", hdr.params.layers,
+              hdr.params.t1.reset_contexts ? ", RESET" : "",
+              hdr.params.t1.vertically_causal ? ", VSC" : "",
+              hdr.params.rate > 0 ? ", rate-controlled" : "");
+  for (std::size_t c = 0; c < hdr.band_meta.size(); ++c) {
+    std::printf("component %zu: %zu subbands\n", c, hdr.band_meta[c].size());
+  }
+  return 0;
+}
+
+int cmd_bench(const std::string& in, const std::vector<std::string>& args) {
+  const Image img = read_image(in);
+  cell::MachineConfig cfg;
+  cfg.num_spes = static_cast<int>(opt_num(args, "--spes", 8));
+  cfg.num_ppe_threads = static_cast<int>(opt_num(args, "--ppes", 1));
+  cfg.chips = static_cast<int>(opt_num(args, "--chips", 1));
+
+  jp2k::CodingParams p;
+  cellenc::CellEncoder enc(cfg);
+  const auto res = enc.encode(img, p);
+  std::printf("Cell model: %d SPE + %d PPE thread(s), %d chip(s)\n",
+              cfg.num_spes, cfg.num_ppe_threads, cfg.chips);
+  std::printf("simulated encode: %.2f ms (host wall %.0f ms), %zu bytes\n",
+              res.simulated_seconds * 1e3, res.wall_seconds * 1e3,
+              res.codestream.size());
+  for (const auto& s : res.stages) {
+    std::printf("  %-18s %8.3f ms  (DMA %9.1f KB)\n", s.name.c_str(),
+                s.seconds * 1e3, static_cast<double>(s.dma_bytes) / 1024.0);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+
+  try {
+    if (cmd == "encode" && args.size() >= 2) {
+      return cmd_encode(args[0], args[1], args);
+    }
+    if (cmd == "decode" && args.size() >= 2) {
+      return cmd_decode(args[0], args[1], args);
+    }
+    if (cmd == "info" && args.size() >= 1) {
+      return cmd_info(args[0]);
+    }
+    if (cmd == "bench" && args.size() >= 1) {
+      return cmd_bench(args[0], args);
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "cj2k: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cj2k: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
