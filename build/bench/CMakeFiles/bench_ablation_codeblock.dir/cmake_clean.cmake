@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_codeblock.dir/bench_ablation_codeblock.cpp.o"
+  "CMakeFiles/bench_ablation_codeblock.dir/bench_ablation_codeblock.cpp.o.d"
+  "bench_ablation_codeblock"
+  "bench_ablation_codeblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_codeblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_colgroup.dir/bench_ablation_colgroup.cpp.o"
+  "CMakeFiles/bench_ablation_colgroup.dir/bench_ablation_colgroup.cpp.o.d"
+  "bench_ablation_colgroup"
+  "bench_ablation_colgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_colgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_workqueue.dir/bench_ablation_workqueue.cpp.o"
+  "CMakeFiles/bench_ablation_workqueue.dir/bench_ablation_workqueue.cpp.o.d"
+  "bench_ablation_workqueue"
+  "bench_ablation_workqueue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_workqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motion_throughput.dir/bench_motion_throughput.cpp.o"
+  "CMakeFiles/bench_motion_throughput.dir/bench_motion_throughput.cpp.o.d"
+  "bench_motion_throughput"
+  "bench_motion_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motion_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwt_explorer.dir/dwt_explorer.cpp.o"
+  "CMakeFiles/dwt_explorer.dir/dwt_explorer.cpp.o.d"
+  "dwt_explorer"
+  "dwt_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwt_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/progressive_delivery.dir/progressive_delivery.cpp.o"
+  "CMakeFiles/progressive_delivery.dir/progressive_delivery.cpp.o.d"
+  "progressive_delivery"
+  "progressive_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/progressive_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

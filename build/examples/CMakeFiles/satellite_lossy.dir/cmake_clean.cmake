@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satellite_lossy.dir/satellite_lossy.cpp.o"
+  "CMakeFiles/satellite_lossy.dir/satellite_lossy.cpp.o.d"
+  "satellite_lossy"
+  "satellite_lossy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satellite_lossy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cell/cost_model.cpp" "src/CMakeFiles/cellj2k.dir/cell/cost_model.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/cell/cost_model.cpp.o.d"
+  "/root/repo/src/cell/counters.cpp" "src/CMakeFiles/cellj2k.dir/cell/counters.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/cell/counters.cpp.o.d"
+  "/root/repo/src/cell/dma.cpp" "src/CMakeFiles/cellj2k.dir/cell/dma.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/cell/dma.cpp.o.d"
+  "/root/repo/src/cell/local_store.cpp" "src/CMakeFiles/cellj2k.dir/cell/local_store.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/cell/local_store.cpp.o.d"
+  "/root/repo/src/cell/machine.cpp" "src/CMakeFiles/cellj2k.dir/cell/machine.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/cell/machine.cpp.o.d"
+  "/root/repo/src/cellenc/kernels.cpp" "src/CMakeFiles/cellj2k.dir/cellenc/kernels.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/cellenc/kernels.cpp.o.d"
+  "/root/repo/src/cellenc/muta_model.cpp" "src/CMakeFiles/cellj2k.dir/cellenc/muta_model.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/cellenc/muta_model.cpp.o.d"
+  "/root/repo/src/cellenc/p4_model.cpp" "src/CMakeFiles/cellj2k.dir/cellenc/p4_model.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/cellenc/p4_model.cpp.o.d"
+  "/root/repo/src/cellenc/pipeline.cpp" "src/CMakeFiles/cellj2k.dir/cellenc/pipeline.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/cellenc/pipeline.cpp.o.d"
+  "/root/repo/src/cellenc/stage_dwt.cpp" "src/CMakeFiles/cellj2k.dir/cellenc/stage_dwt.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/cellenc/stage_dwt.cpp.o.d"
+  "/root/repo/src/cellenc/stage_mct.cpp" "src/CMakeFiles/cellj2k.dir/cellenc/stage_mct.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/cellenc/stage_mct.cpp.o.d"
+  "/root/repo/src/cellenc/stage_quant.cpp" "src/CMakeFiles/cellj2k.dir/cellenc/stage_quant.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/cellenc/stage_quant.cpp.o.d"
+  "/root/repo/src/cellenc/stage_t1.cpp" "src/CMakeFiles/cellj2k.dir/cellenc/stage_t1.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/cellenc/stage_t1.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/CMakeFiles/cellj2k.dir/common/error.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/common/error.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/cellj2k.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/timer.cpp" "src/CMakeFiles/cellj2k.dir/common/timer.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/common/timer.cpp.o.d"
+  "/root/repo/src/decomp/chunk.cpp" "src/CMakeFiles/cellj2k.dir/decomp/chunk.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/decomp/chunk.cpp.o.d"
+  "/root/repo/src/decomp/work_queue.cpp" "src/CMakeFiles/cellj2k.dir/decomp/work_queue.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/decomp/work_queue.cpp.o.d"
+  "/root/repo/src/image/bmp.cpp" "src/CMakeFiles/cellj2k.dir/image/bmp.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/image/bmp.cpp.o.d"
+  "/root/repo/src/image/image.cpp" "src/CMakeFiles/cellj2k.dir/image/image.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/image/image.cpp.o.d"
+  "/root/repo/src/image/metrics.cpp" "src/CMakeFiles/cellj2k.dir/image/metrics.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/image/metrics.cpp.o.d"
+  "/root/repo/src/image/pgx.cpp" "src/CMakeFiles/cellj2k.dir/image/pgx.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/image/pgx.cpp.o.d"
+  "/root/repo/src/image/pnm.cpp" "src/CMakeFiles/cellj2k.dir/image/pnm.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/image/pnm.cpp.o.d"
+  "/root/repo/src/image/synth.cpp" "src/CMakeFiles/cellj2k.dir/image/synth.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/image/synth.cpp.o.d"
+  "/root/repo/src/jp2k/codestream.cpp" "src/CMakeFiles/cellj2k.dir/jp2k/codestream.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/jp2k/codestream.cpp.o.d"
+  "/root/repo/src/jp2k/decoder.cpp" "src/CMakeFiles/cellj2k.dir/jp2k/decoder.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/jp2k/decoder.cpp.o.d"
+  "/root/repo/src/jp2k/dwt2d.cpp" "src/CMakeFiles/cellj2k.dir/jp2k/dwt2d.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/jp2k/dwt2d.cpp.o.d"
+  "/root/repo/src/jp2k/dwt53.cpp" "src/CMakeFiles/cellj2k.dir/jp2k/dwt53.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/jp2k/dwt53.cpp.o.d"
+  "/root/repo/src/jp2k/dwt97.cpp" "src/CMakeFiles/cellj2k.dir/jp2k/dwt97.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/jp2k/dwt97.cpp.o.d"
+  "/root/repo/src/jp2k/dwt_conv.cpp" "src/CMakeFiles/cellj2k.dir/jp2k/dwt_conv.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/jp2k/dwt_conv.cpp.o.d"
+  "/root/repo/src/jp2k/dwt_merged.cpp" "src/CMakeFiles/cellj2k.dir/jp2k/dwt_merged.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/jp2k/dwt_merged.cpp.o.d"
+  "/root/repo/src/jp2k/encoder.cpp" "src/CMakeFiles/cellj2k.dir/jp2k/encoder.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/jp2k/encoder.cpp.o.d"
+  "/root/repo/src/jp2k/mct.cpp" "src/CMakeFiles/cellj2k.dir/jp2k/mct.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/jp2k/mct.cpp.o.d"
+  "/root/repo/src/jp2k/mq_decoder.cpp" "src/CMakeFiles/cellj2k.dir/jp2k/mq_decoder.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/jp2k/mq_decoder.cpp.o.d"
+  "/root/repo/src/jp2k/mq_encoder.cpp" "src/CMakeFiles/cellj2k.dir/jp2k/mq_encoder.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/jp2k/mq_encoder.cpp.o.d"
+  "/root/repo/src/jp2k/quant.cpp" "src/CMakeFiles/cellj2k.dir/jp2k/quant.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/jp2k/quant.cpp.o.d"
+  "/root/repo/src/jp2k/rate_control.cpp" "src/CMakeFiles/cellj2k.dir/jp2k/rate_control.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/jp2k/rate_control.cpp.o.d"
+  "/root/repo/src/jp2k/t1_common.cpp" "src/CMakeFiles/cellj2k.dir/jp2k/t1_common.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/jp2k/t1_common.cpp.o.d"
+  "/root/repo/src/jp2k/t1_decoder.cpp" "src/CMakeFiles/cellj2k.dir/jp2k/t1_decoder.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/jp2k/t1_decoder.cpp.o.d"
+  "/root/repo/src/jp2k/t1_encoder.cpp" "src/CMakeFiles/cellj2k.dir/jp2k/t1_encoder.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/jp2k/t1_encoder.cpp.o.d"
+  "/root/repo/src/jp2k/t2_decoder.cpp" "src/CMakeFiles/cellj2k.dir/jp2k/t2_decoder.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/jp2k/t2_decoder.cpp.o.d"
+  "/root/repo/src/jp2k/t2_encoder.cpp" "src/CMakeFiles/cellj2k.dir/jp2k/t2_encoder.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/jp2k/t2_encoder.cpp.o.d"
+  "/root/repo/src/jp2k/tagtree.cpp" "src/CMakeFiles/cellj2k.dir/jp2k/tagtree.cpp.o" "gcc" "src/CMakeFiles/cellj2k.dir/jp2k/tagtree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcellj2k.a"
+)

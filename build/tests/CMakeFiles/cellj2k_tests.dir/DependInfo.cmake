@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cell_test.cpp" "tests/CMakeFiles/cellj2k_tests.dir/cell_test.cpp.o" "gcc" "tests/CMakeFiles/cellj2k_tests.dir/cell_test.cpp.o.d"
+  "/root/repo/tests/cellenc_test.cpp" "tests/CMakeFiles/cellj2k_tests.dir/cellenc_test.cpp.o" "gcc" "tests/CMakeFiles/cellj2k_tests.dir/cellenc_test.cpp.o.d"
+  "/root/repo/tests/codec_test.cpp" "tests/CMakeFiles/cellj2k_tests.dir/codec_test.cpp.o" "gcc" "tests/CMakeFiles/cellj2k_tests.dir/codec_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/cellj2k_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/cellj2k_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/decomp_test.cpp" "tests/CMakeFiles/cellj2k_tests.dir/decomp_test.cpp.o" "gcc" "tests/CMakeFiles/cellj2k_tests.dir/decomp_test.cpp.o.d"
+  "/root/repo/tests/dwt_test.cpp" "tests/CMakeFiles/cellj2k_tests.dir/dwt_test.cpp.o" "gcc" "tests/CMakeFiles/cellj2k_tests.dir/dwt_test.cpp.o.d"
+  "/root/repo/tests/image_test.cpp" "tests/CMakeFiles/cellj2k_tests.dir/image_test.cpp.o" "gcc" "tests/CMakeFiles/cellj2k_tests.dir/image_test.cpp.o.d"
+  "/root/repo/tests/matrix_test.cpp" "tests/CMakeFiles/cellj2k_tests.dir/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/cellj2k_tests.dir/matrix_test.cpp.o.d"
+  "/root/repo/tests/mct_quant_test.cpp" "tests/CMakeFiles/cellj2k_tests.dir/mct_quant_test.cpp.o" "gcc" "tests/CMakeFiles/cellj2k_tests.dir/mct_quant_test.cpp.o.d"
+  "/root/repo/tests/mq_test.cpp" "tests/CMakeFiles/cellj2k_tests.dir/mq_test.cpp.o" "gcc" "tests/CMakeFiles/cellj2k_tests.dir/mq_test.cpp.o.d"
+  "/root/repo/tests/rate_test.cpp" "tests/CMakeFiles/cellj2k_tests.dir/rate_test.cpp.o" "gcc" "tests/CMakeFiles/cellj2k_tests.dir/rate_test.cpp.o.d"
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/cellj2k_tests.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/cellj2k_tests.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/t1_test.cpp" "tests/CMakeFiles/cellj2k_tests.dir/t1_test.cpp.o" "gcc" "tests/CMakeFiles/cellj2k_tests.dir/t1_test.cpp.o.d"
+  "/root/repo/tests/t2_test.cpp" "tests/CMakeFiles/cellj2k_tests.dir/t2_test.cpp.o" "gcc" "tests/CMakeFiles/cellj2k_tests.dir/t2_test.cpp.o.d"
+  "/root/repo/tests/tagtree_test.cpp" "tests/CMakeFiles/cellj2k_tests.dir/tagtree_test.cpp.o" "gcc" "tests/CMakeFiles/cellj2k_tests.dir/tagtree_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cellj2k.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

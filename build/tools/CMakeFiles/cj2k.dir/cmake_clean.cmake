@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cj2k.dir/cj2k_cli.cpp.o"
+  "CMakeFiles/cj2k.dir/cj2k_cli.cpp.o.d"
+  "cj2k"
+  "cj2k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cj2k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cj2k.
+# This may be replaced when dependencies are built.
