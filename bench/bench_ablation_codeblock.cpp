@@ -35,6 +35,10 @@ void run_ablation(const bench::Workload& wl) {
     std::printf("  %3zux%-10zu %10zu %10.4f s %10.4f s %12zu\n", cb, cb,
                 blocks, res.stage_seconds("tier1"), res.simulated_seconds,
                 cb * cb * sizeof(Sample));
+    char jlabel[32];
+    std::snprintf(jlabel, sizeof(jlabel), "%zux%zu", cb, cb);
+    bench::emit_json("ablation_codeblock", jlabel, res.simulated_seconds,
+                     &res);
   }
   std::printf("\n  64x64 blocks keep the queue coarse (fewer interactions);"
               " a 64x64 block of int32 coefficients is 16 KB, still far\n"

@@ -40,6 +40,8 @@ void run_ablation(const bench::Workload& wl) {
     }
     std::printf("  %-26s %10.4f s %14.0f %12s\n", label,
                 res.stage_seconds("dwt"), bytes, "");
+    bench::emit_json("ablation_colgroup", label, res.simulated_seconds,
+                     &res);
   }
   std::printf("\n  Line-multiple groups hit the efficient DMA path; the\n"
               "  48-element group (192 B) violates it and pays the\n"

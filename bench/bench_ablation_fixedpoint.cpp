@@ -67,6 +67,12 @@ void run_ablation(const bench::Workload& wl) {
   std::printf("    the fixed multiplies dominate its DWT — see Fig. 9's"
               " 15x lossy DWT gap.\n\n");
 
+  bench::emit_json("ablation_fixedpoint", "float 9/7",
+                   rf.simulated_seconds, &rf);
+  bench::emit_json("ablation_fixedpoint", "fixed Q13 9/7",
+                   rx.simulated_seconds, &rx);
+  bench::emit_json("ablation_fixedpoint", "P4 fixed lossy", p4_fixed.total);
+
   const Image back = jp2k::decode(bytes_x);
   std::printf("  Fidelity check: fixed-point pipeline PSNR %.2f dB at rate"
               " 0.1 (%.0f%% of budget used)\n",

@@ -43,6 +43,12 @@ void run_ablation(const bench::Workload& wl) {
                     merged ? "merged (paper)" : "multipass (naive)", spes,
                     res.stage_seconds("dwt"), dwt_bytes,
                     res.simulated_seconds);
+        char jlabel[96];
+        std::snprintf(jlabel, sizeof(jlabel), "%s %s %d spe",
+                      lossless ? "lossless" : "lossy",
+                      merged ? "merged" : "multipass", spes);
+        bench::emit_json("ablation_lifting", jlabel, res.simulated_seconds,
+                         &res);
       }
     }
   }

@@ -37,6 +37,12 @@ void run_ablation() {
     std::printf("  %-24s %12.4f s %12.4f s %9.2fx\n", c.label,
                 rq.stage_seconds("tier1"), rs.stage_seconds("tier1"),
                 rs.stage_seconds("tier1") / rq.stage_seconds("tier1"));
+    bench::emit_json("ablation_workqueue",
+                     std::string(c.label) + " queue 8spe",
+                     rq.simulated_seconds, &rq);
+    bench::emit_json("ablation_workqueue",
+                     std::string(c.label) + " static 8spe",
+                     rs.simulated_seconds, &rs);
   }
   std::printf("\n  Heterogeneous workers (8 SPE + 1 PPE) widen the gap:\n");
   for (auto& c : cases) {
@@ -47,6 +53,12 @@ void run_ablation() {
     std::printf("  %-24s %12.4f s %12.4f s %9.2fx\n", c.label,
                 rq.stage_seconds("tier1"), rs.stage_seconds("tier1"),
                 rs.stage_seconds("tier1") / rq.stage_seconds("tier1"));
+    bench::emit_json("ablation_workqueue",
+                     std::string(c.label) + " queue 8spe+ppe",
+                     rq.simulated_seconds, &rq);
+    bench::emit_json("ablation_workqueue",
+                     std::string(c.label) + " static 8spe+ppe",
+                     rs.simulated_seconds, &rs);
   }
 }
 

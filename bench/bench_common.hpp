@@ -68,4 +68,28 @@ inline void print_row(const std::string& label, double seconds,
               seconds, speedup_vs_base, extra);
 }
 
+/// Machine-readable result line (one JSON object per line, prefixed with
+/// BENCH_JSON so scrapers can grep it out of the human-readable report; the
+/// format is documented in README.md).  When a PipelineResult is supplied
+/// the per-stage simulated seconds and DMA byte count are included.
+inline void emit_json(const char* bench, const std::string& label,
+                      double sim_seconds,
+                      const cellenc::PipelineResult* res = nullptr) {
+  std::printf("BENCH_JSON {\"bench\":\"%s\",\"label\":\"%s\","
+              "\"sim_seconds\":%.9g",
+              bench, label.c_str(), sim_seconds);
+  if (res != nullptr) {
+    std::printf(",\"dma_bytes\":%llu,\"stages\":{",
+                static_cast<unsigned long long>(res->dma_bytes));
+    bool first = true;
+    for (const auto& s : res->stages) {
+      std::printf("%s\"%s\":%.9g", first ? "" : ",", s.name.c_str(),
+                  s.seconds);
+      first = false;
+    }
+    std::printf("}");
+  }
+  std::printf("}\n");
+}
+
 }  // namespace cj2k::bench

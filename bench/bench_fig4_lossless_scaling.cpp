@@ -54,6 +54,8 @@ void run_figure(const bench::Workload& wl) {
                   res.stage_seconds("t2"));
     bench::print_row(cfg.label, res.simulated_seconds,
                      base / res.simulated_seconds, extra);
+    bench::emit_json("fig4_lossless_scaling", cfg.label,
+                     res.simulated_seconds, &res);
   }
   if (base_ppe > 0 && base_1spe > 0) {
     std::printf("\n  PPE-only / 1-SPE ratio: %.2f (paper Fig 4: PPE beats one"

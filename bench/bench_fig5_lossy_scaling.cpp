@@ -36,23 +36,63 @@ void run_figure(const bench::Workload& wl) {
       {"16 SPE + 2 PPE (QS20)", 16, 2, 2},
   };
 
+  cellenc::PipelineOptions serial_opt;
+  serial_opt.parallel_lossy_tail = false;
+
+  auto tail_share = [](const cellenc::PipelineResult& r) {
+    return (r.stage_seconds("rate") + r.stage_seconds("t2")) /
+           r.simulated_seconds;
+  };
+
+  std::printf("  Serial lossy tail (paper baseline):\n");
   double base_1spe = 0;
   std::printf("  %-26s %12s %9s  %s\n", "configuration", "sim time",
-              "speedup", "rate-stage share");
+              "speedup", "rate+t2 share");
+  std::vector<double> serial_totals;
+  for (const auto& cfg : configs) {
+    cellenc::CellEncoder enc(
+        bench::machine_config(cfg.spes, cfg.ppes, cfg.chips));
+    const auto res = enc.encode(img, p, serial_opt);
+    serial_totals.push_back(res.simulated_seconds);
+    if (std::string(cfg.label) == "1 SPE") base_1spe = res.simulated_seconds;
+    const double base = base_1spe > 0 ? base_1spe : res.simulated_seconds;
+    char extra[64];
+    std::snprintf(extra, sizeof(extra), "rate+t2 %.0f%%",
+                  100.0 * tail_share(res));
+    bench::print_row(cfg.label, res.simulated_seconds,
+                     base / res.simulated_seconds, extra);
+    bench::emit_json("fig5_lossy_scaling",
+                     std::string(cfg.label) + " serial-tail",
+                     res.simulated_seconds, &res);
+  }
+
+  std::printf("\n  Distributed lossy tail (hull build under T1, k-way "
+              "merge, precinct-parallel T2):\n");
+  base_1spe = 0;
+  std::printf("  %-26s %12s %9s  %s\n", "configuration", "sim time",
+              "speedup", "rate+t2 share (serial baseline)");
+  std::size_t i = 0;
   for (const auto& cfg : configs) {
     cellenc::CellEncoder enc(
         bench::machine_config(cfg.spes, cfg.ppes, cfg.chips));
     const auto res = enc.encode(img, p);
     if (std::string(cfg.label) == "1 SPE") base_1spe = res.simulated_seconds;
     const double base = base_1spe > 0 ? base_1spe : res.simulated_seconds;
-    char extra[64];
-    std::snprintf(extra, sizeof(extra), "rate %.0f%%",
-                  100.0 * res.stage_seconds("rate") / res.simulated_seconds);
+    char extra[96];
+    std::snprintf(extra, sizeof(extra),
+                  "rate+t2 %.0f%% (serial %.4f s, hull absorbed %.4f s)",
+                  100.0 * tail_share(res), serial_totals[i++],
+                  res.hull_serial_seconds - res.hull_extra_seconds);
     bench::print_row(cfg.label, res.simulated_seconds,
                      base / res.simulated_seconds, extra);
+    bench::emit_json("fig5_lossy_scaling",
+                     std::string(cfg.label) + " distributed-tail",
+                     res.simulated_seconds, &res);
   }
-  std::printf("\n  The flattening curve + growing rate share reproduce the "
-              "paper's explanation for lossy scaling.\n");
+  std::printf("\n  The serial table reproduces the paper's flattening curve "
+              "(rate stage ~60%% at 16 SPE); the distributed tail keeps the "
+              "curve steep by hiding hull construction under Tier-1 and "
+              "coding precinct streams in parallel.\n");
 }
 
 void BM_LossyEncode8Spe(benchmark::State& state) {

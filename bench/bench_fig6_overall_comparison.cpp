@@ -40,6 +40,14 @@ void run_figure() {
                    base / r1.simulated_seconds);
   bench::print_row("ours, 2 chips (16SPE+2PPE)", r2.simulated_seconds,
                    base / r2.simulated_seconds);
+  bench::emit_json("fig6_overall_comparison", "Muta0 (2 chips, 2 enc)",
+                   muta0.total);
+  bench::emit_json("fig6_overall_comparison", "Muta1 (2 chips, 1 enc)",
+                   muta1.total);
+  bench::emit_json("fig6_overall_comparison", "ours, 1 chip (8SPE+PPE)",
+                   r1.simulated_seconds, &r1);
+  bench::emit_json("fig6_overall_comparison", "ours, 2 chips (16SPE+2PPE)",
+                   r2.simulated_seconds, &r2);
   std::printf("\n  Note: their chips run at 2.4 GHz (as in [10]); ours at "
               "3.2 GHz — the paper's caveat list applies here too.\n");
 }

@@ -39,6 +39,10 @@ void run_figure() {
   bench::print_row("Muta1 (2 chips)", muta1.ebcot, base / muta1.ebcot);
   bench::print_row("ours, 1 chip", ebcot(r1), base / ebcot(r1));
   bench::print_row("ours, 2 chips", ebcot(r2), base / ebcot(r2));
+  bench::emit_json("fig7_ebcot_comparison", "Muta0 (2 chips)", muta0.ebcot);
+  bench::emit_json("fig7_ebcot_comparison", "Muta1 (2 chips)", muta1.ebcot);
+  bench::emit_json("fig7_ebcot_comparison", "ours, 1 chip", ebcot(r1), &r1);
+  bench::emit_json("fig7_ebcot_comparison", "ours, 2 chips", ebcot(r2), &r2);
 }
 
 void BM_T1EncodeBlock64(benchmark::State& state) {

@@ -39,6 +39,12 @@ void run_figure() {
                    base / r1.stage_seconds("dwt"));
   bench::print_row("ours, 2 chips (lifting)", r2.stage_seconds("dwt"),
                    base / r2.stage_seconds("dwt"));
+  bench::emit_json("fig8_dwt_comparison", "Muta0 (2 chips, conv)", muta0.dwt);
+  bench::emit_json("fig8_dwt_comparison", "Muta1 (2 chips, conv)", muta1.dwt);
+  bench::emit_json("fig8_dwt_comparison", "ours, 1 chip (lifting)",
+                   r1.stage_seconds("dwt"), &r1);
+  bench::emit_json("fig8_dwt_comparison", "ours, 2 chips (lifting)",
+                   r2.stage_seconds("dwt"), &r2);
 }
 
 void BM_Lifting53Row(benchmark::State& state) {

@@ -50,6 +50,12 @@ void run_figure(const bench::Workload& wl) {
   row("overall, lossy", p4y.total, cy.simulated_seconds, "2.7x");
   row("DWT, lossless", p4l.dwt, cl.stage_seconds("dwt"), "9.1x");
   row("DWT, lossy", p4y.dwt, cy.stage_seconds("dwt"), "15x");
+  bench::emit_json("fig9_vs_pentium4", "P4 lossless", p4l.total);
+  bench::emit_json("fig9_vs_pentium4", "P4 lossy", p4y.total);
+  bench::emit_json("fig9_vs_pentium4", "Cell lossless", cl.simulated_seconds,
+                   &cl);
+  bench::emit_json("fig9_vs_pentium4", "Cell lossy", cy.simulated_seconds,
+                   &cy);
   std::printf(
       "\n  Shape checks: Cell wins everywhere; the DWT gap exceeds the\n"
       "  overall gap; the lossy DWT gap exceeds the lossless one (the P4\n"

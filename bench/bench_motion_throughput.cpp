@@ -50,6 +50,7 @@ void run_bench() {
               "throughput");
   for (const auto& r : rows) {
     std::printf("  %-26s %12.4f s %9.1f fps\n", r.label, r.latency, r.fps);
+    bench::emit_json("motion_throughput", r.label, r.latency);
   }
   std::printf(
       "\n  Shape: per-frame latency is best with both chips on one frame;\n"

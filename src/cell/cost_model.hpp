@@ -40,11 +40,36 @@ struct CostParams {
   double ppe_t1_cycles_per_symbol = 85.0;
   /// Serial rate-allocation cost (Jasper recomputes per-pass R-D data on
   /// the PPE; calibrated so the stage approaches the paper's ~60% share of
-  /// lossy encoding at 16 SPEs — see EXPERIMENTS.md).
+  /// lossy encoding at 16 SPEs — see EXPERIMENTS.md).  Used by the
+  /// serial-baseline lossy tail; the distributed tail replaces it with the
+  /// per-phase costs below.
   double ppe_rate_cycles_per_pass = 16000.0;
   /// Tier-2 + stream assembly cost per output byte (tag trees, packet
-  /// headers, buffer copies).
+  /// headers, buffer copies).  Also the per-byte cost of coding one
+  /// precinct stream on a PPE worker in the distributed tail.
   double ppe_t2_cycles_per_byte = 40.0;
+
+  // Distributed lossy tail (overlapped hull build, k-way slope merge,
+  // precinct-parallel Tier-2 — DESIGN.md §5).
+  /// Per-pass cost of the R-D convex-hull update when it runs fused onto
+  /// the worker that just finished the block's Tier-1 coding.  ~15 scalar
+  /// ops + 2-3 data-dependent branches per pass; the SPE pays its 10-cycle
+  /// unpredicted branches and scalar-on-vector slots, the PPE is leaner.
+  double spe_rate_hull_cycles_per_pass = 260.0;
+  double ppe_rate_hull_cycles_per_pass = 150.0;
+  /// Per-segment cost of the serial k-way merge of per-worker slope-sorted
+  /// hull lists on the PPE (heap pop + push over K list heads; the O(S)
+  /// residue that replaces the serial O(S log S) sort).
+  double ppe_merge_cycles_per_seg = 28.0;
+  /// Per-segment cost of one greedy λ-threshold scan iteration (compare,
+  /// accumulate, two stores per taken segment).
+  double ppe_rate_scan_cycles_per_seg = 10.0;
+  /// Per-byte cost of coding one precinct stream on an SPE worker (branchy
+  /// bit-packing and tag trees — markedly worse than the PPE's, like T1).
+  double spe_t2_cycles_per_byte = 95.0;
+  /// Serial stitch pass: concatenating finished precinct packets into the
+  /// progression order (bulk copies on the PPE).
+  double ppe_t2_stitch_cycles_per_byte = 6.0;
   /// PPE streaming throughput for the vector-ish stages, expressed as
   /// cycles per *lane* (the PPE runs them scalar: 4 lanes = 4+ ops).
   double ppe_lane_op = 1.2;

@@ -5,6 +5,7 @@
 #include "cellenc/kernels.hpp"
 #include "cellenc/stage_mct.hpp"
 #include "cellenc/stage_quant.hpp"
+#include "cellenc/stage_rate.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "decomp/chunk.hpp"
@@ -75,8 +76,9 @@ cell::StageTiming stage_read(cell::Machine& m, const Image& img,
 
 PipelineResult CellEncoder::encode(const Image& img,
                                    const jp2k::CodingParams& params,
-                                   const DwtOptions& dwt,
-                                   T1Distribution t1_dist) {
+                                   const PipelineOptions& opt) {
+  const DwtOptions& dwt = opt.dwt;
+  const T1Distribution t1_dist = opt.t1_dist;
   Timer wall;
   PipelineResult res;
   const std::size_t w = img.width();
@@ -134,14 +136,8 @@ PipelineResult CellEncoder::encode(const Image& img,
     std::vector<Plane> fxplanes;
     fxplanes.reserve(ncomp);
     for (std::size_t c = 0; c < ncomp; ++c) fxplanes.emplace_back(w, h);
-    Image work_img(w, h, ncomp, depth);
-    for (std::size_t c = 0; c < ncomp; ++c) {
-      for (std::size_t y = 0; y < h; ++y) {
-        std::copy_n(work[c].row(y), w, work_img.plane(c).row(y));
-      }
-    }
     res.stages.push_back(
-        stage_mct_lossy_fixed(machine_, work_img, fxplanes, color, depth));
+        stage_mct_lossy_fixed(machine_, work, fxplanes, color, depth));
 
     cell::StageTiming dwt_t;
     for (std::size_t c = 0; c < ncomp; ++c) {
@@ -181,14 +177,8 @@ PipelineResult CellEncoder::encode(const Image& img,
       fplanes.emplace_back(stride * h);
     }
     // The paper's merged kernel reads the converted integer planes.
-    Image work_img(w, h, ncomp, depth);
-    for (std::size_t c = 0; c < ncomp; ++c) {
-      for (std::size_t y = 0; y < h; ++y) {
-        std::copy_n(work[c].row(y), w, work_img.plane(c).row(y));
-      }
-    }
     res.stages.push_back(
-        stage_mct_lossy(machine_, work_img, fplanes, stride, color, depth));
+        stage_mct_lossy(machine_, work, fplanes, stride, color, depth));
 
     // --- DWT ----------------------------------------------------------------
     cell::StageTiming dwt_t;
@@ -227,26 +217,46 @@ PipelineResult CellEncoder::encode(const Image& img,
     res.stages.push_back(quant_t);
   }
 
-  // --- Tier-1 over the work queue -------------------------------------------
+  // --- Tier-1 over the work queue; with the distributed lossy tail the
+  // same workers also build each block's R-D hull as it finishes (the hull
+  // cost hides under the T1 span — the fused schedule accounts for it). ------
+  const bool lossy_tail = params.rate > 0.0 || params.layers > 1;
+  const bool distribute_tail = lossy_tail && opt.parallel_lossy_tail;
+  HullCapture hulls;
+  hulls.wavelet = params.wavelet;
   const T1StageResult t1 =
-      stage_t1(machine_, tile, coeff_views, t1_dist, params.t1);
+      stage_t1(machine_, tile, coeff_views, t1_dist, params.t1,
+               distribute_tail ? &hulls : nullptr);
   res.stages.push_back(t1.timing);
   res.t1_symbols = t1.total_symbols;
+  res.hull_extra_seconds = t1.hull_extra_seconds;
+  res.hull_serial_seconds = t1.hull_serial_seconds;
 
-  // --- Rate control + Tier-2 + framing: the shared serial implementation
-  // (guarantees byte equality with jp2k::encode); simulated PPE time is
-  // charged from the work quantities it reports. -----------------------------
-  {
+  if (distribute_tail) {
+    // --- Distributed lossy tail: k-way slope merge + serial greedy scan +
+    // precinct-parallel Tier-2 (byte-identical to jp2k::finish_tile). --------
+    LossyTailResult tail =
+        stage_rate_tail(machine_, tile, img, params, hulls);
+    res.codestream = std::move(tail.codestream);
+    res.stages.push_back(tail.rate_timing);
+    res.stages.push_back(tail.t2_timing);
+    res.serial_rate_seconds = tail.serial_rate_seconds;
+    res.serial_t2_seconds = tail.serial_t2_seconds;
+  } else {
+    // --- Serial baseline tail (the paper's configuration): rate control +
+    // Tier-2 + framing via the shared serial implementation; simulated PPE
+    // time is charged from the work quantities it reports. -------------------
     jp2k::EncodeStats fstats;
     res.codestream = jp2k::finish_tile(tile, img, params, &fstats);
 
-    if (params.rate > 0.0 || params.layers > 1) {
+    if (lossy_tail) {
       cell::StageTiming rate_t;
       rate_t.name = "rate";
       rate_t.ppe = static_cast<double>(fstats.rate.passes_considered) *
                    cp.ppe_rate_cycles_per_pass / cp.clock_hz;
       rate_t.seconds = rate_t.ppe;
       res.stages.push_back(rate_t);
+      res.serial_rate_seconds = rate_t.seconds;
     }
 
     cell::StageTiming t2_t;
@@ -255,6 +265,7 @@ PipelineResult CellEncoder::encode(const Image& img,
                cp.ppe_t2_cycles_per_byte / cp.clock_hz;
     t2_t.seconds = t2_t.ppe;
     res.stages.push_back(t2_t);
+    res.serial_t2_seconds = t2_t.seconds;
   }
 
   for (const auto& s : res.stages) {

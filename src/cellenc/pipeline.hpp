@@ -19,6 +19,16 @@
 
 namespace cj2k::cellenc {
 
+/// Knobs for one pipeline run.
+struct PipelineOptions {
+  DwtOptions dwt;
+  T1Distribution t1_dist = T1Distribution::kWorkQueue;
+  /// Distribute the lossy tail (overlapped hull build + k-way slope merge +
+  /// precinct-parallel Tier-2, DESIGN.md §5).  Off reproduces the paper's
+  /// serial-PPE rate/T2 baseline (Fig. 5's ~60% share at 16 SPEs).
+  bool parallel_lossy_tail = true;
+};
+
 struct PipelineResult {
   std::vector<std::uint8_t> codestream;
   std::vector<cell::StageTiming> stages;  ///< In pipeline order.
@@ -26,6 +36,14 @@ struct PipelineResult {
   double wall_seconds = 0;                ///< Host wall clock (informative).
   std::uint64_t t1_symbols = 0;
   std::uint64_t dma_bytes = 0;
+
+  /// Distributed-tail accounting (zero on lossless / serial-tail runs):
+  /// hull work absorbed into T1 (span growth vs. its serial-PPE cost)…
+  double hull_extra_seconds = 0;
+  double hull_serial_seconds = 0;
+  /// …and what the serial baseline would have charged for rate / Tier-2.
+  double serial_rate_seconds = 0;
+  double serial_t2_seconds = 0;
 
   /// Simulated seconds of the named stage (0 when absent).
   double stage_seconds(const std::string& name) const;
@@ -38,8 +56,16 @@ class CellEncoder {
   cell::Machine& machine() { return machine_; }
 
   PipelineResult encode(const Image& img, const jp2k::CodingParams& params,
+                        const PipelineOptions& opt);
+
+  PipelineResult encode(const Image& img, const jp2k::CodingParams& params,
                         const DwtOptions& dwt = {},
-                        T1Distribution t1_dist = T1Distribution::kWorkQueue);
+                        T1Distribution t1_dist = T1Distribution::kWorkQueue) {
+    PipelineOptions opt;
+    opt.dwt = dwt;
+    opt.t1_dist = t1_dist;
+    return encode(img, params, opt);
+  }
 
  private:
   cell::Machine machine_;

@@ -85,13 +85,14 @@ cell::StageTiming stage_mct_lossless(cell::Machine& m,
   return m.run_data_parallel("levelshift+mct", spe_work, ppe_work);
 }
 
-cell::StageTiming stage_mct_lossy(cell::Machine& m, const Image& img,
+cell::StageTiming stage_mct_lossy(cell::Machine& m,
+                                  const std::vector<Plane>& planes,
                                   std::vector<AlignedBuffer<float>>& fplanes,
                                   std::size_t stride, bool color,
                                   unsigned depth) {
-  const std::size_t w = img.width();
-  const std::size_t h = img.height();
-  const std::size_t ncomp = img.components();
+  const std::size_t w = planes[0].width();
+  const std::size_t h = planes[0].height();
+  const std::size_t ncomp = planes.size();
   const auto plan = decomp::plan_chunks(
       w, sizeof(Sample), static_cast<std::size_t>(m.num_spes()));
 
@@ -107,21 +108,21 @@ cell::StageTiming stage_mct_lossy(cell::Machine& m, const Image& img,
     float* fcr = ctx.ls.alloc<float>(cw);
     for (std::size_t y = 0; y < h; ++y) {
       if (color) {
-        dma_get_row(ctx.dma, lr, img.plane(0).row(y) + ch.x0, cw);
-        dma_get_row(ctx.dma, lg, img.plane(1).row(y) + ch.x0, cw);
-        dma_get_row(ctx.dma, lb, img.plane(2).row(y) + ch.x0, cw);
+        dma_get_row(ctx.dma, lr, planes[0].row(y) + ch.x0, cw);
+        dma_get_row(ctx.dma, lg, planes[1].row(y) + ch.x0, cw);
+        dma_get_row(ctx.dma, lb, planes[2].row(y) + ch.x0, cw);
         simd_shift_ict_row(ctx.simd, lr, lg, lb, fy, fcb, fcr, cw, depth);
         dma_put_row(ctx.dma, fy, &fplanes[0][y * stride + ch.x0], cw);
         dma_put_row(ctx.dma, fcb, &fplanes[1][y * stride + ch.x0], cw);
         dma_put_row(ctx.dma, fcr, &fplanes[2][y * stride + ch.x0], cw);
         for (std::size_t c = 3; c < ncomp; ++c) {
-          dma_get_row(ctx.dma, lr, img.plane(c).row(y) + ch.x0, cw);
+          dma_get_row(ctx.dma, lr, planes[c].row(y) + ch.x0, cw);
           simd_shift_to_float_row(ctx.simd, lr, fy, cw, depth);
           dma_put_row(ctx.dma, fy, &fplanes[c][y * stride + ch.x0], cw);
         }
       } else {
         for (std::size_t c = 0; c < ncomp; ++c) {
-          dma_get_row(ctx.dma, lr, img.plane(c).row(y) + ch.x0, cw);
+          dma_get_row(ctx.dma, lr, planes[c].row(y) + ch.x0, cw);
           simd_shift_to_float_row(ctx.simd, lr, fy, cw, depth);
           dma_put_row(ctx.dma, fy, &fplanes[c][y * stride + ch.x0], cw);
         }
@@ -137,13 +138,13 @@ cell::StageTiming stage_mct_lossy(cell::Machine& m, const Image& img,
     for (std::size_t y = 0; y < h; ++y) {
       if (color) {
         jp2k::shift_ict_forward_row(
-            img.plane(0).row(y) + rem.x0, img.plane(1).row(y) + rem.x0,
-            img.plane(2).row(y) + rem.x0, &fplanes[0][y * stride + rem.x0],
+            planes[0].row(y) + rem.x0, planes[1].row(y) + rem.x0,
+            planes[2].row(y) + rem.x0, &fplanes[0][y * stride + rem.x0],
             &fplanes[1][y * stride + rem.x0],
             &fplanes[2][y * stride + rem.x0], rem.width, depth);
         c.s_float += rem.width * kPpeShiftIctOps;
         for (std::size_t cc = 3; cc < ncomp; ++cc) {
-          const Sample* src = img.plane(cc).row(y) + rem.x0;
+          const Sample* src = planes[cc].row(y) + rem.x0;
           float* dst = &fplanes[cc][y * stride + rem.x0];
           for (std::size_t x = 0; x < rem.width; ++x) {
             dst[x] = static_cast<float>(src[x]) - off;
@@ -152,7 +153,7 @@ cell::StageTiming stage_mct_lossy(cell::Machine& m, const Image& img,
         }
       } else {
         for (std::size_t cc = 0; cc < ncomp; ++cc) {
-          const Sample* src = img.plane(cc).row(y) + rem.x0;
+          const Sample* src = planes[cc].row(y) + rem.x0;
           float* dst = &fplanes[cc][y * stride + rem.x0];
           for (std::size_t x = 0; x < rem.width; ++x) {
             dst[x] = static_cast<float>(src[x]) - off;
@@ -166,12 +167,13 @@ cell::StageTiming stage_mct_lossy(cell::Machine& m, const Image& img,
   return m.run_data_parallel("levelshift+ict", spe_work, ppe_work);
 }
 
-cell::StageTiming stage_mct_lossy_fixed(cell::Machine& m, const Image& img,
+cell::StageTiming stage_mct_lossy_fixed(cell::Machine& m,
+                                        const std::vector<Plane>& planes,
                                         std::vector<Plane>& fxplanes,
                                         bool color, unsigned depth) {
-  const std::size_t w = img.width();
-  const std::size_t h = img.height();
-  const std::size_t ncomp = img.components();
+  const std::size_t w = planes[0].width();
+  const std::size_t h = planes[0].height();
+  const std::size_t ncomp = planes.size();
   const auto plan = decomp::plan_chunks(
       w, sizeof(Sample), static_cast<std::size_t>(m.num_spes()));
 
@@ -187,22 +189,22 @@ cell::StageTiming stage_mct_lossy_fixed(cell::Machine& m, const Image& img,
     Sample* fcr = ctx.ls.alloc<Sample>(cw);
     for (std::size_t y = 0; y < h; ++y) {
       if (color) {
-        dma_get_row(ctx.dma, lr, img.plane(0).row(y) + ch.x0, cw);
-        dma_get_row(ctx.dma, lg, img.plane(1).row(y) + ch.x0, cw);
-        dma_get_row(ctx.dma, lb, img.plane(2).row(y) + ch.x0, cw);
+        dma_get_row(ctx.dma, lr, planes[0].row(y) + ch.x0, cw);
+        dma_get_row(ctx.dma, lg, planes[1].row(y) + ch.x0, cw);
+        dma_get_row(ctx.dma, lb, planes[2].row(y) + ch.x0, cw);
         simd_shift_ict_fixed_row(ctx.simd, lr, lg, lb, fy, fcb, fcr, cw,
                                  depth);
         dma_put_row(ctx.dma, fy, fxplanes[0].row(y) + ch.x0, cw);
         dma_put_row(ctx.dma, fcb, fxplanes[1].row(y) + ch.x0, cw);
         dma_put_row(ctx.dma, fcr, fxplanes[2].row(y) + ch.x0, cw);
         for (std::size_t c = 3; c < ncomp; ++c) {
-          dma_get_row(ctx.dma, lr, img.plane(c).row(y) + ch.x0, cw);
+          dma_get_row(ctx.dma, lr, planes[c].row(y) + ch.x0, cw);
           simd_shift_to_fixed_row(ctx.simd, lr, fy, cw, depth);
           dma_put_row(ctx.dma, fy, fxplanes[c].row(y) + ch.x0, cw);
         }
       } else {
         for (std::size_t c = 0; c < ncomp; ++c) {
-          dma_get_row(ctx.dma, lr, img.plane(c).row(y) + ch.x0, cw);
+          dma_get_row(ctx.dma, lr, planes[c].row(y) + ch.x0, cw);
           simd_shift_to_fixed_row(ctx.simd, lr, fy, cw, depth);
           dma_put_row(ctx.dma, fy, fxplanes[c].row(y) + ch.x0, cw);
         }
@@ -217,20 +219,20 @@ cell::StageTiming stage_mct_lossy_fixed(cell::Machine& m, const Image& img,
     for (std::size_t y = 0; y < h; ++y) {
       if (color) {
         jp2k::shift_ict_forward_row_fixed(
-            img.plane(0).row(y) + rem.x0, img.plane(1).row(y) + rem.x0,
-            img.plane(2).row(y) + rem.x0, fxplanes[0].row(y) + rem.x0,
+            planes[0].row(y) + rem.x0, planes[1].row(y) + rem.x0,
+            planes[2].row(y) + rem.x0, fxplanes[0].row(y) + rem.x0,
             fxplanes[1].row(y) + rem.x0, fxplanes[2].row(y) + rem.x0,
             rem.width, depth);
         c.s_int += rem.width * kPpeShiftIctOps;
         for (std::size_t cc = 3; cc < ncomp; ++cc) {
-          jp2k::shift_to_fixed_row(img.plane(cc).row(y) + rem.x0,
+          jp2k::shift_to_fixed_row(planes[cc].row(y) + rem.x0,
                                    fxplanes[cc].row(y) + rem.x0, rem.width,
                                    depth);
           c.s_int += rem.width * kPpeShiftOps;
         }
       } else {
         for (std::size_t cc = 0; cc < ncomp; ++cc) {
-          jp2k::shift_to_fixed_row(img.plane(cc).row(y) + rem.x0,
+          jp2k::shift_to_fixed_row(planes[cc].row(y) + rem.x0,
                                    fxplanes[cc].row(y) + rem.x0, rem.width,
                                    depth);
           c.s_int += rem.width * kPpeShiftOps;

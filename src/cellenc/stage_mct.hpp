@@ -17,15 +17,18 @@ cell::StageTiming stage_mct_lossless(cell::Machine& m,
                                      unsigned depth);
 
 /// Lossy path: level shift (+ ICT when `color`), integer planes -> float
-/// planes of the same stride (cache-line aligned storage).
-cell::StageTiming stage_mct_lossy(cell::Machine& m, const Image& img,
+/// planes of the same stride (cache-line aligned storage).  Reads directly
+/// from the working planes the read stage produced — no intermediate copy.
+cell::StageTiming stage_mct_lossy(cell::Machine& m,
+                                  const std::vector<Plane>& planes,
                                   std::vector<AlignedBuffer<float>>& fplanes,
                                   std::size_t stride, bool color,
                                   unsigned depth);
 
 /// Fixed-point lossy path: level shift (+ fixed ICT when `color`), integer
 /// planes -> Q13 planes (the paper's §4 "before" configuration).
-cell::StageTiming stage_mct_lossy_fixed(cell::Machine& m, const Image& img,
+cell::StageTiming stage_mct_lossy_fixed(cell::Machine& m,
+                                        const std::vector<Plane>& planes,
                                         std::vector<Plane>& fxplanes,
                                         bool color, unsigned depth);
 

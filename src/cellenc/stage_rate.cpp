@@ -1,0 +1,139 @@
+#include "cellenc/stage_rate.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "decomp/work_queue.hpp"
+#include "jp2k/encoder.hpp"
+#include "jp2k/t2_encoder.hpp"
+
+namespace cj2k::cellenc {
+
+namespace {
+
+/// Modeled DMA footprint of one hull segment shipped from a worker's Local
+/// Store to the PPE's merge, and of a packet byte moved during assembly.
+constexpr std::uint64_t kHullSegmentBytes = 32;
+
+/// Per-block bookkeeping ops charged per refinement iteration (selection
+/// reset + per-layer freeze writes).
+double reset_cycles_per_block(int layers) {
+  return 4.0 + static_cast<double>(layers);
+}
+
+}  // namespace
+
+LossyTailResult stage_rate_tail(cell::Machine& m, jp2k::Tile& tile,
+                                const Image& img,
+                                const jp2k::CodingParams& params,
+                                HullCapture& hulls) {
+  CJ2K_CHECK_MSG(params.rate > 0.0 || params.layers > 1,
+                 "lossy tail needs a rate target or multiple layers");
+  const auto& cp = m.model().params();
+  const double hz = cp.clock_hz;
+  LossyTailResult res;
+
+  std::uint64_t nsegs = 0;
+  for (const auto& l : hulls.worker_lists) nsegs += l.size();
+  std::uint64_t nblocks = 0;
+  for (const auto& tc : tile.components) {
+    for (const auto& sb : tc.subbands) nblocks += sb.blocks.size();
+  }
+
+  // --- Slope merge: K sorted worker lists -> the global slope order.
+  // Serial on the PPE, but O(S log K) instead of the serial sort's
+  // O(S log S); charged per emitted segment.
+  const auto segments = jp2k::merge_segment_lists(std::move(hulls.worker_lists));
+
+  // --- Greedy λ-threshold scan + budget refinement (mirrors
+  // jp2k::finish_tile so the selection — and therefore the codestream —
+  // is byte-identical to the serial reference).
+  if (params.layers > 1) {
+    const auto budgets = jp2k::plan_layer_budgets(tile, img, params);
+    res.stats = jp2k::rate_control_layered_presorted(tile, budgets, segments,
+                                                     hulls.stats);
+    if (params.rate <= 0.0) {
+      jp2k::force_lossless_final_layer(tile);
+    }
+  } else {
+    const auto budget = static_cast<std::size_t>(
+        params.rate * static_cast<double>(img.raw_bytes()));
+    res.stats = jp2k::rate_control_presorted(tile, budget, segments,
+                                             hulls.stats);
+  }
+
+  // --- Precinct-parallel Tier-2: code the independent (component,
+  // resolution) streams on the worker pool, then stitch serially.
+  const auto parts = jp2k::t2_encode_precincts(tile, /*parallel=*/true);
+  const auto packets = jp2k::t2_stitch(tile, parts);
+  res.codestream = jp2k::frame_codestream(tile, img, params, packets);
+
+  // --- Simulated timing ----------------------------------------------------
+  // Worker pool for precinct coding: SPEs + PPE threads with their own
+  // per-byte speeds (T2 is branchy bit-packing — the SPE is the slower
+  // element, as with Tier-1).
+  std::vector<double> t2_speed;
+  for (int i = 0; i < m.num_spes(); ++i) {
+    t2_speed.push_back(cp.spe_t2_cycles_per_byte / hz);
+  }
+  for (int i = 0; i < m.num_ppe_threads(); ++i) {
+    t2_speed.push_back(cp.ppe_t2_cycles_per_byte / hz);
+  }
+  if (t2_speed.empty()) t2_speed.push_back(cp.ppe_t2_cycles_per_byte / hz);
+
+  std::vector<double> part_bytes;
+  part_bytes.reserve(parts.size());
+  std::uint64_t packet_bytes = 0;
+  for (const auto& ps : parts) {
+    part_bytes.push_back(static_cast<double>(ps.total_bytes));
+    packet_bytes += ps.total_bytes;
+  }
+  // Makespan of one parallel sizing/assembly pass over the precinct
+  // streams.  Refinement iterations are charged with the final sizes (a
+  // slight underestimate for early, larger selections; the iteration count
+  // is small and bounded at 8).
+  const double precinct_pass =
+      decomp::schedule_virtual(part_bytes, t2_speed).makespan;
+
+  const double merge_sec =
+      static_cast<double>(nsegs) * cp.ppe_merge_cycles_per_seg / hz;
+  const double scan_sec =
+      static_cast<double>(res.stats.iterations) *
+      (static_cast<double>(nsegs) * cp.ppe_rate_scan_cycles_per_seg +
+       static_cast<double>(nblocks) * reset_cycles_per_block(tile.layers)) /
+      hz;
+
+  res.rate_timing.name = "rate";
+  // Sequential phases: serial merge + per-iteration [serial scan ->
+  // parallel sizing].  The parallel share is reported as spe_compute.
+  res.rate_timing.ppe = merge_sec + scan_sec;
+  res.rate_timing.spe_compute =
+      static_cast<double>(res.stats.iterations) * precinct_pass;
+  res.rate_timing.dma_bytes = nsegs * kHullSegmentBytes;
+  res.rate_timing.dma_aggregate =
+      static_cast<double>(res.rate_timing.dma_bytes) / m.total_mem_bw();
+  res.rate_timing.seconds =
+      res.rate_timing.ppe + res.rate_timing.spe_compute;
+
+  res.t2_timing.name = "t2";
+  res.t2_timing.spe_compute = precinct_pass;
+  // Serial header-stitch + framing over the finished stream.
+  res.t2_timing.ppe = static_cast<double>(res.codestream.size()) *
+                      cp.ppe_t2_stitch_cycles_per_byte / hz;
+  res.t2_timing.dma_bytes = 2 * packet_bytes;  // bodies out, stitch reads.
+  res.t2_timing.dma_aggregate =
+      static_cast<double>(res.t2_timing.dma_bytes) / m.total_mem_bw();
+  res.t2_timing.seconds =
+      std::max(res.t2_timing.spe_compute, res.t2_timing.dma_aggregate) +
+      res.t2_timing.ppe;
+
+  // The paper-faithful serial charges, for the Fig.-5 comparison.
+  res.serial_rate_seconds =
+      static_cast<double>(res.stats.passes_considered) *
+      cp.ppe_rate_cycles_per_pass / hz;
+  res.serial_t2_seconds = static_cast<double>(res.codestream.size()) *
+                          cp.ppe_t2_cycles_per_byte / hz;
+  return res;
+}
+
+}  // namespace cj2k::cellenc

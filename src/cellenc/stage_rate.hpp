@@ -1,0 +1,55 @@
+// Pipeline stage: the distributed lossy tail — PCRD rate control plus
+// precinct-parallel Tier-2 (going past the paper, which leaves this whole
+// span serial on the PPE and watches it grow to ~60% of lossy encode time
+// at 16 SPEs; Fig. 5).
+//
+// Decomposition (DESIGN.md §5):
+//   * per-block R-D hulls were already built on the Tier-1 workers
+//     (stage_t1 + HullCapture) — their cost hides under the T1 span;
+//   * the per-worker slope-sorted lists are k-way merged on the PPE
+//     (O(S log K), charged per segment) — replacing the serial O(S log S)
+//     sort;
+//   * the greedy λ-threshold scan stays serial: every truncation decision
+//     depends on the global slope order (the paper's ordering constraint);
+//   * each budget-refinement iteration sizes the stream by coding the
+//     independent (component, resolution) precinct streams in parallel on
+//     SPE + PPE workers, with only the stitch/sum serial;
+//   * final Tier-2 body assembly reuses the same precinct decomposition,
+//     followed by a serial header-stitch pass.
+//
+// The stage reuses jp2k's rate_control_*_presorted and t2_encode_precincts
+// directly, so the codestream is byte-identical to jp2k::encode.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cell/machine.hpp"
+#include "cellenc/stage_t1.hpp"
+#include "image/image.hpp"
+#include "jp2k/codestream.hpp"
+#include "jp2k/rate_control.hpp"
+
+namespace cj2k::cellenc {
+
+struct LossyTailResult {
+  std::vector<std::uint8_t> codestream;
+  cell::StageTiming rate_timing;  ///< "rate": merge + scans + sizing.
+  cell::StageTiming t2_timing;    ///< "t2": parallel assembly + stitch.
+  jp2k::RateControlStats stats;
+  /// What the paper's serial tail would have charged for the same work
+  /// (rate allocation at ppe_rate_cycles_per_pass, Tier-2 at
+  /// ppe_t2_cycles_per_byte) — the baseline the benches print alongside.
+  double serial_rate_seconds = 0;
+  double serial_t2_seconds = 0;
+};
+
+/// Runs rate control (single- or multi-layer, mirroring jp2k::finish_tile)
+/// and Tier-2 + framing over the machine model.  `hulls` is the capture
+/// filled by stage_t1; its worker lists are consumed (moved out).
+LossyTailResult stage_rate_tail(cell::Machine& m, jp2k::Tile& tile,
+                                const Image& img,
+                                const jp2k::CodingParams& params,
+                                HullCapture& hulls);
+
+}  // namespace cj2k::cellenc

@@ -16,31 +16,50 @@ struct BlockRef {
   jp2k::Subband* sb;
   jp2k::CodeBlock* cb;
   std::size_t component;
+  double hull_weight;  ///< Subband distortion weight for the R-D hull.
 };
+
+/// Modeled DMA footprint of shipping a block's pass records to the hull
+/// builder and its hull segments back (Pass: trunc_len + dist_reduction).
+constexpr std::uint64_t kPassRecordBytes = 16;
+constexpr std::uint64_t kHullSegmentBytes = 32;
 
 }  // namespace
 
 T1StageResult stage_t1(cell::Machine& m, jp2k::Tile& tile,
                        const std::vector<Span2d<const Sample>>& coeff_planes,
-                       T1Distribution dist, const jp2k::T1Options& t1opt) {
+                       T1Distribution dist, const jp2k::T1Options& t1opt,
+                       HullCapture* hulls) {
   CJ2K_CHECK(coeff_planes.size() == tile.components.size());
 
-  // Flatten the block list (the work queue's contents).
+  // Flatten the block list (the work queue's contents).  The flattening
+  // order is the canonical tile traversal, so the index doubles as the
+  // deterministic hull-segment ordinal.
   std::vector<BlockRef> blocks;
   for (std::size_t c = 0; c < tile.components.size(); ++c) {
     for (auto& sb : tile.components[c].subbands) {
-      for (auto& cb : sb.blocks) blocks.push_back({&sb, &cb, c});
+      const double w = hulls ? jp2k::hull_weight(sb, hulls->wavelet,
+                                                 tile.levels)
+                             : 0.0;
+      for (auto& cb : sb.blocks) blocks.push_back({&sb, &cb, c, w});
     }
   }
 
-  // Host-parallel encode through a real work queue.
+  // Host-parallel encode through a real work queue.  Each worker keeps a
+  // private hull-segment list (sorted at drain time) so hull construction
+  // needs no synchronization and overlaps blocks still being T1-coded.
   decomp::WorkQueue queue(blocks.size());
   const unsigned host_threads =
       std::max(1u, std::thread::hardware_concurrency());
+  if (hulls) {
+    hulls->worker_lists.assign(host_threads, {});
+    hulls->stats = {};
+  }
+  std::vector<jp2k::RateControlStats> worker_stats(host_threads);
   std::vector<std::thread> pool;
   std::exception_ptr first_error;
   std::mutex error_mu;
-  auto worker = [&] {
+  auto worker = [&](unsigned t) {
     try {
       std::size_t idx;
       while (queue.pop(idx)) {
@@ -50,16 +69,30 @@ T1StageResult stage_t1(cell::Machine& m, jp2k::Tile& tile,
             br.cb->h);
         br.cb->enc = jp2k::t1_encode_block(view, br.sb->info.orient, t1opt);
         br.cb->include_all();
+        if (hulls) {
+          jp2k::build_block_hull(*br.cb, br.hull_weight, idx,
+                                 hulls->worker_lists[t], &worker_stats[t]);
+        }
+      }
+      if (hulls) {
+        std::sort(hulls->worker_lists[t].begin(),
+                  hulls->worker_lists[t].end(), jp2k::hull_segment_before);
       }
     } catch (...) {
       std::lock_guard<std::mutex> lock(error_mu);
       if (!first_error) first_error = std::current_exception();
     }
   };
-  for (unsigned t = 1; t < host_threads; ++t) pool.emplace_back(worker);
-  worker();
+  for (unsigned t = 1; t < host_threads; ++t) pool.emplace_back(worker, t);
+  worker(0);
   for (auto& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
+  if (hulls) {
+    for (const auto& ws : worker_stats) {
+      hulls->stats.passes_considered += ws.passes_considered;
+      hulls->stats.hull_points += ws.hull_points;
+    }
+  }
 
   // Band bit-plane maxima (needed by Tier-2).
   for (auto& tc : tile.components) {
@@ -72,46 +105,74 @@ T1StageResult stage_t1(cell::Machine& m, jp2k::Tile& tile,
     }
   }
 
-  // Virtual-time replay: SPE and PPE workers with their per-symbol speeds.
+  // Virtual-time replay: SPE and PPE workers with their per-symbol speeds;
+  // with hull capture, each block carries a per-pass hull tail executed on
+  // the same worker (fused schedule).
   const auto& cp = m.model().params();
-  std::vector<double> speed;  // seconds per symbol
+  std::vector<double> speed;       // seconds per symbol
+  std::vector<double> hull_speed;  // seconds per coding pass
   for (int i = 0; i < m.num_spes(); ++i) {
     speed.push_back(cp.spe_t1_cycles_per_symbol / cp.clock_hz);
+    hull_speed.push_back(cp.spe_rate_hull_cycles_per_pass / cp.clock_hz);
   }
   for (int i = 0; i < m.num_ppe_threads(); ++i) {
     speed.push_back(cp.ppe_t1_cycles_per_symbol / cp.clock_hz);
+    hull_speed.push_back(cp.ppe_rate_hull_cycles_per_pass / cp.clock_hz);
   }
   CJ2K_CHECK_MSG(!speed.empty(), "T1 needs at least one processing element");
 
-  std::vector<double> cost;  // symbols per block
+  std::vector<double> cost;       // symbols per block
+  std::vector<double> hull_cost;  // coding passes per block
   cost.reserve(blocks.size());
+  hull_cost.reserve(blocks.size());
   T1StageResult res;
   std::uint64_t dma_bytes = 0;
+  std::uint64_t total_passes = 0;
   for (const auto& br : blocks) {
     cost.push_back(static_cast<double>(br.cb->enc.total_symbols));
+    hull_cost.push_back(static_cast<double>(br.cb->enc.passes.size()));
+    total_passes += br.cb->enc.passes.size();
     res.total_symbols += br.cb->enc.total_symbols;
     dma_bytes += static_cast<std::uint64_t>(br.cb->w) * br.cb->h *
                  sizeof(Sample)              // coefficients in
                  + br.cb->enc.data.size();   // codeword out
   }
   res.total_blocks = blocks.size();
+  if (hulls) {
+    // Pass records in, hull segments out of the Local Store.
+    dma_bytes += total_passes * kPassRecordBytes +
+                 hulls->stats.hull_points * kHullSegmentBytes;
+  }
 
   const auto queue_sched = decomp::schedule_virtual(cost, speed);
   const auto static_sched = decomp::schedule_static(cost, speed);
   res.queue_makespan = queue_sched.makespan;
   res.static_makespan = static_sched.makespan;
 
-  const auto& chosen =
-      dist == T1Distribution::kWorkQueue ? queue_sched : static_sched;
+  double chosen_makespan = dist == T1Distribution::kWorkQueue
+                               ? queue_sched.makespan
+                               : static_sched.makespan;
+  if (hulls) {
+    const auto fused =
+        dist == T1Distribution::kWorkQueue
+            ? decomp::schedule_virtual_fused(cost, speed, hull_cost,
+                                             hull_speed)
+            : decomp::schedule_static_fused(cost, speed, hull_cost,
+                                            hull_speed);
+    res.hull_extra_seconds = fused.makespan - chosen_makespan;
+    res.hull_serial_seconds = static_cast<double>(total_passes) *
+                              cp.ppe_rate_hull_cycles_per_pass / cp.clock_hz;
+    chosen_makespan = fused.makespan;
+  }
 
   res.timing.name = "tier1";
   res.timing.dma_bytes = dma_bytes;
   res.timing.dma_aggregate =
       static_cast<double>(dma_bytes) / m.total_mem_bw();
-  res.timing.spe_compute = chosen.makespan;
+  res.timing.spe_compute = chosen_makespan;
   // Computation dominates Tier-1 (high compute-to-communication ratio,
   // paper §3.2); DMA overlaps under double buffering.
-  res.timing.seconds = std::max(chosen.makespan, res.timing.dma_aggregate);
+  res.timing.seconds = std::max(chosen_makespan, res.timing.dma_aggregate);
   return res;
 }
 

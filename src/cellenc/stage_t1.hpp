@@ -6,11 +6,20 @@
 // Muta-style PPE/Tier-2 overlap, so the paper dedicates the PPE to T1).
 // Simulated time comes from replaying the queue in virtual time with each
 // worker's per-symbol speed.
+//
+// Going past the paper: when a HullCapture is supplied, every worker also
+// builds the R-D convex hull of each block it just coded (the first phase
+// of PCRD rate control), keeping per-worker slope-sorted segment lists.
+// The hull cost rides the same work queue, so it hides under the Tier-1
+// span instead of being appended serially to the rate stage — the replay
+// uses a fused schedule and reports how much of the hull work was
+// absorbed.
 #pragma once
 
 #include "cell/machine.hpp"
 #include "common/span2d.hpp"
 #include "image/image.hpp"
+#include "jp2k/rate_control.hpp"
 #include "jp2k/tile.hpp"
 
 namespace cj2k::cellenc {
@@ -20,21 +29,40 @@ enum class T1Distribution {
   kStatic,      ///< Round-robin (ablation D baseline).
 };
 
+/// Request + result of overlapped per-block hull construction.
+struct HullCapture {
+  /// In: wavelet kind (selects the subband distortion weights).
+  jp2k::WaveletKind wavelet = jp2k::WaveletKind::kIrreversible97;
+  /// Out: per-worker segment lists, each sorted by hull_segment_before —
+  /// ready for the PPE's k-way merge (cellenc/stage_rate).
+  std::vector<std::vector<jp2k::HullSegment>> worker_lists;
+  /// Out: hull-building counters (passes_considered / hull_points).
+  jp2k::RateControlStats stats;
+};
+
 struct T1StageResult {
   cell::StageTiming timing;
   std::uint64_t total_symbols = 0;
   std::uint64_t total_blocks = 0;
-  double queue_makespan = 0;    ///< Seconds (same as timing.seconds).
+  double queue_makespan = 0;    ///< T1-only seconds under the work queue.
   double static_makespan = 0;   ///< What static distribution would cost.
+  /// Hull overlap accounting (zero unless a HullCapture was supplied):
+  /// the T1 span growth caused by fusing the hull builds onto the queue…
+  double hull_extra_seconds = 0;
+  /// …vs. what the same hull work costs appended serially on one PPE
+  /// (the baseline the paper's serial rate stage pays).
+  double hull_serial_seconds = 0;
 };
 
 /// Encodes every code block of every subband of the tile (coefficients are
 /// read from `coeff_planes[c]`), filling the tile's CodeBlock::enc fields.
 /// Host execution is multithreaded; simulated time replays the chosen
-/// distribution policy over the per-block symbol counts.
+/// distribution policy over the per-block symbol counts.  With `hulls`,
+/// each worker also builds the blocks' R-D hulls (see above).
 T1StageResult stage_t1(cell::Machine& m, jp2k::Tile& tile,
                        const std::vector<Span2d<const Sample>>& coeff_planes,
                        T1Distribution dist = T1Distribution::kWorkQueue,
-                       const jp2k::T1Options& t1opt = {});
+                       const jp2k::T1Options& t1opt = {},
+                       HullCapture* hulls = nullptr);
 
 }  // namespace cj2k::cellenc

@@ -48,4 +48,51 @@ Schedule schedule_static(const std::vector<double>& item_cost,
   return s;
 }
 
+Schedule schedule_virtual_fused(const std::vector<double>& item_cost,
+                                const std::vector<double>& worker_speed_factor,
+                                const std::vector<double>& tail_cost,
+                                const std::vector<double>& tail_speed_factor) {
+  CJ2K_CHECK_MSG(!worker_speed_factor.empty(), "need at least one worker");
+  CJ2K_CHECK_MSG(tail_cost.size() == item_cost.size(),
+                 "one tail cost per item");
+  CJ2K_CHECK_MSG(tail_speed_factor.size() == worker_speed_factor.size(),
+                 "one tail speed per worker");
+  Schedule s;
+  s.assignment.resize(item_cost.size());
+  s.worker_time.assign(worker_speed_factor.size(), 0.0);
+  for (std::size_t i = 0; i < item_cost.size(); ++i) {
+    std::size_t best = 0;
+    for (std::size_t w = 1; w < s.worker_time.size(); ++w) {
+      if (s.worker_time[w] < s.worker_time[best]) best = w;
+    }
+    s.worker_time[best] += item_cost[i] * worker_speed_factor[best] +
+                           tail_cost[i] * tail_speed_factor[best];
+    s.assignment[i] = static_cast<int>(best);
+  }
+  s.makespan = finish(s);
+  return s;
+}
+
+Schedule schedule_static_fused(const std::vector<double>& item_cost,
+                               const std::vector<double>& worker_speed_factor,
+                               const std::vector<double>& tail_cost,
+                               const std::vector<double>& tail_speed_factor) {
+  CJ2K_CHECK_MSG(!worker_speed_factor.empty(), "need at least one worker");
+  CJ2K_CHECK_MSG(tail_cost.size() == item_cost.size(),
+                 "one tail cost per item");
+  CJ2K_CHECK_MSG(tail_speed_factor.size() == worker_speed_factor.size(),
+                 "one tail speed per worker");
+  Schedule s;
+  s.assignment.resize(item_cost.size());
+  s.worker_time.assign(worker_speed_factor.size(), 0.0);
+  for (std::size_t i = 0; i < item_cost.size(); ++i) {
+    const std::size_t w = i % s.worker_time.size();
+    s.worker_time[w] += item_cost[i] * worker_speed_factor[w] +
+                        tail_cost[i] * tail_speed_factor[w];
+    s.assignment[i] = static_cast<int>(w);
+  }
+  s.makespan = finish(s);
+  return s;
+}
+
 }  // namespace cj2k::decomp

@@ -57,4 +57,23 @@ Schedule schedule_virtual(const std::vector<double>& item_cost,
 Schedule schedule_static(const std::vector<double>& item_cost,
                          const std::vector<double>& worker_speed_factor);
 
+/// Earliest-free-worker assignment where every item carries a fused *tail*
+/// job executed on the same worker immediately after the main job (e.g.
+/// the R-D hull build that follows a block's Tier-1 coding).  The tail may
+/// run at a different per-worker speed — branchy scalar code vs the main
+/// kernel — so it has its own speed vector.  Worker w spends
+///   item_cost[i]*worker_speed_factor[w] + tail_cost[i]*tail_speed_factor[w]
+/// on item i.  Comparing this makespan against schedule_virtual's shows
+/// how much of the tail work the queue absorbs into the main span.
+Schedule schedule_virtual_fused(const std::vector<double>& item_cost,
+                                const std::vector<double>& worker_speed_factor,
+                                const std::vector<double>& tail_cost,
+                                const std::vector<double>& tail_speed_factor);
+
+/// Round-robin variant of schedule_virtual_fused (ablation baseline).
+Schedule schedule_static_fused(const std::vector<double>& item_cost,
+                               const std::vector<double>& worker_speed_factor,
+                               const std::vector<double>& tail_cost,
+                               const std::vector<double>& tail_speed_factor);
+
 }  // namespace cj2k::decomp

@@ -256,6 +256,68 @@ Tile build_tile(const Image& img, const CodingParams& params,
   return tile;
 }
 
+std::vector<std::size_t> plan_layer_budgets(const Tile& tile,
+                                            const Image& img,
+                                            const CodingParams& params) {
+  // Layer budgets: final from the rate target (or "everything" for
+  // lossless), intermediates spaced logarithmically (each layer roughly
+  // doubles the bit budget — the usual quality-progressive spacing).
+  std::size_t final_budget;
+  if (params.rate > 0.0) {
+    final_budget = static_cast<std::size_t>(
+        params.rate * static_cast<double>(img.raw_bytes()));
+  } else {
+    std::size_t all = 4096;
+    for (const auto& tc : tile.components) {
+      for (const auto& sb : tc.subbands) {
+        for (const auto& cb : sb.blocks) all += cb.enc.data.size() + 8;
+      }
+    }
+    final_budget = 2 * all;  // effectively unbounded
+  }
+  std::vector<std::size_t> budgets(static_cast<std::size_t>(params.layers));
+  for (int l = 0; l < params.layers; ++l) {
+    budgets[static_cast<std::size_t>(l)] =
+        final_budget >> (params.layers - 1 - l);
+  }
+  return budgets;
+}
+
+void force_lossless_final_layer(Tile& tile) {
+  for (auto& tc : tile.components) {
+    for (auto& sb : tc.subbands) {
+      for (auto& cb : sb.blocks) {
+        cb.included_passes = static_cast<int>(cb.enc.passes.size());
+        cb.included_len = cb.enc.data.size();
+        if (!cb.layer_passes.empty()) {
+          cb.layer_passes.back() = cb.included_passes;
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::uint8_t> frame_codestream(
+    const Tile& tile, const Image& img, const CodingParams& params,
+    const std::vector<std::uint8_t>& packets) {
+  StreamHeader hdr;
+  hdr.width = img.width();
+  hdr.height = img.height();
+  hdr.components = img.components();
+  hdr.bit_depth = img.bit_depth();
+  hdr.params = params;
+  hdr.band_meta.resize(tile.components.size());
+  for (std::size_t c = 0; c < tile.components.size(); ++c) {
+    for (const auto& sb : tile.components[c].subbands) {
+      hdr.band_meta[c].push_back(
+          {static_cast<std::uint8_t>(sb.info.orient),
+           static_cast<std::uint8_t>(sb.info.level), sb.band_numbps,
+           sb.quant_step});
+    }
+  }
+  return write_codestream(hdr, packets);
+}
+
 std::vector<std::uint8_t> finish_tile(Tile& tile, const Image& img,
                                       const CodingParams& params,
                                       EncodeStats* stats) {
@@ -263,42 +325,10 @@ std::vector<std::uint8_t> finish_tile(Tile& tile, const Image& img,
 
   // Rate control / layer allocation.
   if (params.layers > 1) {
-    // Layer budgets: final from the rate target (or "everything" for
-    // lossless), intermediates spaced logarithmically (each layer roughly
-    // doubles the bit budget — the usual quality-progressive spacing).
-    std::size_t final_budget;
-    if (params.rate > 0.0) {
-      final_budget = static_cast<std::size_t>(
-          params.rate * static_cast<double>(img.raw_bytes()));
-    } else {
-      std::size_t all = 4096;
-      for (const auto& tc : tile.components) {
-        for (const auto& sb : tc.subbands) {
-          for (const auto& cb : sb.blocks) all += cb.enc.data.size() + 8;
-        }
-      }
-      final_budget = 2 * all;  // effectively unbounded
-    }
-    std::vector<std::size_t> budgets(static_cast<std::size_t>(params.layers));
-    for (int l = 0; l < params.layers; ++l) {
-      budgets[static_cast<std::size_t>(l)] =
-          final_budget >> (params.layers - 1 - l);
-    }
+    const auto budgets = plan_layer_budgets(tile, img, params);
     const auto rc = rate_control_layered(tile, budgets, params.wavelet);
     if (params.rate <= 0.0) {
-      // Lossless multi-layer: the final layer must carry every pass (the
-      // R-D hull may drop zero-distortion tail passes otherwise).
-      for (auto& tc : tile.components) {
-        for (auto& sb : tc.subbands) {
-          for (auto& cb : sb.blocks) {
-            cb.included_passes = static_cast<int>(cb.enc.passes.size());
-            cb.included_len = cb.enc.data.size();
-            if (!cb.layer_passes.empty()) {
-              cb.layer_passes.back() = cb.included_passes;
-            }
-          }
-        }
-      }
+      force_lossless_final_layer(tile);
     }
     if (stats) {
       stats->rate = rc;
@@ -322,23 +352,7 @@ std::vector<std::uint8_t> finish_tile(Tile& tile, const Image& img,
 
   stage.reset();
   const auto packets = t2_encode(tile);
-
-  StreamHeader hdr;
-  hdr.width = img.width();
-  hdr.height = img.height();
-  hdr.components = img.components();
-  hdr.bit_depth = img.bit_depth();
-  hdr.params = params;
-  hdr.band_meta.resize(tile.components.size());
-  for (std::size_t c = 0; c < tile.components.size(); ++c) {
-    for (const auto& sb : tile.components[c].subbands) {
-      hdr.band_meta[c].push_back(
-          {static_cast<std::uint8_t>(sb.info.orient),
-           static_cast<std::uint8_t>(sb.info.level), sb.band_numbps,
-           sb.quant_step});
-    }
-  }
-  auto bytes = write_codestream(hdr, packets);
+  auto bytes = frame_codestream(tile, img, params, packets);
   if (stats) stats->t2_seconds = stage.seconds();
   return bytes;
 }

@@ -43,4 +43,24 @@ std::vector<std::uint8_t> finish_tile(Tile& tile, const Image& img,
                                       const CodingParams& params,
                                       EncodeStats* stats = nullptr);
 
+// The pieces finish_tile composes, exposed so the Cell pipeline's
+// distributed lossy tail (cellenc/stage_rate) reuses exactly the same
+// logic and stays byte-identical to the serial reference.
+
+/// Cumulative per-layer byte budgets for a multi-layer encode: the final
+/// budget from `params.rate` (or "effectively unbounded" when rate <= 0),
+/// intermediates spaced logarithmically.
+std::vector<std::size_t> plan_layer_budgets(const Tile& tile, const Image& img,
+                                            const CodingParams& params);
+
+/// Lossless multi-layer fixup: the final layer must carry every pass (the
+/// R-D hull may drop zero-distortion tail passes otherwise).
+void force_lossless_final_layer(Tile& tile);
+
+/// Wraps a finished packet stream in the codestream framing (SIZ/COD/QCD
+/// main header, tile header, EOC).
+std::vector<std::uint8_t> frame_codestream(
+    const Tile& tile, const Image& img, const CodingParams& params,
+    const std::vector<std::uint8_t>& packets);
+
 }  // namespace cj2k::jp2k

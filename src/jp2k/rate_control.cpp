@@ -8,21 +8,16 @@
 
 namespace cj2k::jp2k {
 
-namespace {
+double hull_weight(const Subband& sb, WaveletKind kind, int tile_levels) {
+  const double gain = subband_synthesis_gain(kind, sb.info.level,
+                                             sb.info.orient, tile_levels);
+  return (sb.quant_step * gain) * (sb.quant_step * gain);
+}
 
-/// One convex-hull segment of a block's R-D curve.
-struct HullSegment {
-  double slope;          ///< Weighted distortion reduction per byte.
-  std::size_t delta_r;   ///< Bytes this segment adds.
-  CodeBlock* block;
-  int pass_count;        ///< Passes included once this segment is taken.
-  std::size_t trunc_len; ///< Codeword bytes at that point.
-};
-
-/// Builds the strictly-decreasing-slope convex hull of one block's
-/// cumulative (rate, distortion) pass curve.
-void build_hull(CodeBlock& cb, double weight,
-                std::vector<HullSegment>& out, RateControlStats& stats) {
+void build_block_hull(CodeBlock& cb, double weight,
+                      std::uint64_t block_ordinal,
+                      std::vector<HullSegment>& out,
+                      RateControlStats* stats) {
   struct Point {
     std::size_t r;
     double d;
@@ -34,7 +29,7 @@ void build_hull(CodeBlock& cb, double weight,
   std::size_t r = 0;
   double d = 0.0;
   for (std::size_t i = 0; i < cb.enc.passes.size(); ++i) {
-    ++stats.passes_considered;
+    if (stats) ++stats->passes_considered;
     const auto& pi = cb.enc.passes[i];
     r = pi.trunc_len;
     d += pi.dist_reduction * weight;
@@ -61,49 +56,87 @@ void build_hull(CodeBlock& cb, double weight,
   }
 
   for (std::size_t i = 1; i < hull.size(); ++i) {
-    ++stats.hull_points;
+    if (stats) ++stats->hull_points;
     const auto& a = hull[i - 1];
     const auto& b = hull[i];
     out.push_back({(b.d - a.d) / static_cast<double>(b.r - a.r), b.r - a.r,
-                   &cb, b.passes, b.r});
+                   &cb, b.passes, b.r, (block_ordinal << 16) | (i - 1)});
   }
 }
 
-}  // namespace
-
-namespace {
-
-/// Builds and slope-sorts the R-D hull segments for the whole tile.
 std::vector<HullSegment> build_sorted_segments(Tile& tile, WaveletKind kind,
                                                RateControlStats& stats) {
   std::vector<HullSegment> segments;
+  std::uint64_t ordinal = 0;
   for (auto& tc : tile.components) {
     for (auto& sb : tc.subbands) {
-      const double gain = subband_synthesis_gain(kind, sb.info.level,
-                                                 sb.info.orient, tile.levels);
-      const double w = (sb.quant_step * gain) * (sb.quant_step * gain);
+      const double w = hull_weight(sb, kind, tile.levels);
       for (auto& cb : sb.blocks) {
         cb.included_passes = 0;
         cb.included_len = 0;
         cb.layer_passes.clear();
-        build_hull(cb, w, segments, stats);
+        build_block_hull(cb, w, ordinal++, segments, &stats);
       }
     }
   }
-  std::sort(segments.begin(), segments.end(),
-            [](const HullSegment& a, const HullSegment& b) {
-              return a.slope > b.slope;
-            });
+  std::sort(segments.begin(), segments.end(), hull_segment_before);
   return segments;
 }
 
-}  // namespace
+std::vector<HullSegment> merge_segment_lists(
+    std::vector<std::vector<HullSegment>>&& lists) {
+  // Drop empty lists up front.
+  std::vector<std::vector<HullSegment>> src;
+  src.reserve(lists.size());
+  std::size_t total = 0;
+  for (auto& l : lists) {
+    if (!l.empty()) {
+      total += l.size();
+      src.push_back(std::move(l));
+    }
+  }
+  lists.clear();
 
-RateControlStats rate_control(Tile& tile, std::size_t total_budget_bytes,
-                              WaveletKind kind) {
-  RateControlStats stats;
+  std::vector<HullSegment> out;
+  out.reserve(total);
+  if (src.empty()) return out;
+  if (src.size() == 1) return std::move(src.front());
+
+  // Tournament over the K list heads (K is small: one list per worker).
+  std::vector<std::size_t> head(src.size(), 0);
+  struct HeapEntry {
+    const HullSegment* seg;
+    std::size_t list;
+  };
+  auto heap_after = [](const HeapEntry& a, const HeapEntry& b) {
+    // std::push_heap keeps the *largest* on top; "largest" = first in the
+    // slope order.
+    return hull_segment_before(*b.seg, *a.seg);
+  };
+  std::vector<HeapEntry> heap;
+  heap.reserve(src.size());
+  for (std::size_t k = 0; k < src.size(); ++k) {
+    heap.push_back({&src[k][0], k});
+  }
+  std::make_heap(heap.begin(), heap.end(), heap_after);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), heap_after);
+    const HeapEntry top = heap.back();
+    heap.pop_back();
+    out.push_back(*top.seg);
+    const std::size_t next = ++head[top.list];
+    if (next < src[top.list].size()) {
+      heap.push_back({&src[top.list][next], top.list});
+      std::push_heap(heap.begin(), heap.end(), heap_after);
+    }
+  }
+  return out;
+}
+
+RateControlStats rate_control_presorted(
+    Tile& tile, std::size_t total_budget_bytes,
+    const std::vector<HullSegment>& segments, RateControlStats stats) {
   stats.target_bytes = total_budget_bytes;
-  const auto segments = build_sorted_segments(tile, kind, stats);
 
   // Iteratively shrink the body budget until headers + bodies fit.
   std::size_t body_budget =
@@ -144,19 +177,16 @@ RateControlStats rate_control(Tile& tile, std::size_t total_budget_bytes,
   return stats;
 }
 
-RateControlStats rate_control_layered(Tile& tile,
-                                      const std::vector<std::size_t>& budgets,
-                                      WaveletKind kind) {
+RateControlStats rate_control_layered_presorted(
+    Tile& tile, const std::vector<std::size_t>& budgets,
+    const std::vector<HullSegment>& segments, RateControlStats stats) {
   CJ2K_CHECK_MSG(!budgets.empty(), "need at least one layer budget");
   for (std::size_t i = 1; i < budgets.size(); ++i) {
     CJ2K_CHECK_MSG(budgets[i] >= budgets[i - 1],
                    "layer budgets must be ascending");
   }
   tile.layers = static_cast<int>(budgets.size());
-
-  RateControlStats stats;
   stats.target_bytes = budgets.back();
-  const auto segments = build_sorted_segments(tile, kind, stats);
 
   // Final-layer body budget, refined against the real T2 size as in the
   // single-layer path; intermediate layers scale proportionally.
@@ -210,6 +240,21 @@ RateControlStats rate_control_layered(Tile& tile,
         final_body > overshoot + 16 ? final_body - overshoot - 16 : 0;
   }
   return stats;
+}
+
+RateControlStats rate_control(Tile& tile, std::size_t total_budget_bytes,
+                              WaveletKind kind) {
+  RateControlStats stats;
+  const auto segments = build_sorted_segments(tile, kind, stats);
+  return rate_control_presorted(tile, total_budget_bytes, segments, stats);
+}
+
+RateControlStats rate_control_layered(Tile& tile,
+                                      const std::vector<std::size_t>& budgets,
+                                      WaveletKind kind) {
+  RateControlStats stats;
+  const auto segments = build_sorted_segments(tile, kind, stats);
+  return rate_control_layered_presorted(tile, budgets, segments, stats);
 }
 
 }  // namespace cj2k::jp2k

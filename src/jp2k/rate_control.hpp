@@ -6,10 +6,24 @@
 // it sits between Tier-1 and Tier-2 (preventing their overlap) and grows to
 // ~60% of total time at 16 SPEs.  The instrumentation counters here feed
 // that part of the performance model.
+//
+// To let the Cell pipeline distribute the stage, the monolithic
+// rate_control() is split into composable phases:
+//   1. build_block_hull()      — per-block convex hull (parallelizable; the
+//                                 pipeline runs it on the worker that just
+//                                 finished the block's Tier-1 coding);
+//   2. merge_segment_lists()   — k-way merge of per-worker slope-sorted
+//                                 lists (O(S log K), serial on the PPE);
+//   3. rate_control_presorted()/rate_control_layered_presorted() — the
+//      greedy λ-threshold scan and budget refinement, which MUST stay
+//      serial: every truncation decision depends on the global slope order.
+// The serial rate_control()/rate_control_layered() wrappers compose the
+// same phases, so both paths select byte-identical truncation points.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "jp2k/tile.hpp"
 
@@ -23,6 +37,66 @@ struct RateControlStats {
   std::uint64_t hull_points = 0;
   int iterations = 0;              ///< Budget-refinement iterations.
 };
+
+/// One convex-hull segment of a block's R-D curve.
+struct HullSegment {
+  double slope;          ///< Weighted distortion reduction per byte.
+  std::size_t delta_r;   ///< Bytes this segment adds.
+  CodeBlock* block;
+  int pass_count;        ///< Passes included once this segment is taken.
+  std::size_t trunc_len; ///< Codeword bytes at that point.
+  /// Deterministic tiebreak: (block ordinal in tile traversal order << 16)
+  /// | segment index within the block.  Makes the slope order a strict
+  /// total order, so a k-way merge of any partition of the segments equals
+  /// the serial sort — the key to byte-identical parallel rate control.
+  std::uint64_t order = 0;
+};
+
+/// The total order the greedy scan consumes: steepest slope first,
+/// tile-traversal order as the tiebreak.
+inline bool hull_segment_before(const HullSegment& a, const HullSegment& b) {
+  if (a.slope != b.slope) return a.slope > b.slope;
+  return a.order < b.order;
+}
+
+/// Distortion weight of a subband's blocks: (quant_step × synthesis gain)².
+double hull_weight(const Subband& sb, WaveletKind kind, int tile_levels);
+
+/// Builds the strictly-decreasing-slope convex hull of one block's
+/// cumulative (rate, distortion) pass curve and appends its segments to
+/// `out`.  `block_ordinal` is the block's position in the canonical tile
+/// traversal (components → subbands → blocks); it seeds the deterministic
+/// tie-break order.  Reentrant across distinct blocks — the Cell pipeline
+/// calls it concurrently from every Tier-1 worker.
+void build_block_hull(CodeBlock& cb, double weight,
+                      std::uint64_t block_ordinal,
+                      std::vector<HullSegment>& out,
+                      RateControlStats* stats = nullptr);
+
+/// Builds and slope-sorts the R-D hull segments for the whole tile
+/// (the serial phase-1+2; also resets every block's selection state).
+std::vector<HullSegment> build_sorted_segments(Tile& tile, WaveletKind kind,
+                                               RateControlStats& stats);
+
+/// K-way merge of per-worker segment lists, each already sorted by
+/// hull_segment_before, into the single global slope order.  O(S log K)
+/// with a tournament over the list heads; this is the only part of hull
+/// construction that remains serial on the PPE.
+std::vector<HullSegment> merge_segment_lists(
+    std::vector<std::vector<HullSegment>>&& lists);
+
+/// Greedy λ-threshold scan + budget refinement over pre-sorted segments.
+/// `stats` carries the hull-building counters accumulated by the caller
+/// (passes_considered / hull_points); the scan fills in the rest.
+RateControlStats rate_control_presorted(Tile& tile,
+                                        std::size_t total_budget_bytes,
+                                        const std::vector<HullSegment>& segments,
+                                        RateControlStats stats = {});
+
+/// Layered variant of rate_control_presorted (see rate_control_layered).
+RateControlStats rate_control_layered_presorted(
+    Tile& tile, const std::vector<std::size_t>& budgets,
+    const std::vector<HullSegment>& segments, RateControlStats stats = {});
 
 /// Selects `included_passes`/`included_len` for every block of the tile so
 /// the final T2 output (headers + bodies) fits `total_budget_bytes`.

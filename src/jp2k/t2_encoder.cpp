@@ -3,8 +3,10 @@
 #include <bit>
 #include <map>
 #include <memory>
+#include <thread>
 
 #include "common/error.hpp"
+#include "decomp/work_queue.hpp"
 #include "jp2k/tagtree.hpp"
 
 namespace cj2k::jp2k {
@@ -173,35 +175,103 @@ void encode_packet(BitWriter& bw, std::vector<std::uint8_t>& body,
   bw.flush();
 }
 
+/// Codes all layers of one (component, resolution) pair.  The persistent
+/// state (tag trees, Lblock, passes-so-far) lives entirely in the local
+/// T2State — nothing is shared with other precinct streams.
+void encode_precinct_stream(const Tile& tile, T2PrecinctStream& ps) {
+  const auto& tc = tile.components[ps.component];
+  const auto bands = bands_of_resolution(tc, tile.levels, ps.resolution);
+  const int layers = tile.layers;
+  T2State state;
+  ps.layer_bytes.assign(static_cast<std::size_t>(layers), {});
+  ps.total_bytes = 0;
+  for (int l = 0; l < layers; ++l) {
+    BitWriter bw;
+    std::vector<std::uint8_t> body;
+    encode_packet(bw, body, bands, l, layers, state);
+    auto& chunk = ps.layer_bytes[static_cast<std::size_t>(l)];
+    chunk = bw.take();
+    chunk.insert(chunk.end(), body.begin(), body.end());
+    ps.total_bytes += chunk.size();
+  }
+}
+
 }  // namespace
 
-std::vector<std::uint8_t> t2_encode(const Tile& tile) {
+std::vector<T2PrecinctStream> t2_encode_precincts(const Tile& tile,
+                                                  bool parallel) {
+  std::vector<T2PrecinctStream> parts;
+  parts.reserve(tile.components.size() *
+                static_cast<std::size_t>(tile.levels + 1));
+  for (std::size_t c = 0; c < tile.components.size(); ++c) {
+    for (int r = 0; r <= tile.levels; ++r) {
+      T2PrecinctStream ps;
+      ps.component = c;
+      ps.resolution = r;
+      parts.push_back(std::move(ps));
+    }
+  }
+
+  const unsigned host_threads =
+      parallel ? std::max(1u, std::thread::hardware_concurrency()) : 1u;
+  if (host_threads <= 1 || parts.size() <= 1) {
+    for (auto& ps : parts) encode_precinct_stream(tile, ps);
+    return parts;
+  }
+
+  decomp::WorkQueue queue(parts.size());
+  auto worker = [&] {
+    std::size_t idx;
+    while (queue.pop(idx)) encode_precinct_stream(tile, parts[idx]);
+  };
+  std::vector<std::thread> pool;
+  for (unsigned t = 1; t < host_threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& t : pool) t.join();
+  return parts;
+}
+
+std::vector<std::uint8_t> t2_stitch(
+    const Tile& tile, const std::vector<T2PrecinctStream>& parts) {
+  // parts are in (component-major, resolution-minor) order.
+  const auto part_of = [&](std::size_t c, int r) -> const T2PrecinctStream& {
+    const auto& ps =
+        parts[c * static_cast<std::size_t>(tile.levels + 1) +
+              static_cast<std::size_t>(r)];
+    CJ2K_DCHECK(ps.component == c && ps.resolution == r);
+    return ps;
+  };
+  std::size_t total = 0;
+  for (const auto& ps : parts) total += ps.total_bytes;
   std::vector<std::uint8_t> out;
-  T2State state;
-  const int layers = tile.layers;
+  out.reserve(total);
   const auto emit = [&](int l, int r) {
-    for (const auto& tc : tile.components) {
-      const auto bands = bands_of_resolution(tc, tile.levels, r);
-      BitWriter bw;
-      std::vector<std::uint8_t> body;
-      encode_packet(bw, body, bands, l, layers, state);
-      const auto header = bw.take();
-      out.insert(out.end(), header.begin(), header.end());
-      out.insert(out.end(), body.begin(), body.end());
+    for (std::size_t c = 0; c < tile.components.size(); ++c) {
+      const auto& chunk = part_of(c, r).layer_bytes[static_cast<std::size_t>(l)];
+      out.insert(out.end(), chunk.begin(), chunk.end());
     }
   };
   if (tile.progression == 1) {  // RLCP
     for (int r = 0; r <= tile.levels; ++r) {
-      for (int l = 0; l < layers; ++l) emit(l, r);
+      for (int l = 0; l < tile.layers; ++l) emit(l, r);
     }
   } else {  // LRCP
-    for (int l = 0; l < layers; ++l) {
+    for (int l = 0; l < tile.layers; ++l) {
       for (int r = 0; r <= tile.levels; ++r) emit(l, r);
     }
   }
   return out;
 }
 
-std::size_t t2_encoded_size(const Tile& tile) { return t2_encode(tile).size(); }
+std::vector<std::uint8_t> t2_encode(const Tile& tile) {
+  return t2_stitch(tile, t2_encode_precincts(tile));
+}
+
+std::size_t t2_encoded_size(const Tile& tile) {
+  // The size needs no stitch — precinct totals already include headers.
+  std::size_t total = 0;
+  for (const auto& ps : t2_encode_precincts(tile)) total += ps.total_bytes;
+  return total;
+}
 
 }  // namespace cj2k::jp2k

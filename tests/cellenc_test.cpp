@@ -117,13 +117,17 @@ TEST(Pipeline, PpeOnlyBeatsSingleSpeOnT1ButNotOnDwt) {
 }
 
 TEST(Pipeline, LossyRateStageIsSerialBottleneckAtScale) {
+  // The paper's baseline: rate control fully serial on the PPE
+  // (parallel_lossy_tail off reproduces that configuration).
   const Image img = synth::photographic(256, 256, 3, 61);
   jp2k::CodingParams p;
   p.wavelet = jp2k::WaveletKind::kIrreversible97;
   p.rate = 0.1;
+  PipelineOptions opt;
+  opt.parallel_lossy_tail = false;
 
   CellEncoder big(config(16, 2, 2));
-  const auto res = big.encode(img, p);
+  const auto res = big.encode(img, p, opt);
   const double rate_share =
       res.stage_seconds("rate") / res.simulated_seconds;
   // The paper reports ~60% at 16 SPE + 2 PPE; the shape requirement is
@@ -131,10 +135,42 @@ TEST(Pipeline, LossyRateStageIsSerialBottleneckAtScale) {
   EXPECT_GT(rate_share, 0.3);
 
   CellEncoder small(config(1, 1, 1));
-  const auto res_small = small.encode(img, p);
+  const auto res_small = small.encode(img, p, opt);
   const double small_share =
       res_small.stage_seconds("rate") / res_small.simulated_seconds;
   EXPECT_LT(small_share, rate_share);
+}
+
+TEST(Pipeline, DistributedTailBreaksTheRateBottleneck) {
+  // With the distributed lossy tail (the default), the rate + Tier-2 share
+  // at 16 SPEs must drop far below the serial baseline's, and the
+  // codestream must not change.
+  const Image img = synth::photographic(256, 256, 3, 61);
+  jp2k::CodingParams p;
+  p.wavelet = jp2k::WaveletKind::kIrreversible97;
+  p.rate = 0.1;
+
+  CellEncoder big(config(16, 2, 2));
+  PipelineOptions serial_opt;
+  serial_opt.parallel_lossy_tail = false;
+  const auto serial = big.encode(img, p, serial_opt);
+  const auto dist = big.encode(img, p);
+
+  EXPECT_EQ(serial.codestream, dist.codestream);
+
+  const double serial_share =
+      (serial.stage_seconds("rate") + serial.stage_seconds("t2")) /
+      serial.simulated_seconds;
+  const double dist_share =
+      (dist.stage_seconds("rate") + dist.stage_seconds("t2")) /
+      dist.simulated_seconds;
+  EXPECT_LT(dist_share, serial_share * 0.5);
+  EXPECT_LT(dist.simulated_seconds, serial.simulated_seconds);
+
+  // The hull construction rides the Tier-1 work queue: the T1 span may
+  // grow a little, but by far less than the serial hull cost it absorbs.
+  EXPECT_GT(dist.hull_serial_seconds, 0.0);
+  EXPECT_LT(dist.hull_extra_seconds, dist.hull_serial_seconds * 0.5);
 }
 
 TEST(Pipeline, WorkQueueBeatsStaticDistributionOnSkewedContent) {

@@ -1,0 +1,152 @@
+// Distributed lossy tail tests: the parallel rate-control + Tier-2 path
+// (overlapped hull build, k-way slope merge, precinct-parallel Tier-2) must
+// be byte-identical to the serial jp2k::encode across the lossy feature
+// matrix, and the jp2k-layer building blocks must compose exactly like the
+// monolithic functions they replace.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "cellenc/pipeline.hpp"
+#include "image/synth.hpp"
+#include "jp2k/encoder.hpp"
+#include "jp2k/rate_control.hpp"
+#include "jp2k/t2_encoder.hpp"
+
+namespace cj2k {
+namespace {
+
+cell::MachineConfig config(int spes, int ppes = 1, int chips = 1) {
+  cell::MachineConfig cfg;
+  cfg.num_spes = spes;
+  cfg.num_ppe_threads = ppes;
+  cfg.chips = chips;
+  return cfg;
+}
+
+// --- jp2k-layer: the split phases equal the monolithic functions ----------
+
+TEST(ParallelRate, MergedWorkerListsEqualSerialSort) {
+  const Image img = synth::photographic(160, 128, 1, 71);
+  jp2k::CodingParams p;
+  p.wavelet = jp2k::WaveletKind::kIrreversible97;
+  p.mct = false;
+  jp2k::Tile tile = jp2k::build_tile(img, p);
+
+  jp2k::RateControlStats serial_stats;
+  const auto serial = jp2k::build_sorted_segments(
+      tile, p.wavelet, serial_stats);
+
+  // Rebuild the same hulls split across an arbitrary worker partition.
+  std::vector<std::vector<jp2k::HullSegment>> lists(3);
+  jp2k::RateControlStats par_stats;
+  std::uint64_t ordinal = 0;
+  for (auto& tc : tile.components) {
+    for (auto& sb : tc.subbands) {
+      const double w = jp2k::hull_weight(sb, p.wavelet, tile.levels);
+      for (auto& cb : sb.blocks) {
+        jp2k::build_block_hull(cb, w, ordinal, lists[ordinal % 3],
+                               &par_stats);
+        ++ordinal;
+      }
+    }
+  }
+  for (auto& l : lists) {
+    std::sort(l.begin(), l.end(), jp2k::hull_segment_before);
+  }
+  const auto merged = jp2k::merge_segment_lists(std::move(lists));
+
+  ASSERT_EQ(merged.size(), serial.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].order, serial[i].order) << i;
+    EXPECT_EQ(merged[i].slope, serial[i].slope) << i;
+    EXPECT_EQ(merged[i].block, serial[i].block) << i;
+  }
+  EXPECT_EQ(par_stats.hull_points, serial_stats.hull_points);
+  EXPECT_EQ(par_stats.passes_considered, serial_stats.passes_considered);
+}
+
+TEST(ParallelRate, PrecinctT2MatchesMonolithicT2) {
+  const Image img = synth::photographic(160, 128, 3, 72);
+  for (int layers : {1, 3}) {
+    for (auto prog : {jp2k::Progression::kLRCP, jp2k::Progression::kRLCP}) {
+      jp2k::CodingParams p;
+      p.wavelet = jp2k::WaveletKind::kIrreversible97;
+      p.layers = layers;
+      p.progression = prog;
+      p.rate = 0.2;
+      jp2k::Tile tile = jp2k::build_tile(img, p);
+      const auto budgets = jp2k::plan_layer_budgets(tile, img, p);
+      if (layers > 1) {
+        jp2k::rate_control_layered(tile, budgets, p.wavelet);
+      } else {
+        jp2k::rate_control(tile, budgets.back(), p.wavelet);
+      }
+
+      const auto mono = jp2k::t2_encode(tile);
+      for (bool parallel : {false, true}) {
+        auto parts = jp2k::t2_encode_precincts(tile, parallel);
+        EXPECT_EQ(jp2k::t2_encoded_size(tile), mono.size());
+        const auto stitched = jp2k::t2_stitch(tile, parts);
+        EXPECT_EQ(stitched, mono)
+            << "layers=" << layers << " prog=" << static_cast<int>(prog)
+            << " parallel=" << parallel;
+      }
+    }
+  }
+}
+
+// --- Pipeline: byte identity across the lossy feature matrix --------------
+
+using LossyCase = std::tuple<bool /*fixed*/, int /*layers*/,
+                             jp2k::Progression>;
+
+class LossyTailMatrix : public ::testing::TestWithParam<LossyCase> {};
+
+TEST_P(LossyTailMatrix, ParallelTailIsByteIdenticalToSerialEncoder) {
+  const auto [fixed, layers, prog] = GetParam();
+  const Image img = synth::photographic(96, 80, 3, 12345);
+
+  jp2k::CodingParams p;
+  p.wavelet = jp2k::WaveletKind::kIrreversible97;
+  p.fixed_point_97 = fixed;
+  p.levels = 3;
+  p.layers = layers;
+  p.progression = prog;
+  p.rate = 0.25;
+
+  const auto serial = jp2k::encode(img, p);
+  for (int spes : {1, 8, 16}) {
+    cellenc::CellEncoder enc(config(spes, 2));
+    const auto res = enc.encode(img, p);  // parallel tail is the default
+    EXPECT_EQ(res.codestream, serial) << spes << " SPEs";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLossyCombinations, LossyTailMatrix,
+    ::testing::Combine(::testing::Bool(), ::testing::Values(1, 3),
+                       ::testing::Values(jp2k::Progression::kLRCP,
+                                         jp2k::Progression::kRLCP)));
+
+// --- Hull overlap: construction rides the T1 span -------------------------
+
+TEST(ParallelRate, HullConstructionHidesUnderTier1) {
+  const Image img = synth::photographic(256, 256, 3, 73);
+  jp2k::CodingParams p;
+  p.wavelet = jp2k::WaveletKind::kIrreversible97;
+  p.rate = 0.1;
+
+  for (int spes : {4, 16}) {
+    cellenc::CellEncoder enc(config(spes, 2));
+    const auto res = enc.encode(img, p);
+    // Fusing the hull builds onto the Tier-1 queue must absorb most of
+    // their serial cost into idle worker time.
+    EXPECT_GT(res.hull_serial_seconds, 0.0) << spes;
+    EXPECT_LT(res.hull_extra_seconds, res.hull_serial_seconds * 0.5) << spes;
+  }
+}
+
+}  // namespace
+}  // namespace cj2k

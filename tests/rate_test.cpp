@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "image/synth.hpp"
+#include "jp2k/decoder.hpp"
 #include "jp2k/encoder.hpp"
 #include "jp2k/rate_control.hpp"
 #include "jp2k/t2_encoder.hpp"
@@ -86,6 +87,95 @@ TEST(RateControl, TruncationPointsAreAtPassBoundaries) {
       }
     }
   }
+}
+
+TEST(RateControl, ZeroBudgetStreamStillDecodes) {
+  const Image img = synth::photographic(128, 128, 1, 17);
+  CodingParams p;
+  p.wavelet = WaveletKind::kIrreversible97;
+  p.levels = 3;
+  p.mct = false;
+  Tile tile = build_tile(img, p);
+  rate_control(tile, 0, WaveletKind::kIrreversible97);
+  // Everything truncated to nothing — T2 must still emit well-formed
+  // (empty-body) packets and the result must decode.
+  const auto bytes = frame_codestream(tile, img, p, t2_encode(tile));
+  const Image out = decode(bytes);
+  EXPECT_EQ(out.width(), img.width());
+  EXPECT_EQ(out.height(), img.height());
+}
+
+TEST(RateControl, BudgetBelowHeadersStillDecodes) {
+  // A rate so small the byte budget is below the packet-header floor; the
+  // refinement loop must terminate (not oscillate) and yield a decodable,
+  // nearly-empty stream.
+  const Image img = synth::photographic(128, 128, 3, 19);
+  CodingParams p;
+  p.wavelet = WaveletKind::kIrreversible97;
+  p.rate = 1e-6;
+  const auto bytes = encode(img, p);
+  const Image out = decode(bytes);
+  EXPECT_EQ(out.width(), img.width());
+  EXPECT_EQ(out.components(), img.components());
+}
+
+TEST(RateControl, BlocksWithZeroPassesAreHandled) {
+  // A constant image: every subband is all-zero after the DWT, so every
+  // block has zero coding passes and contributes no hull segments.
+  Image img(128, 128, 1, 8);
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    Sample* row = img.plane(0).row(y);
+    for (std::size_t x = 0; x < img.width(); ++x) row[x] = 128;
+  }
+  CodingParams p;
+  p.wavelet = WaveletKind::kIrreversible97;
+  p.levels = 3;
+  p.mct = false;
+  Tile tile = build_tile(img, p);
+  bool saw_zero_pass_block = false;
+  for (const auto& tc : tile.components) {
+    for (const auto& sb : tc.subbands) {
+      for (const auto& cb : sb.blocks) {
+        if (cb.enc.passes.empty()) saw_zero_pass_block = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_zero_pass_block);
+
+  const auto rc = rate_control(tile, 4000, WaveletKind::kIrreversible97);
+  EXPECT_LE(rc.selected_bytes, 4000u);
+  const auto bytes = frame_codestream(tile, img, p, t2_encode(tile));
+  const Image out = decode(bytes);
+  EXPECT_EQ(out.width(), img.width());
+}
+
+TEST(RateControl, LayeredDuplicateBudgetsTerminate) {
+  const Image img = synth::photographic(128, 128, 1, 17);
+  CodingParams p;
+  p.wavelet = WaveletKind::kIrreversible97;
+  p.levels = 3;
+  p.mct = false;
+  p.layers = 3;
+  Tile tile = build_tile(img, p);
+  // Duplicate and equal cumulative budgets: layers 0 and 1 coincide; layer
+  // 1 must simply add nothing, and the stream must stay decodable at every
+  // layer prefix.
+  const std::vector<std::size_t> budgets{5000, 5000, 8000};
+  const auto rc = rate_control_layered(tile, budgets,
+                                       WaveletKind::kIrreversible97);
+  EXPECT_LE(rc.selected_bytes, budgets.back());
+  const auto bytes = frame_codestream(tile, img, p, t2_encode(tile));
+  for (int l = 0; l <= 3; ++l) {
+    const Image out = decode(bytes, l);
+    EXPECT_EQ(out.width(), img.width()) << "layers=" << l;
+  }
+
+  // All-equal budgets must also terminate and decode.
+  Tile tile2 = build_tile(img, p);
+  rate_control_layered(tile2, {4000, 4000, 4000},
+                       WaveletKind::kIrreversible97);
+  const auto bytes2 = frame_codestream(tile2, img, p, t2_encode(tile2));
+  EXPECT_EQ(decode(bytes2).width(), img.width());
 }
 
 TEST(RateControl, LambdaDecreasesWithBudget) {
