@@ -88,6 +88,16 @@ inline void emit_json(const char* bench, const std::string& label,
       first = false;
     }
     std::printf("}");
+    if (res->audit.enabled) {
+      std::printf(",\"audit\":{\"dma_transfers\":%llu,"
+                  "\"dma_inefficient\":%llu,\"ls_peak\":%llu,"
+                  "\"ls_over_budget\":%llu,\"clean\":%s}",
+                  static_cast<unsigned long long>(res->audit.dma_transfers),
+                  static_cast<unsigned long long>(res->audit.dma_inefficient),
+                  static_cast<unsigned long long>(res->audit.ls_peak),
+                  static_cast<unsigned long long>(res->audit.ls_over_budget),
+                  res->audit.clean() ? "true" : "false");
+    }
   }
   std::printf("}\n");
 }

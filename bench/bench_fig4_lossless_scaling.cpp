@@ -24,6 +24,9 @@ void run_figure(const bench::Workload& wl) {
 
   jp2k::CodingParams p;  // defaults = lossless 5/3, 5 levels, RCT
 
+  cellenc::PipelineOptions opt;
+  opt.audit.enabled = true;  // invariant ledger in BENCH_JSON
+
   struct Config {
     const char* label;
     int spes, ppes, chips;
@@ -41,7 +44,7 @@ void run_figure(const bench::Workload& wl) {
   for (const auto& cfg : configs) {
     cellenc::CellEncoder enc(
         bench::machine_config(cfg.spes, cfg.ppes, cfg.chips));
-    const auto res = enc.encode(img, p);
+    const auto res = enc.encode(img, p, opt);
     if (std::string(cfg.label) == "1 SPE") base_1spe = res.simulated_seconds;
     if (std::string(cfg.label) == "1 PPE only") {
       base_ppe = res.simulated_seconds;

@@ -38,6 +38,9 @@ void run_figure(const bench::Workload& wl) {
 
   cellenc::PipelineOptions serial_opt;
   serial_opt.parallel_lossy_tail = false;
+  serial_opt.audit.enabled = true;  // invariant ledger in BENCH_JSON
+  cellenc::PipelineOptions dist_opt;
+  dist_opt.audit.enabled = true;
 
   auto tail_share = [](const cellenc::PipelineResult& r) {
     return (r.stage_seconds("rate") + r.stage_seconds("t2")) /
@@ -75,7 +78,7 @@ void run_figure(const bench::Workload& wl) {
   for (const auto& cfg : configs) {
     cellenc::CellEncoder enc(
         bench::machine_config(cfg.spes, cfg.ppes, cfg.chips));
-    const auto res = enc.encode(img, p);
+    const auto res = enc.encode(img, p, dist_opt);
     if (std::string(cfg.label) == "1 SPE") base_1spe = res.simulated_seconds;
     const double base = base_1spe > 0 ? base_1spe : res.simulated_seconds;
     char extra[96];

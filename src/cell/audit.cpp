@@ -1,0 +1,121 @@
+#include "cell/audit.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace cj2k::cell {
+
+namespace {
+
+constexpr const char* kUntagged = "(untagged)";
+
+thread_local const char* t_site = nullptr;
+
+}  // namespace
+
+AuditSiteScope::AuditSiteScope(const char* site) : prev_(t_site) {
+  t_site = site;
+}
+
+AuditSiteScope::~AuditSiteScope() { t_site = prev_; }
+
+const char* AuditSiteScope::current() {
+  return t_site != nullptr ? t_site : kUntagged;
+}
+
+InvariantAudit::InvariantAudit(const AuditConfig& cfg) : cfg_(cfg) {}
+
+void InvariantAudit::record_dma(std::size_t bytes, bool efficient) {
+  const char* site = AuditSiteScope::current();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SiteAccum& a = sites_[site];
+    ++a.dma_transfers;
+    a.dma_bytes += bytes;
+    if (!efficient) {
+      ++a.dma_inefficient;
+      a.dma_inefficient_bytes += bytes;
+    }
+  }
+  if (!efficient && cfg_.strict) {
+    throw AuditError("inefficient DMA transfer (" + std::to_string(bytes) +
+                     " bytes, not cache-line aligned/sized) at site '" +
+                     site + "'");
+  }
+}
+
+void InvariantAudit::record_ls(std::size_t used_now,
+                               std::size_t data_capacity) {
+  const char* site = AuditSiteScope::current();
+  const std::size_t budget =
+      cfg_.ls_budget != 0 ? cfg_.ls_budget : data_capacity;
+  const bool over = used_now > budget;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SiteAccum& a = sites_[site];
+    if (used_now > a.ls_peak) a.ls_peak = used_now;
+    if (over) ++a.ls_over_budget;
+  }
+  if (over && cfg_.strict) {
+    throw AuditError("Local Store over budget at site '" + std::string(site) +
+                     "': " + std::to_string(used_now) + " of " +
+                     std::to_string(budget) + " bytes");
+  }
+}
+
+AuditReport InvariantAudit::report() const {
+  AuditReport r;
+  r.enabled = cfg_.enabled;
+  r.ls_budget = cfg_.ls_budget;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [site, a] : sites_) {
+    AuditSiteReport s;
+    s.site = site;
+    s.dma_transfers = a.dma_transfers;
+    s.dma_bytes = a.dma_bytes;
+    s.dma_inefficient = a.dma_inefficient;
+    s.dma_inefficient_bytes = a.dma_inefficient_bytes;
+    s.ls_peak = a.ls_peak;
+    s.ls_over_budget = a.ls_over_budget;
+    r.dma_transfers += s.dma_transfers;
+    r.dma_bytes += s.dma_bytes;
+    r.dma_inefficient += s.dma_inefficient;
+    r.dma_inefficient_bytes += s.dma_inefficient_bytes;
+    if (s.ls_peak > r.ls_peak) r.ls_peak = s.ls_peak;
+    r.ls_over_budget += s.ls_over_budget;
+    r.sites.push_back(std::move(s));
+  }
+  return r;
+}
+
+std::string AuditReport::summary() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-22s %10s %12s %8s %10s %6s\n", "site",
+                "transfers", "bytes", "ineff", "ls_peak", "over");
+  out += line;
+  for (const auto& s : sites) {
+    std::snprintf(line, sizeof(line),
+                  "%-22s %10llu %12llu %8llu %10llu %6llu\n", s.site.c_str(),
+                  static_cast<unsigned long long>(s.dma_transfers),
+                  static_cast<unsigned long long>(s.dma_bytes),
+                  static_cast<unsigned long long>(s.dma_inefficient),
+                  static_cast<unsigned long long>(s.ls_peak),
+                  static_cast<unsigned long long>(s.ls_over_budget));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "total: %llu transfers, %llu bytes, %llu inefficient, "
+                "ls peak %llu, %llu over budget — %s\n",
+                static_cast<unsigned long long>(dma_transfers),
+                static_cast<unsigned long long>(dma_bytes),
+                static_cast<unsigned long long>(dma_inefficient),
+                static_cast<unsigned long long>(ls_peak),
+                static_cast<unsigned long long>(ls_over_budget),
+                clean() ? "CLEAN" : "VIOLATIONS");
+  out += line;
+  return out;
+}
+
+}  // namespace cj2k::cell

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "cell/audit.hpp"
 #include "common/align.hpp"
 #include "common/error.hpp"
 
@@ -42,6 +43,7 @@ void DmaEngine::get(void* ls_dst, const void* main_src, std::size_t bytes) {
   c_->dma_bytes_in += bytes;
   ++c_->dma_transfers;
   if (!efficient) ++c_->dma_unaligned;
+  if (audit_ != nullptr) audit_->record_dma(bytes, efficient);
 }
 
 void DmaEngine::put(const void* ls_src, void* main_dst, std::size_t bytes) {
@@ -51,6 +53,7 @@ void DmaEngine::put(const void* ls_src, void* main_dst, std::size_t bytes) {
   c_->dma_bytes_out += bytes;
   ++c_->dma_transfers;
   if (!efficient) ++c_->dma_unaligned;
+  if (audit_ != nullptr) audit_->record_dma(bytes, efficient);
 }
 
 void DmaEngine::get_large(void* ls_dst, const void* main_src,

@@ -11,6 +11,8 @@
 
 namespace cj2k::cell {
 
+class InvariantAudit;
+
 class DmaEngine {
  public:
   /// Largest single MFC transfer.
@@ -32,10 +34,15 @@ class DmaEngine {
 
   OpCounters& counters() { return *c_; }
 
+  /// Attaches the invariant audit every accepted transfer reports into
+  /// (cellcheck tier 2); nullptr detaches.
+  void attach_audit(InvariantAudit* audit) { audit_ = audit; }
+
  private:
   void validate(const void* a, const void* b, std::size_t bytes,
                 bool& efficient) const;
   OpCounters* c_;
+  InvariantAudit* audit_ = nullptr;
 };
 
 }  // namespace cj2k::cell

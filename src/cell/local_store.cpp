@@ -1,5 +1,6 @@
 #include "cell/local_store.hpp"
 
+#include "cell/audit.hpp"
 #include "common/error.hpp"
 
 namespace cj2k::cell {
@@ -27,6 +28,7 @@ void* LocalStore::alloc_bytes(std::size_t bytes, std::size_t align) {
   }
   used_ = new_used;
   if (used_ > peak_) peak_ = used_;
+  if (audit_ != nullptr) audit_->record_ls(used_, data_capacity_);
   return reinterpret_cast<void*>(p);
 }
 

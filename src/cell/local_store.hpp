@@ -12,6 +12,8 @@
 
 namespace cj2k::cell {
 
+class InvariantAudit;
+
 class LocalStore {
  public:
   /// Real SPE Local Store capacity.
@@ -45,11 +47,16 @@ class LocalStore {
   /// High-water mark across the LocalStore's lifetime.
   std::size_t peak_used() const { return peak_; }
 
+  /// Attaches the invariant audit every allocation reports into (cellcheck
+  /// tier 2); nullptr detaches.
+  void attach_audit(InvariantAudit* audit) { audit_ = audit; }
+
  private:
   std::unique_ptr<std::uint8_t[]> arena_;
   std::size_t data_capacity_ = 0;
   std::size_t used_ = 0;
   std::size_t peak_ = 0;
+  InvariantAudit* audit_ = nullptr;
 };
 
 }  // namespace cj2k::cell

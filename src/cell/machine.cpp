@@ -21,6 +21,13 @@ Machine::Machine(const MachineConfig& cfg) : cfg_(cfg), model_(cfg.cost) {
   }
 }
 
+void Machine::attach_audit(InvariantAudit* audit) {
+  for (auto& s : spes_) {
+    s->dma.attach_audit(audit);
+    s->ls.attach_audit(audit);
+  }
+}
+
 StageTiming Machine::run_data_parallel(
     const std::string& name,
     const std::function<void(int, SpeContext&)>& spe_work,
@@ -38,6 +45,7 @@ StageTiming Machine::run_data_parallel(
   for (int i = 0; i < cfg_.num_spes; ++i) {
     threads.emplace_back([&, i] {
       try {
+        AuditSiteScope site(name.c_str());
         spe_work(i, *spes_[static_cast<std::size_t>(i)]);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mu);
@@ -47,6 +55,7 @@ StageTiming Machine::run_data_parallel(
   }
   if (ppe_work) {
     try {
+      AuditSiteScope site(name.c_str());
       ppe_work(ppe_counters);
     } catch (...) {
       std::lock_guard<std::mutex> lock(error_mu);

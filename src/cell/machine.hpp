@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "cell/audit.hpp"
 #include "cell/cost_model.hpp"
 #include "cell/dma.hpp"
 #include "cell/local_store.hpp"
@@ -89,6 +90,11 @@ class Machine {
   double total_mem_bw() const {
     return cfg_.cost.chip_mem_bw * static_cast<double>(cfg_.chips);
   }
+
+  /// Attaches an invariant audit to every SPE's DmaEngine and LocalStore
+  /// (cellcheck tier 2); run_data_parallel tags events with the stage name.
+  /// Pass nullptr to detach.
+  void attach_audit(InvariantAudit* audit);
 
  private:
   MachineConfig cfg_;

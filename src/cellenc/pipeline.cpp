@@ -1,6 +1,7 @@
 #include "cellenc/pipeline.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "cellenc/kernels.hpp"
 #include "cellenc/stage_mct.hpp"
@@ -72,6 +73,31 @@ cell::StageTiming stage_read(cell::Machine& m, const Image& img,
   return m.run_data_parallel("read", spe_work, ppe_work);
 }
 
+/// Attaches an InvariantAudit to the machine for the encode's lifetime and
+/// detaches on every exit path (strict mode throws mid-encode).
+class ScopedAudit {
+ public:
+  ScopedAudit(cell::Machine& m, const cell::AuditConfig& cfg) : m_(m) {
+    if (cfg.enabled) {
+      audit_.emplace(cfg);
+      m_.attach_audit(&*audit_);
+    }
+  }
+  ~ScopedAudit() {
+    if (audit_) m_.attach_audit(nullptr);
+  }
+  ScopedAudit(const ScopedAudit&) = delete;
+  ScopedAudit& operator=(const ScopedAudit&) = delete;
+
+  cell::AuditReport report() const {
+    return audit_ ? audit_->report() : cell::AuditReport{};
+  }
+
+ private:
+  cell::Machine& m_;
+  std::optional<cell::InvariantAudit> audit_;
+};
+
 }  // namespace
 
 PipelineResult CellEncoder::encode(const Image& img,
@@ -87,6 +113,8 @@ PipelineResult CellEncoder::encode(const Image& img,
   const bool color = params.mct && ncomp >= 3;
   const unsigned depth = img.bit_depth();
   const auto& cp = machine_.model().params();
+
+  ScopedAudit audit(machine_, opt.audit);
 
   jp2k::Tile tile;
   tile.width = w;
@@ -272,6 +300,7 @@ PipelineResult CellEncoder::encode(const Image& img,
     res.simulated_seconds += s.seconds;
     res.dma_bytes += s.dma_bytes;
   }
+  res.audit = audit.report();
   res.wall_seconds = wall.seconds();
   return res;
 }

@@ -27,6 +27,11 @@ struct PipelineOptions {
   /// precinct-parallel Tier-2, DESIGN.md §5).  Off reproduces the paper's
   /// serial-PPE rate/T2 baseline (Fig. 5's ~60% share at 16 SPEs).
   bool parallel_lossy_tail = true;
+  /// Cell-invariant audit (cellcheck tier 2, DESIGN.md §6): per-stage DMA
+  /// and Local Store ledger in PipelineResult::audit; strict mode fails the
+  /// encode (AuditError) on the first inefficient transfer or LS
+  /// over-budget allocation.
+  cell::AuditConfig audit;
 };
 
 struct PipelineResult {
@@ -47,6 +52,9 @@ struct PipelineResult {
 
   /// Simulated seconds of the named stage (0 when absent).
   double stage_seconds(const std::string& name) const;
+
+  /// Invariant-audit ledger (enabled == false unless the run asked for it).
+  cell::AuditReport audit;
 };
 
 class CellEncoder {

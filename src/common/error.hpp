@@ -36,6 +36,14 @@ class CellHardwareError : public Error {
   explicit CellHardwareError(const std::string& what) : Error(what) {}
 };
 
+/// Strict-mode invariant-audit failure (cellcheck tier 2): the run broke a
+/// Cell performance invariant — an inefficient DMA transfer or a Local
+/// Store allocation past the configured budget (cell/audit.hpp).
+class AuditError : public Error {
+ public:
+  explicit AuditError(const std::string& what) : Error(what) {}
+};
+
 /// I/O failure (file missing, short read, ...).
 class IoError : public Error {
  public:

@@ -17,7 +17,10 @@ Image read(const std::string& path) {
   std::string line;
   std::getline(in, line);
   std::istringstream hdr(line);
-  std::string magic, endian, signstr;
+  std::string magic, endian;
+  // Initialized here rather than assigned in the unsigned-default branch
+  // below: gcc 12's -Wrestrict misfires on operator=(const char*).
+  std::string signstr = "+";
   unsigned depth = 0;
   std::size_t w = 0, h = 0;
   hdr >> magic >> endian;
@@ -43,7 +46,6 @@ Image read(const std::string& path) {
     signstr = tok.substr(0, 1);
     depth = parse_depth(tok.substr(1));
   } else {
-    signstr = "+";
     depth = parse_depth(tok);
   }
   hdr >> w >> h;

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Aggregate BENCH_JSON lines into a trend report.
+
+Every bench_* binary emits one `BENCH_JSON {...}` line per measured
+configuration (format documented in README.md).  This script scrapes those
+lines out of one or more captured logs — one log per run, e.g. one per
+commit — and prints a per-(bench, label) table of simulated seconds across
+runs, the delta of the last run against the first, and any audit verdicts.
+
+Usage:
+    bench/bench_fig4_lossless_scaling | tee run1.log
+    ...
+    tools/bench_trend.py run1.log run2.log ...
+    tools/bench_trend.py --json run*.log      # machine-readable summary
+    some_bench | tools/bench_trend.py -       # single run from stdin
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+PREFIX = "BENCH_JSON "
+
+
+def scrape(stream):
+    """Yields parsed BENCH_JSON objects from an iterable of lines."""
+    for line in stream:
+        idx = line.find(PREFIX)
+        if idx < 0:
+            continue
+        payload = line[idx + len(PREFIX):].strip()
+        try:
+            yield json.loads(payload)
+        except json.JSONDecodeError as e:
+            print(f"warning: unparseable BENCH_JSON line ({e}): "
+                  f"{payload[:80]}", file=sys.stderr)
+
+
+def load_runs(paths):
+    """Returns [(run_name, [record, ...]), ...] in argument order."""
+    runs = []
+    for path in paths:
+        if path == "-":
+            runs.append(("stdin", list(scrape(sys.stdin))))
+        else:
+            with open(path, "r", encoding="utf-8") as f:
+                runs.append((path, list(scrape(f))))
+    return runs
+
+
+def key_of(rec):
+    return (rec.get("bench", "?"), rec.get("label", "?"))
+
+
+def build_trend(runs):
+    """{(bench, label): {"series": [sim or None per run],
+                         "audit": [audit or None per run]}}, key-ordered by
+    first appearance."""
+    trend = {}
+    for run_idx, (_, records) in enumerate(runs):
+        for rec in records:
+            k = key_of(rec)
+            row = trend.setdefault(
+                k, {"series": [None] * len(runs), "audit": [None] * len(runs)})
+            row["series"][run_idx] = rec.get("sim_seconds")
+            row["audit"][run_idx] = rec.get("audit")
+    return trend
+
+
+def fmt_seconds(v):
+    return "-" if v is None else f"{v:.6g}"
+
+
+def fmt_delta(first, last):
+    if first is None or last is None or first == 0:
+        return "-"
+    pct = (last - first) / first * 100.0
+    return f"{pct:+.1f}%"
+
+
+def audit_verdict(audits):
+    """Worst audit verdict across runs: '-' (never audited), 'clean', or
+    'VIOLATIONS'."""
+    seen = [a for a in audits if a is not None]
+    if not seen:
+        return "-"
+    return "clean" if all(a.get("clean", False) for a in seen) else "VIOLATIONS"
+
+
+def print_report(runs, trend, out=sys.stdout):
+    run_names = [name for name, _ in runs]
+    total = sum(len(records) for _, records in runs)
+    print(f"{total} BENCH_JSON record(s) across {len(runs)} run(s):", file=out)
+    for i, name in enumerate(run_names):
+        print(f"  run[{i}] = {name} ({len(runs[i][1])} records)", file=out)
+    print(file=out)
+
+    label_w = max((len(f"{b}:{l}") for b, l in trend), default=10)
+    cols = "  ".join(f"run[{i}]".rjust(12) for i in range(len(runs)))
+    print(f"{'bench:label'.ljust(label_w)}  {cols}  {'Δ last/first':>12}  "
+          f"{'audit':>10}", file=out)
+    for (bench, label), row in trend.items():
+        name = f"{bench}:{label}"
+        series = row["series"]
+        vals = "  ".join(fmt_seconds(v).rjust(12) for v in series)
+        firsts = [v for v in series if v is not None]
+        delta = fmt_delta(firsts[0] if firsts else None,
+                          firsts[-1] if firsts else None)
+        print(f"{name.ljust(label_w)}  {vals}  {delta:>12}  "
+              f"{audit_verdict(row['audit']):>10}", file=out)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="Aggregate BENCH_JSON lines from captured bench logs "
+                    "into a trend report.")
+    ap.add_argument("logs", nargs="+",
+                    help="log files in run order ('-' reads stdin)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the aggregated trend as JSON instead of a "
+                         "table")
+    ap.add_argument("--fail-on-dirty-audit", action="store_true",
+                    help="exit 1 when any audited record is not clean")
+    args = ap.parse_args(argv)
+
+    runs = load_runs(args.logs)
+    trend = build_trend(runs)
+    if not trend:
+        print("no BENCH_JSON records found", file=sys.stderr)
+        return 2
+
+    if args.json:
+        obj = {
+            "runs": [name for name, _ in runs],
+            "rows": [
+                {"bench": b, "label": l, "sim_seconds": row["series"],
+                 "audit": row["audit"]}
+                for (b, l), row in trend.items()
+            ],
+        }
+        json.dump(obj, sys.stdout, indent=2)
+        print()
+    else:
+        print_report(runs, trend)
+
+    if args.fail_on_dirty_audit:
+        for row in trend.values():
+            if audit_verdict(row["audit"]) == "VIOLATIONS":
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

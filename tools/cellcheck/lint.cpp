@@ -1,0 +1,319 @@
+#include "cellcheck/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+
+namespace cj2k::cellcheck {
+
+namespace {
+
+/// A parameter list containing one of these reference types marks the
+/// function/lambda as SPE-resident (the repo's kernel calling convention).
+const std::regex kSpeMarker(R"((SpeContext|Simd|DmaEngine)\s*&)");
+
+/// DMA transfer calls whose final argument is the size in bytes/elements.
+const std::regex kDmaCall(
+    R"(\bdma\.(get|put|get_large|put_large)\s*\(|\bdma_(get|put)_row\s*\()");
+
+struct Rule {
+  std::regex pattern;
+  const char* name;
+  const char* message;
+};
+
+const Rule kSpeRules[] = {
+    {std::regex(R"(\bnew\b|\bdelete\b|\b(malloc|calloc|realloc|free)\s*\()"),
+     "spe-heap-alloc",
+     "SPE kernels own no heap; allocate from LocalStore::alloc"},
+    {std::regex(
+         R"(std::vector\s*<|\.(push_back|emplace_back|resize|reserve)\s*\()"),
+     "spe-vector-growth",
+     "hidden reallocation breaks the constant-Local-Store property (§2)"},
+    {std::regex(
+         R"(std::(mutex|lock_guard|unique_lock|scoped_lock|condition_variable)\b|\.lock\s*\(\s*\))"),
+     "spe-mutex",
+     "SPEs have no coherent locks; synchronize on the PPE side of the work "
+     "queue"},
+    {std::regex(R"(std::thread\b)"), "spe-thread",
+     "SPE kernels do not spawn threads"},
+};
+
+}  // namespace
+
+std::string strip_comments_and_strings(const std::string& text) {
+  std::string out = text;
+  enum class St { kCode, kLine, kBlock, kStr, kChar } st = St::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char n = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && n == '/') {
+          st = St::kLine;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && n == '*') {
+          st = St::kBlock;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = St::kStr;
+        } else if (c == '\'') {
+          st = St::kChar;
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') {
+          st = St::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case St::kBlock:
+        if (c == '*' && n == '/') {
+          st = St::kCode;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kStr:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (n != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (n != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+/// Splits a top-level argument list (text after an opening paren) into
+/// arguments; returns false when the call does not close within `text`.
+bool split_args(const std::string& text, std::size_t open_pos,
+                std::vector<std::string>& args, std::size_t& end_pos) {
+  int depth = 1;
+  std::string cur;
+  for (std::size_t i = open_pos + 1; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '(' || c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ')' || c == ']' || c == '}') {
+      --depth;
+      if (depth == 0) {
+        args.push_back(cur);
+        end_pos = i;
+        return true;
+      }
+    } else if (c == ',' && depth == 1) {
+      args.push_back(cur);
+      cur.clear();
+      continue;
+    }
+    cur += c;
+  }
+  return false;
+}
+
+/// True when the DMA size expression is acceptable: no bare integer literal
+/// >= 16, or every literal is accompanied by a named constant / sizeof the
+/// size is derived from.
+bool dma_size_expression_ok(const std::string& expr) {
+  static const std::regex kDerived(R"(\bk[A-Z]\w*|\bsizeof\b)");
+  if (std::regex_search(expr, kDerived)) return true;
+  static const std::regex kLiteral(R"(\b(0[xX][0-9a-fA-F]+|\d+)\b)");
+  for (auto it = std::sregex_iterator(expr.begin(), expr.end(), kLiteral);
+       it != std::sregex_iterator(); ++it) {
+    const unsigned long long v = std::stoull(it->str(), nullptr, 0);
+    if (v >= 16) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Violation> lint_source(const std::string& path,
+                                   const std::string& text,
+                                   const LintOptions& opt) {
+  std::vector<Violation> out;
+  const std::string stripped = strip_comments_and_strings(text);
+  const auto lines = split_lines(stripped);
+
+  // Region scanner state: brace depth, pending SPE-signature latch, and a
+  // stack of depths at which SPE regions opened.
+  int depth = 0;
+  bool pending = false;
+  int pending_paren = 0;
+  std::vector<int> region_depths;
+
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& line = lines[li];
+    const std::size_t lineno = li + 1;
+
+    // A new SPE-kernel signature?  std::function<...SpeContext&...> is a
+    // type naming the convention, not a kernel definition.
+    if (!pending && std::regex_search(line, kSpeMarker) &&
+        line.find("function<") == std::string::npos) {
+      pending = true;
+      pending_paren = 0;
+    }
+
+    const bool in_spe = opt.treat_all_as_spe || !region_depths.empty();
+
+    if (in_spe) {
+      for (const Rule& r : kSpeRules) {
+        if (std::regex_search(line, r.pattern)) {
+          out.push_back({path, lineno, r.name, r.message});
+        }
+      }
+    }
+
+    // DMA size rule (applies everywhere).  Join continuation lines so a
+    // call split across lines still yields its full argument list.
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kDmaCall);
+         it != std::sregex_iterator(); ++it) {
+      std::string call_text = line;
+      std::size_t open_pos = static_cast<std::size_t>(it->position()) +
+                             it->str().size() - 1;
+      std::vector<std::string> args;
+      std::size_t end_pos = 0;
+      std::size_t extra = 0;
+      while (!split_args(call_text, open_pos, args, end_pos) && extra < 8 &&
+             li + 1 + extra < lines.size()) {
+        call_text += ' ';
+        call_text += lines[li + 1 + extra];
+        ++extra;
+        args.clear();
+      }
+      if (args.empty()) continue;  // unterminated; give up quietly
+      if (!dma_size_expression_ok(args.back())) {
+        out.push_back(
+            {path, lineno, "dma-literal-size",
+             "DMA size '" + args.back() +
+                 "' uses a bare literal; derive it from kCacheLineBytes / "
+                 "kQuadWordBytes or sizeof"});
+      }
+    }
+
+    // Advance the brace/paren scanner.
+    for (const char c : line) {
+      if (pending) {
+        if (c == '(') {
+          ++pending_paren;
+        } else if (c == ')') {
+          --pending_paren;
+        } else if (c == ';' && pending_paren <= 0) {
+          pending = false;  // it was a declaration
+        }
+      }
+      if (c == '{') {
+        // Any `{` while a signature is pending opens the region — the body
+        // brace of a plain kernel closes its parens first (paren count 0),
+        // but a lambda inline in a call expression opens its body while the
+        // outer call's paren is still open.  A `{}` that turns out to be a
+        // default-argument initializer closes immediately and so covers no
+        // lines.
+        if (pending) {
+          region_depths.push_back(depth);
+          pending = false;
+        }
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+        if (!region_depths.empty() && depth <= region_depths.back()) {
+          region_depths.pop_back();
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> lint_file(const std::string& path,
+                                 const LintOptions& opt) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cellcheck: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return lint_source(path, ss.str(), opt);
+}
+
+std::vector<Violation> lint_tree(const std::string& root,
+                                 const LintOptions& opt) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (auto it = fs::recursive_directory_iterator(root);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (it->is_directory() &&
+        it->path().filename().string().rfind("build", 0) == 0) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext == ".cpp" || ext == ".hpp" || ext == ".h") {
+      files.push_back(it->path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Violation> out;
+  for (const auto& f : files) {
+    auto vs = lint_file(f, opt);
+    out.insert(out.end(), vs.begin(), vs.end());
+  }
+  return out;
+}
+
+std::string format_violations(const std::vector<Violation>& vs) {
+  std::string out;
+  for (const auto& v : vs) {
+    out += v.file + ":" + std::to_string(v.line) + ": [" + v.rule + "] " +
+           v.message + "\n";
+  }
+  return out;
+}
+
+}  // namespace cj2k::cellcheck

@@ -1,0 +1,73 @@
+// cellcheck tier 3: a source-level lint pass for Cell-model violations the
+// compiler cannot see.
+//
+// The pass is lexical (comments and string literals stripped, brace depth
+// tracked), not a full parse — deliberately: it must stay dependency-free
+// and fast enough to run as a ctest.  SPE-kernel regions are recognized by
+// their parameter signature: any function or lambda taking a
+// `cell::SpeContext&`, `cell::Simd&` or `cell::DmaEngine&` parameter is
+// SPE-resident code (that is the repo's kernel calling convention), and
+// inside such a region the SPE programming model applies:
+//
+//   spe-heap-alloc    — new/delete/malloc/free: SPE kernels own no heap;
+//                       working memory comes from LocalStore::alloc.
+//   spe-vector-growth — declaring std::vector or calling growth members
+//                       (push_back/resize/...): hidden reallocation breaks
+//                       the constant-Local-Store property of §2.
+//   spe-mutex         — std::mutex/lock_guard/...: SPEs have no coherent
+//                       shared memory; synchronization belongs to the PPE
+//                       side of the work queue.
+//   spe-thread        — std::thread: kernels do not spawn threads.
+//
+// One rule applies everywhere, not just in SPE regions:
+//
+//   dma-literal-size  — a DMA call whose size argument is a bare integer
+//                       literal >= 16 not derived from a named constant
+//                       (kCacheLineBytes, kQuadWordBytes, ...) or sizeof:
+//                       such sizes silently stop matching when the line
+//                       geometry changes.  Literals 1/2/4/8 (the MFC's
+//                       naturally-aligned small transfers) are allowed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cj2k::cellcheck {
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct LintOptions {
+  /// Treat the whole input as one SPE region (used by rule unit tests).
+  bool treat_all_as_spe = false;
+};
+
+/// Lints one translation unit given as text.  `path` is used only for
+/// reporting.
+std::vector<Violation> lint_source(const std::string& path,
+                                   const std::string& text,
+                                   const LintOptions& opt = {});
+
+/// Reads and lints one file.  Throws cj2k-style std::runtime_error on I/O
+/// failure.
+std::vector<Violation> lint_file(const std::string& path,
+                                 const LintOptions& opt = {});
+
+/// Recursively lints every .cpp/.hpp/.h under `root` (skipping any path
+/// component named "build*"), sorted by path for deterministic output.
+std::vector<Violation> lint_tree(const std::string& root,
+                                 const LintOptions& opt = {});
+
+/// "file:line: [rule] message" per violation, one per line.
+std::string format_violations(const std::vector<Violation>& vs);
+
+/// Strips //- and /**/-comments and string/char literal contents (newlines
+/// preserved).  Exposed for tests.
+std::string strip_comments_and_strings(const std::string& text);
+
+}  // namespace cj2k::cellcheck

@@ -1,0 +1,56 @@
+// cellcheck — the Cell-model lint pass (cellcheck tier 3) as a CLI.
+//
+//   cellcheck [--spe-all] PATH...
+//
+// Each PATH is a file or a directory (directories are walked recursively
+// for .cpp/.hpp/.h, skipping build*/).  Prints one line per violation and
+// exits non-zero when any are found, so it slots into CI and ctest.
+// --spe-all treats every input as SPE-kernel code (useful when linting a
+// kernel file on its own).
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cellcheck/lint.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cj2k::cellcheck;
+  LintOptions opt;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--spe-all") == 0) {
+      opt.treat_all_as_spe = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: cellcheck [--spe-all] PATH...\n");
+      return 0;
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "cellcheck: no paths given (try --help)\n");
+    return 2;
+  }
+
+  std::vector<Violation> all;
+  try {
+    for (const auto& p : paths) {
+      const auto vs = std::filesystem::is_directory(p) ? lint_tree(p, opt)
+                                                       : lint_file(p, opt);
+      all.insert(all.end(), vs.begin(), vs.end());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cellcheck: %s\n", e.what());
+    return 2;
+  }
+
+  if (!all.empty()) {
+    std::fputs(format_violations(all).c_str(), stdout);
+  }
+  std::printf("cellcheck: %zu violation(s)\n", all.size());
+  return all.empty() ? 0 : 1;
+}
