@@ -1,0 +1,125 @@
+// Tile-parallel scaling: multi-tile encodes through the tile scheduler
+// (DESIGN.md §7) vs the single-tile pipeline on the same SPE pool.
+//
+// Expected shape: at 16 SPEs a 2x2 grid beats the single-tile encode on
+// simulated wall-clock — the pool splits into two 8-SPE groups running
+// tiles in waves, so per-tile serial PPE slots (Tier-2 assembly above all)
+// hide under the other group's SPE work instead of stacking at the end.
+// At 4 SPEs there is a single group and tiling only adds framing overhead,
+// which the rows below also show.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_common.hpp"
+#include "jp2k/encoder.hpp"
+
+namespace {
+
+using namespace cj2k;
+
+// 1024x1024 at 3 levels keeps every DMA row of every 512x512 tile (and of
+// the single-tile run) a cache-line multiple, so the strict audit holds for
+// both configurations being compared.
+constexpr std::size_t kDim = 1024;
+
+jp2k::CodingParams tile_params(jp2k::WaveletKind w, std::size_t tiles) {
+  jp2k::CodingParams p;
+  p.wavelet = w;
+  p.levels = 3;
+  p.tiles_x = tiles;
+  p.tiles_y = tiles;
+  if (w == jp2k::WaveletKind::kIrreversible97) p.rate = 0.25;
+  return p;
+}
+
+void run_figure() {
+  bench::print_header(
+      "Tile-parallel scaling — T x T grid vs single tile",
+      "extension of Fig. 4/5: two-level parallelism over independent tiles");
+  const Image img = synth::photographic(kDim, kDim, 3, /*seed=*/20080901);
+  std::printf("  Workload: synthetic photo %zux%zu RGB, 3 levels, 64x64"
+              " blocks, strict audit\n\n",
+              img.width(), img.height());
+
+  cellenc::PipelineOptions opt;
+  opt.audit.enabled = true;
+  opt.audit.strict = true;
+
+  struct Config {
+    int spes, chips;
+  };
+  const Config configs[] = {{4, 1}, {8, 1}, {16, 2}};
+
+  std::printf("  %-26s %12s %9s  %s\n", "configuration", "sim time", "vs 1x1",
+              "tiles/groups/spes-per-group");
+  bool win_at_16 = false;
+  double single_16 = 0, tiled_16 = 0;
+  for (const auto& cfg : configs) {
+    double base = 0;
+    for (std::size_t tiles : {std::size_t{1}, std::size_t{2}}) {
+      cellenc::CellEncoder enc(bench::machine_config(cfg.spes, 0, cfg.chips));
+      const auto p = tile_params(jp2k::WaveletKind::kReversible53, tiles);
+      const auto res = enc.encode(img, p, opt);
+      if (tiles == 1) base = res.simulated_seconds;
+      char label[64];
+      std::snprintf(label, sizeof(label), "lossless %zux%zu @ %d SPE", tiles,
+                    tiles, cfg.spes);
+      char extra[64];
+      std::snprintf(extra, sizeof(extra), "%zu/%zu/%d", res.tiles,
+                    res.tile_groups, res.spes_per_group);
+      bench::print_row(label, res.simulated_seconds,
+                       base / res.simulated_seconds, extra);
+      bench::emit_json("tile_scaling", label, res.simulated_seconds, &res);
+      if (cfg.spes == 16) {
+        if (tiles == 1) single_16 = res.simulated_seconds;
+        if (tiles == 2) tiled_16 = res.simulated_seconds;
+      }
+    }
+  }
+  win_at_16 = tiled_16 > 0 && tiled_16 < single_16;
+
+  std::printf("\n");
+  double lossy_base = 0;
+  for (std::size_t tiles : {std::size_t{1}, std::size_t{2}}) {
+    cellenc::CellEncoder enc(bench::machine_config(16, 0, 2));
+    const auto p = tile_params(jp2k::WaveletKind::kIrreversible97, tiles);
+    const auto res = enc.encode(img, p, opt);
+    if (tiles == 1) lossy_base = res.simulated_seconds;
+    char label[64];
+    std::snprintf(label, sizeof(label), "lossy %zux%zu @ 16 SPE", tiles,
+                  tiles);
+    char extra[64];
+    std::snprintf(extra, sizeof(extra), "%zu/%zu/%d", res.tiles,
+                  res.tile_groups, res.spes_per_group);
+    bench::print_row(label, res.simulated_seconds,
+                     lossy_base / res.simulated_seconds, extra);
+    bench::emit_json("tile_scaling", label, res.simulated_seconds, &res);
+  }
+
+  std::printf("\n  verdict: 2x2 tiling at 16 SPEs is %s the single-tile"
+              " pipeline (%.4f s vs %.4f s)\n",
+              win_at_16 ? "FASTER than" : "NOT faster than", tiled_16,
+              single_16);
+}
+
+void BM_TiledLosslessEncode16Spe(benchmark::State& state) {
+  const Image img = synth::photographic(512, 512, 3, 1);
+  auto p = tile_params(jp2k::WaveletKind::kReversible53, 2);
+  cellenc::CellEncoder enc(bench::machine_config(16, 0, 2));
+  for (auto _ : state) {
+    auto res = enc.encode(img, p);
+    benchmark::DoNotOptimize(res.codestream.data());
+    state.counters["sim_seconds"] = res.simulated_seconds;
+  }
+}
+BENCHMARK(BM_TiledLosslessEncode16Spe)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_figure();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -11,6 +11,15 @@ namespace {
 constexpr const char* kUntagged = "(untagged)";
 
 thread_local const char* t_site = nullptr;
+thread_local int t_tile = -1;
+
+/// Site key with tile provenance folded in ("tileN/site" when a tile scope
+/// is live).
+std::string qualified_site(const char* site) {
+  const int tile = AuditTileScope::current();
+  if (tile < 0) return site;
+  return "tile" + std::to_string(tile) + "/" + site;
+}
 
 }  // namespace
 
@@ -24,10 +33,16 @@ const char* AuditSiteScope::current() {
   return t_site != nullptr ? t_site : kUntagged;
 }
 
+AuditTileScope::AuditTileScope(int tile) : prev_(t_tile) { t_tile = tile; }
+
+AuditTileScope::~AuditTileScope() { t_tile = prev_; }
+
+int AuditTileScope::current() { return t_tile; }
+
 InvariantAudit::InvariantAudit(const AuditConfig& cfg) : cfg_(cfg) {}
 
 void InvariantAudit::record_dma(std::size_t bytes, bool efficient) {
-  const char* site = AuditSiteScope::current();
+  const std::string site = qualified_site(AuditSiteScope::current());
   {
     std::lock_guard<std::mutex> lock(mu_);
     SiteAccum& a = sites_[site];
@@ -47,7 +62,7 @@ void InvariantAudit::record_dma(std::size_t bytes, bool efficient) {
 
 void InvariantAudit::record_ls(std::size_t used_now,
                                std::size_t data_capacity) {
-  const char* site = AuditSiteScope::current();
+  const std::string site = qualified_site(AuditSiteScope::current());
   const std::size_t budget =
       cfg_.ls_budget != 0 ? cfg_.ls_budget : data_capacity;
   const bool over = used_now > budget;
@@ -58,7 +73,7 @@ void InvariantAudit::record_ls(std::size_t used_now,
     if (over) ++a.ls_over_budget;
   }
   if (over && cfg_.strict) {
-    throw AuditError("Local Store over budget at site '" + std::string(site) +
+    throw AuditError("Local Store over budget at site '" + site +
                      "': " + std::to_string(used_now) + " of " +
                      std::to_string(budget) + " bytes");
   }

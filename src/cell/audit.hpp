@@ -74,6 +74,25 @@ class AuditSiteScope {
   const char* prev_;
 };
 
+/// RAII thread-local tile provenance for multi-tile encodes.  While a scope
+/// is alive, audit events on this thread are attributed to "tileN/<site>"
+/// instead of the bare site, so a strict-mode violation names the offending
+/// tile.  -1 (the default when no scope is alive) means "no tile" and
+/// leaves single-tile site names unchanged.
+class AuditTileScope {
+ public:
+  explicit AuditTileScope(int tile);
+  ~AuditTileScope();
+  AuditTileScope(const AuditTileScope&) = delete;
+  AuditTileScope& operator=(const AuditTileScope&) = delete;
+
+  /// The innermost live tile index on this thread (-1 if none).
+  static int current();
+
+ private:
+  int prev_;
+};
+
 /// Per-encode invariant ledger.  Thread-safe: SPE kernels on host threads
 /// record concurrently.
 class InvariantAudit {

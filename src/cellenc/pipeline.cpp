@@ -7,6 +7,7 @@
 #include "cellenc/stage_mct.hpp"
 #include "cellenc/stage_quant.hpp"
 #include "cellenc/stage_rate.hpp"
+#include "cellenc/stage_tile.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "decomp/chunk.hpp"
@@ -15,6 +16,7 @@
 #include "jp2k/quant.hpp"
 #include "jp2k/rate_control.hpp"
 #include "jp2k/t2_encoder.hpp"
+#include "jp2k/tile_grid.hpp"
 
 namespace cj2k::cellenc {
 
@@ -100,23 +102,19 @@ class ScopedAudit {
 
 }  // namespace
 
-PipelineResult CellEncoder::encode(const Image& img,
-                                   const jp2k::CodingParams& params,
-                                   const PipelineOptions& opt) {
+TileFrontResult encode_tile_front(cell::Machine& machine, const Image& img,
+                                  const jp2k::CodingParams& params,
+                                  const PipelineOptions& opt,
+                                  HullCapture* hulls) {
   const DwtOptions& dwt = opt.dwt;
-  const T1Distribution t1_dist = opt.t1_dist;
-  Timer wall;
-  PipelineResult res;
+  TileFrontResult res;
   const std::size_t w = img.width();
   const std::size_t h = img.height();
   const std::size_t ncomp = img.components();
   const bool color = params.mct && ncomp >= 3;
   const unsigned depth = img.bit_depth();
-  const auto& cp = machine_.model().params();
 
-  ScopedAudit audit(machine_, opt.audit);
-
-  jp2k::Tile tile;
+  jp2k::Tile& tile = res.tile;
   tile.width = w;
   tile.height = h;
   tile.levels = params.levels;
@@ -125,23 +123,22 @@ PipelineResult CellEncoder::encode(const Image& img,
 
   // --- Read / convert -------------------------------------------------------
   std::vector<Plane> work;
-  res.stages.push_back(stage_read(machine_, img, work));
+  res.stages.push_back(stage_read(machine, img, work));
 
   std::vector<Span2d<const Sample>> coeff_views;
-  Plane qplane;  // lossy: quantized indices, reused per component
   std::vector<Plane> qplanes;
   std::vector<AlignedBuffer<float>> fplanes;
 
   if (params.wavelet == jp2k::WaveletKind::kReversible53) {
     // --- Level shift + RCT --------------------------------------------------
     res.stages.push_back(
-        stage_mct_lossless(machine_, work, color, depth));
+        stage_mct_lossless(machine, work, color, depth));
 
     // --- DWT ----------------------------------------------------------------
     cell::StageTiming dwt_t;
     dwt_t.name = "dwt";
     for (std::size_t c = 0; c < ncomp; ++c) {
-      dwt_t += stage_dwt53(machine_, work[c].view(), params.levels, dwt);
+      dwt_t += stage_dwt53(machine, work[c].view(), params.levels, dwt);
     }
     dwt_t.name = "dwt";
     res.stages.push_back(dwt_t);
@@ -165,11 +162,11 @@ PipelineResult CellEncoder::encode(const Image& img,
     fxplanes.reserve(ncomp);
     for (std::size_t c = 0; c < ncomp; ++c) fxplanes.emplace_back(w, h);
     res.stages.push_back(
-        stage_mct_lossy_fixed(machine_, work, fxplanes, color, depth));
+        stage_mct_lossy_fixed(machine, work, fxplanes, color, depth));
 
     cell::StageTiming dwt_t;
     for (std::size_t c = 0; c < ncomp; ++c) {
-      dwt_t += stage_dwt97_fixed(machine_, fxplanes[c].view(), params.levels,
+      dwt_t += stage_dwt97_fixed(machine, fxplanes[c].view(), params.levels,
                                  dwt);
     }
     dwt_t.name = "dwt";
@@ -191,7 +188,7 @@ PipelineResult CellEncoder::encode(const Image& img,
       tile.components.push_back(std::move(tc));
 
       qplanes.emplace_back(w, h);
-      quant_t += stage_quant_fixed(machine_, fxplanes[c].view(),
+      quant_t += stage_quant_fixed(machine, fxplanes[c].view(),
                                    qplanes[c].view(), tile.components[c]);
       coeff_views.push_back(qplanes[c].view());
     }
@@ -206,14 +203,14 @@ PipelineResult CellEncoder::encode(const Image& img,
     }
     // The paper's merged kernel reads the converted integer planes.
     res.stages.push_back(
-        stage_mct_lossy(machine_, work, fplanes, stride, color, depth));
+        stage_mct_lossy(machine, work, fplanes, stride, color, depth));
 
     // --- DWT ----------------------------------------------------------------
     cell::StageTiming dwt_t;
     dwt_t.name = "dwt";
     for (std::size_t c = 0; c < ncomp; ++c) {
       Span2d<float> fv(fplanes[c].data(), w, h, stride);
-      dwt_t += stage_dwt97(machine_, fv, params.levels, dwt);
+      dwt_t += stage_dwt97(machine, fv, params.levels, dwt);
     }
     dwt_t.name = "dwt";
     res.stages.push_back(dwt_t);
@@ -237,7 +234,7 @@ PipelineResult CellEncoder::encode(const Image& img,
 
       qplanes.emplace_back(w, h);
       Span2d<const float> fv(fplanes[c].data(), w, h, stride);
-      quant_t += stage_quant(machine_, fv, qplanes[c].view(),
+      quant_t += stage_quant(machine, fv, qplanes[c].view(),
                              tile.components[c]);
       coeff_views.push_back(qplanes[c].view());
     }
@@ -245,20 +242,47 @@ PipelineResult CellEncoder::encode(const Image& img,
     res.stages.push_back(quant_t);
   }
 
-  // --- Tier-1 over the work queue; with the distributed lossy tail the
-  // same workers also build each block's R-D hull as it finishes (the hull
-  // cost hides under the T1 span — the fused schedule accounts for it). ------
-  const bool lossy_tail = params.rate > 0.0 || params.layers > 1;
-  const bool distribute_tail = lossy_tail && opt.parallel_lossy_tail;
-  HullCapture hulls;
-  hulls.wavelet = params.wavelet;
+  // --- Tier-1 over the work queue; with hull capture the same workers also
+  // build each block's R-D hull as it finishes (the hull cost hides under
+  // the T1 span — the fused schedule accounts for it). -----------------------
   const T1StageResult t1 =
-      stage_t1(machine_, tile, coeff_views, t1_dist, params.t1,
-               distribute_tail ? &hulls : nullptr);
+      stage_t1(machine, tile, coeff_views, opt.t1_dist, params.t1, hulls);
   res.stages.push_back(t1.timing);
   res.t1_symbols = t1.total_symbols;
   res.hull_extra_seconds = t1.hull_extra_seconds;
   res.hull_serial_seconds = t1.hull_serial_seconds;
+  return res;
+}
+
+PipelineResult CellEncoder::encode(const Image& img,
+                                   const jp2k::CodingParams& params,
+                                   const PipelineOptions& opt) {
+  Timer wall;
+  const jp2k::TileGrid grid = jp2k::TileGrid::plan(
+      img.width(), img.height(), params.tiles_x, params.tiles_y);
+  if (grid.num_tiles() > 1) {
+    PipelineResult res = encode_tiled(machine_, img, params, opt, grid);
+    res.wall_seconds = wall.seconds();
+    return res;
+  }
+
+  PipelineResult res;
+  const auto& cp = machine_.model().params();
+
+  ScopedAudit audit(machine_, opt.audit);
+
+  const bool lossy_tail = params.rate > 0.0 || params.layers > 1;
+  const bool distribute_tail = lossy_tail && opt.parallel_lossy_tail;
+  HullCapture hulls;
+  hulls.wavelet = params.wavelet;
+
+  TileFrontResult front = encode_tile_front(
+      machine_, img, params, opt, distribute_tail ? &hulls : nullptr);
+  jp2k::Tile& tile = front.tile;
+  res.stages = std::move(front.stages);
+  res.t1_symbols = front.t1_symbols;
+  res.hull_extra_seconds = front.hull_extra_seconds;
+  res.hull_serial_seconds = front.hull_serial_seconds;
 
   if (distribute_tail) {
     // --- Distributed lossy tail: k-way slope merge + serial greedy scan +

@@ -32,13 +32,23 @@ struct PipelineOptions {
   /// encode (AuditError) on the first inefficient transfer or LS
   /// over-budget allocation.
   cell::AuditConfig audit;
+  /// Multi-tile only: host processing order of the tiles (testing hook;
+  /// empty means index order).  The codestream is byte-identical for any
+  /// permutation — assembly and rate allocation use tile-index order.
+  std::vector<std::size_t> tile_order;
 };
 
 struct PipelineResult {
   std::vector<std::uint8_t> codestream;
   std::vector<cell::StageTiming> stages;  ///< In pipeline order.
-  double simulated_seconds = 0;           ///< Sum of stage times.
+  /// Single tile: sum of stage times.  Multi-tile: the pipelined makespan
+  /// of the tile schedule (tiles overlap, so this is less than the sum).
+  double simulated_seconds = 0;
   double wall_seconds = 0;                ///< Host wall clock (informative).
+  /// Tile-level parallelism of the run (1 / 1 / full pool for single-tile).
+  std::size_t tiles = 1;
+  std::size_t tile_groups = 1;
+  int spes_per_group = 0;
   std::uint64_t t1_symbols = 0;
   std::uint64_t dma_bytes = 0;
 
@@ -78,5 +88,26 @@ class CellEncoder {
  private:
   cell::Machine machine_;
 };
+
+/// Result of the data-parallel "front" of one tile's pipeline: read /
+/// convert, level shift + MCT, DWT, quantization, and Tier-1 — everything
+/// up to (but excluding) the lossy tail / Tier-2.
+struct TileFrontResult {
+  jp2k::Tile tile;
+  std::vector<cell::StageTiming> stages;  ///< read … tier1, in order.
+  std::uint64_t t1_symbols = 0;
+  double hull_extra_seconds = 0;
+  double hull_serial_seconds = 0;
+};
+
+/// Runs the front of the pipeline for one (tile-sized) image on the given
+/// machine.  The tile scheduler (stage_tile) calls this once per tile on a
+/// group machine; CellEncoder::encode uses it directly for a single tile.
+/// `hulls`, when non-null, captures per-worker R-D hull segment lists
+/// during Tier-1 (set its ordinal_base before the call on multi-tile runs).
+TileFrontResult encode_tile_front(cell::Machine& m, const Image& img,
+                                  const jp2k::CodingParams& params,
+                                  const PipelineOptions& opt,
+                                  HullCapture* hulls);
 
 }  // namespace cj2k::cellenc

@@ -27,8 +27,21 @@ LossyTailResult stage_rate_tail(cell::Machine& m, jp2k::Tile& tile,
                                 const Image& img,
                                 const jp2k::CodingParams& params,
                                 HullCapture& hulls) {
+  const jp2k::TileGrid grid =
+      jp2k::TileGrid::plan(img.width(), img.height(), 1, 1);
+  return stage_rate_tail_tiles(m, grid, {&tile}, img, params, hulls);
+}
+
+LossyTailResult stage_rate_tail_tiles(cell::Machine& m,
+                                      const jp2k::TileGrid& grid,
+                                      const std::vector<jp2k::Tile*>& tiles,
+                                      const Image& img,
+                                      const jp2k::CodingParams& params,
+                                      HullCapture& hulls) {
   CJ2K_CHECK_MSG(params.rate > 0.0 || params.layers > 1,
                  "lossy tail needs a rate target or multiple layers");
+  CJ2K_CHECK_MSG(tiles.size() == grid.num_tiles(),
+                 "one built tile per grid rect");
   const auto& cp = m.model().params();
   const double hz = cp.clock_hz;
   LossyTailResult res;
@@ -36,37 +49,35 @@ LossyTailResult stage_rate_tail(cell::Machine& m, jp2k::Tile& tile,
   std::uint64_t nsegs = 0;
   for (const auto& l : hulls.worker_lists) nsegs += l.size();
   std::uint64_t nblocks = 0;
-  for (const auto& tc : tile.components) {
-    for (const auto& sb : tc.subbands) nblocks += sb.blocks.size();
-  }
+  for (const jp2k::Tile* tp : tiles) nblocks += jp2k::tile_block_count(*tp);
 
   // --- Slope merge: K sorted worker lists -> the global slope order.
   // Serial on the PPE, but O(S log K) instead of the serial sort's
-  // O(S log S); charged per emitted segment.
+  // O(S log S); charged per emitted segment.  On a multi-tile encode the
+  // lists carry every tile's segments, so one merge yields the image-wide
+  // order a single global λ needs.
   const auto segments = jp2k::merge_segment_lists(std::move(hulls.worker_lists));
 
-  // --- Greedy λ-threshold scan + budget refinement (mirrors
-  // jp2k::finish_tile so the selection — and therefore the codestream —
-  // is byte-identical to the serial reference).
-  if (params.layers > 1) {
-    const auto budgets = jp2k::plan_layer_budgets(tile, img, params);
-    res.stats = jp2k::rate_control_layered_presorted(tile, budgets, segments,
-                                                     hulls.stats);
-    if (params.rate <= 0.0) {
-      jp2k::force_lossless_final_layer(tile);
-    }
-  } else {
-    const auto budget = static_cast<std::size_t>(
-        params.rate * static_cast<double>(img.raw_bytes()));
-    res.stats = jp2k::rate_control_presorted(tile, budget, segments,
-                                             hulls.stats);
-  }
+  // --- Greedy λ-threshold scan + budget refinement (the shared allocation
+  // core mirrors jp2k::finish_tile / finish_tiles so the selection — and
+  // therefore the codestream — is byte-identical to the serial reference).
+  res.stats =
+      jp2k::allocate_rate_across_tiles(tiles, img, params, segments,
+                                       hulls.stats);
 
   // --- Precinct-parallel Tier-2: code the independent (component,
-  // resolution) streams on the worker pool, then stitch serially.
-  const auto parts = jp2k::t2_encode_precincts(tile, /*parallel=*/true);
-  const auto packets = jp2k::t2_stitch(tile, parts);
-  res.codestream = jp2k::frame_codestream(tile, img, params, packets);
+  // resolution) streams on the worker pool, then stitch serially per tile.
+  std::vector<std::vector<jp2k::T2PrecinctStream>> parts;
+  std::vector<std::vector<std::uint8_t>> packets;
+  parts.reserve(tiles.size());
+  packets.reserve(tiles.size());
+  for (jp2k::Tile* tp : tiles) {
+    parts.push_back(jp2k::t2_encode_precincts(*tp, /*parallel=*/true));
+    packets.push_back(jp2k::t2_stitch(*tp, parts.back()));
+  }
+  const std::vector<const jp2k::Tile*> cptrs(tiles.begin(), tiles.end());
+  res.codestream =
+      jp2k::frame_codestream_tiles(cptrs, grid, img, params, packets);
 
   // --- Simulated timing ----------------------------------------------------
   // Worker pool for precinct coding: SPEs + PPE threads with their own
@@ -82,11 +93,12 @@ LossyTailResult stage_rate_tail(cell::Machine& m, jp2k::Tile& tile,
   if (t2_speed.empty()) t2_speed.push_back(cp.ppe_t2_cycles_per_byte / hz);
 
   std::vector<double> part_bytes;
-  part_bytes.reserve(parts.size());
   std::uint64_t packet_bytes = 0;
-  for (const auto& ps : parts) {
-    part_bytes.push_back(static_cast<double>(ps.total_bytes));
-    packet_bytes += ps.total_bytes;
+  for (const auto& tile_parts : parts) {
+    for (const auto& ps : tile_parts) {
+      part_bytes.push_back(static_cast<double>(ps.total_bytes));
+      packet_bytes += ps.total_bytes;
+    }
   }
   // Makespan of one parallel sizing/assembly pass over the precinct
   // streams.  Refinement iterations are charged with the final sizes (a
@@ -100,7 +112,8 @@ LossyTailResult stage_rate_tail(cell::Machine& m, jp2k::Tile& tile,
   const double scan_sec =
       static_cast<double>(res.stats.iterations) *
       (static_cast<double>(nsegs) * cp.ppe_rate_scan_cycles_per_seg +
-       static_cast<double>(nblocks) * reset_cycles_per_block(tile.layers)) /
+       static_cast<double>(nblocks) *
+           reset_cycles_per_block(tiles.front()->layers)) /
       hz;
 
   res.rate_timing.name = "rate";

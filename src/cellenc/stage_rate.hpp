@@ -29,6 +29,7 @@
 #include "image/image.hpp"
 #include "jp2k/codestream.hpp"
 #include "jp2k/rate_control.hpp"
+#include "jp2k/tile_grid.hpp"
 
 namespace cj2k::cellenc {
 
@@ -51,5 +52,16 @@ LossyTailResult stage_rate_tail(cell::Machine& m, jp2k::Tile& tile,
                                 const Image& img,
                                 const jp2k::CodingParams& params,
                                 HullCapture& hulls);
+
+/// Multi-tile form: one global λ over the whole tile set (the worker lists
+/// in `hulls` carry segments from every tile, ordinals offset per tile), a
+/// precinct-parallel Tier-2 per tile, tile-part framing.  Byte-identical
+/// to jp2k::finish_tiles.  One tile degenerates to stage_rate_tail.
+LossyTailResult stage_rate_tail_tiles(cell::Machine& m,
+                                      const jp2k::TileGrid& grid,
+                                      const std::vector<jp2k::Tile*>& tiles,
+                                      const Image& img,
+                                      const jp2k::CodingParams& params,
+                                      HullCapture& hulls);
 
 }  // namespace cj2k::cellenc

@@ -70,7 +70,8 @@ T1StageResult stage_t1(cell::Machine& m, jp2k::Tile& tile,
         br.cb->enc = jp2k::t1_encode_block(view, br.sb->info.orient, t1opt);
         br.cb->include_all();
         if (hulls) {
-          jp2k::build_block_hull(*br.cb, br.hull_weight, idx,
+          jp2k::build_block_hull(*br.cb, br.hull_weight,
+                                 hulls->ordinal_base + idx,
                                  hulls->worker_lists[t], &worker_stats[t]);
         }
       }

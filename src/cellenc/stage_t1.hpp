@@ -33,6 +33,10 @@ enum class T1Distribution {
 struct HullCapture {
   /// In: wavelet kind (selects the subband distortion weights).
   jp2k::WaveletKind wavelet = jp2k::WaveletKind::kIrreversible97;
+  /// In: hull ordinal of this tile's first block (cumulative block count of
+  /// the preceding tiles, index order) — keeps the global slope order a
+  /// strict total order across a multi-tile merge.
+  std::uint64_t ordinal_base = 0;
   /// Out: per-worker segment lists, each sorted by hull_segment_before —
   /// ready for the PPE's k-way merge (cellenc/stage_rate).
   std::vector<std::vector<jp2k::HullSegment>> worker_lists;

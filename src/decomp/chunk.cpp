@@ -1,5 +1,7 @@
 #include "decomp/chunk.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace cj2k::decomp {
@@ -68,6 +70,20 @@ std::vector<std::pair<std::size_t, std::size_t>> split_rows(
     start += count;
   }
   return out;
+}
+
+TileGroupPlan plan_tile_groups(std::size_t num_tiles, int num_spes) {
+  CJ2K_CHECK_MSG(num_tiles > 0, "need at least one tile");
+  TileGroupPlan plan;
+  if (num_spes <= 0) {
+    return plan;  // PPE-only: one serial pipeline.
+  }
+  const std::size_t by_pool =
+      std::max<std::size_t>(1, static_cast<std::size_t>(num_spes) / 8);
+  plan.groups = std::min(num_tiles, by_pool);
+  plan.spes_per_group =
+      num_spes / static_cast<int>(plan.groups);
+  return plan;
 }
 
 }  // namespace cj2k::decomp

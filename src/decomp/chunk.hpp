@@ -58,4 +58,17 @@ ChunkPlan plan_chunks_fixed_width(std::size_t row_elems,
 std::vector<std::pair<std::size_t, std::size_t>> split_rows(
     std::size_t num_rows, std::size_t num_workers);
 
+/// How the SPE pool is carved into tile groups for a multi-tile encode.
+struct TileGroupPlan {
+  std::size_t groups = 1;   ///< Concurrent tile pipelines.
+  int spes_per_group = 0;   ///< SPEs dedicated to each pipeline.
+};
+
+/// Plans tile-level parallelism: the pool is split into groups of at least
+/// 8 SPEs (a full paper-scale pipeline) so independent tiles overlap in
+/// waves, leaving later tiles' SPE work to hide earlier tiles' serial PPE
+/// Tier-2 slots.  Fewer groups than tiles is deliberate — fully
+/// synchronized tiles would stack every serial slot at the end.
+TileGroupPlan plan_tile_groups(std::size_t num_tiles, int num_spes);
+
 }  // namespace cj2k::decomp

@@ -95,4 +95,40 @@ Schedule schedule_static_fused(const std::vector<double>& item_cost,
   return s;
 }
 
+PipelineSchedule schedule_pipeline(
+    const std::vector<std::vector<PipelinePhase>>& items,
+    std::size_t num_groups) {
+  CJ2K_CHECK_MSG(num_groups > 0, "need at least one group");
+  PipelineSchedule s;
+  s.item_group.resize(items.size());
+  s.item_finish.resize(items.size());
+  std::vector<double> group_free(num_groups, 0.0);
+  double serial_free = 0.0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    std::size_t g = 0;
+    for (std::size_t k = 1; k < num_groups; ++k) {
+      if (group_free[k] < group_free[g]) g = k;
+    }
+    double t = group_free[g];
+    double release = t;
+    for (const auto& phase : items[i]) {
+      if (phase.pool > 0) {
+        t += phase.pool;
+        release = t;
+      }
+      if (phase.serial > 0) {
+        // Serial slots are granted in admission order (FIFO on the PPE).
+        const double start = std::max(t, serial_free);
+        t = start + phase.serial;
+        serial_free = t;
+      }
+    }
+    group_free[g] = release;
+    s.item_group[i] = g;
+    s.item_finish[i] = t;
+    s.makespan = std::max(s.makespan, t);
+  }
+  return s;
+}
+
 }  // namespace cj2k::decomp

@@ -76,4 +76,30 @@ Schedule schedule_static_fused(const std::vector<double>& item_cost,
                                const std::vector<double>& tail_cost,
                                const std::vector<double>& tail_speed_factor);
 
+/// One stage of an item in the tile pipeline: `pool` seconds on the item's
+/// SPE group, then `serial` seconds on the shared serial resource (the PPE
+/// doing Tier-2 stitching).  Either part may be zero.
+struct PipelinePhase {
+  double pool = 0;
+  double serial = 0;
+};
+
+/// Result of a deterministic pipeline replay.
+struct PipelineSchedule {
+  std::vector<std::size_t> item_group;  ///< Group index per item.
+  std::vector<double> item_finish;      ///< Virtual finish time per item.
+  double makespan = 0;
+};
+
+/// Replays a tile pipeline in virtual time: items (tiles) are admitted in
+/// order to the earliest-free group (lowest index breaks ties); each phase
+/// occupies the group for its `pool` part, then queues FIFO for the single
+/// shared serial resource for its `serial` part.  A group is released after
+/// the item's *last pool phase* — a trailing serial-only phase does not
+/// hold the group, which is exactly how a later tile's SPE work hides an
+/// earlier tile's PPE Tier-2 slot.
+PipelineSchedule schedule_pipeline(
+    const std::vector<std::vector<PipelinePhase>>& items,
+    std::size_t num_groups);
+
 }  // namespace cj2k::decomp

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "jp2k/tile_grid.hpp"
 
 namespace cj2k::jp2k {
 
@@ -15,6 +16,9 @@ constexpr std::uint16_t kQcd = 0xFF5C;
 constexpr std::uint16_t kSot = 0xFF90;
 constexpr std::uint16_t kSod = 0xFF93;
 constexpr std::uint16_t kEoc = 0xFFD9;
+
+/// QCD body bytes per band: orient u8 + level u8 + numbps u8 + step f64.
+constexpr std::size_t kQcdBandBytes = 11;
 
 class ByteWriter {
  public:
@@ -84,20 +88,70 @@ class ByteReader {
   std::size_t pos_ = 0;
 };
 
+/// Serializes one tile's QCD body (explicit per-band metadata).
+std::vector<std::uint8_t> qcd_body(
+    const std::vector<std::vector<StreamHeader::BandMeta>>& band_meta) {
+  ByteWriter q;
+  q.u16(static_cast<std::uint16_t>(band_meta.size()));
+  for (const auto& comp : band_meta) {
+    q.u16(static_cast<std::uint16_t>(comp.size()));
+    for (const auto& bm : comp) {
+      q.u8(bm.orient);
+      q.u8(bm.level);
+      q.u8(static_cast<std::uint8_t>(bm.numbps));
+      q.f64(bm.step);
+    }
+  }
+  return q.take();
+}
+
+/// Parses one tile's QCD body into `band_meta`, validating plausibility.
+void parse_qcd_body(ByteReader& r,
+                    std::vector<std::vector<StreamHeader::BandMeta>>& out) {
+  const std::size_t ncomp = r.u16();
+  out.resize(ncomp);
+  for (auto& comp : out) {
+    const std::size_t nbands = r.u16();
+    comp.resize(nbands);
+    for (auto& bm : comp) {
+      bm.orient = r.u8();
+      bm.level = r.u8();
+      bm.numbps = r.u8();
+      bm.step = r.f64();
+      if (bm.orient > 3 || bm.numbps > 38 || !(bm.step > 0)) {
+        throw CodestreamError("implausible QCD band metadata");
+      }
+    }
+  }
+}
+
 }  // namespace
 
+std::size_t tile_part_overhead_bytes(std::size_t components,
+                                     std::size_t bands_per_component) {
+  // SOT marker (2) + segment (10), QCD marker+length (4) + body
+  // (2 + per-component 2 + band records), SOD marker (2).
+  return 12 + 4 + 2 + components * (2 + bands_per_component * kQcdBandBytes) +
+         2;
+}
+
 std::vector<std::uint8_t> write_codestream(
-    const StreamHeader& hdr, const std::vector<std::uint8_t>& packets) {
+    const StreamHeader& hdr, const std::vector<TilePart>& tiles) {
+  CJ2K_CHECK_MSG(!tiles.empty(), "codestream needs at least one tile");
+  CJ2K_CHECK_MSG(tiles.size() <= 65535, "tile count exceeds Isot range");
+
   ByteWriter w;
   w.u16(kSoc);
 
-  // SIZ.
+  // SIZ — image geometry plus the nominal tile size (XTsiz/YTsiz).
   w.u16(kSiz);
-  w.u16(2 + 4 + 4 + 2 + 1);  // segment length excluding the marker
+  w.u16(2 + 4 + 4 + 2 + 1 + 4 + 4);  // segment length excluding the marker
   w.u32(static_cast<std::uint32_t>(hdr.width));
   w.u32(static_cast<std::uint32_t>(hdr.height));
   w.u16(static_cast<std::uint16_t>(hdr.components));
   w.u8(static_cast<std::uint8_t>(hdr.bit_depth));
+  w.u32(static_cast<std::uint32_t>(hdr.tile_w));
+  w.u32(static_cast<std::uint32_t>(hdr.tile_h));
 
   // COD.
   w.u16(kCod);
@@ -116,55 +170,46 @@ std::vector<std::uint8_t> write_codestream(
   w.u8(static_cast<std::uint8_t>(hdr.params.progression));
   w.f64(hdr.params.base_quant_step);
 
-  // QCD: explicit per-band metadata.
-  ByteWriter q;
-  q.u16(static_cast<std::uint16_t>(hdr.band_meta.size()));
-  for (const auto& comp : hdr.band_meta) {
-    q.u16(static_cast<std::uint16_t>(comp.size()));
-    for (const auto& bm : comp) {
-      q.u8(bm.orient);
-      q.u8(bm.level);
-      q.u8(static_cast<std::uint8_t>(bm.numbps));
-      q.f64(bm.step);
-    }
-  }
-  auto qbody = q.take();
-  w.u16(kQcd);
-  w.u16(static_cast<std::uint16_t>(2 + qbody.size()));
-  w.raw(qbody.data(), qbody.size());
+  // One tile-part per tile, in Isot order.  Psot spans from the SOT marker
+  // through the end of the packet stream (the standard's framing).
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    const TilePart& t = tiles[i];
+    const auto qbody = qcd_body(t.band_meta);
+    const std::size_t psot = 12 + 4 + qbody.size() + 2 + t.packets.size();
 
-  // Single tile: SOT carries the packet-stream length, SOD starts it.
-  w.u16(kSot);
-  w.u16(2 + 2 + 4);
-  w.u16(0);  // tile index
-  w.u32(static_cast<std::uint32_t>(packets.size()));
-  w.u16(kSod);
-  w.raw(packets.data(), packets.size());
+    w.u16(kSot);
+    w.u16(2 + 2 + 4 + 1 + 1);  // Lsot = 10
+    w.u16(static_cast<std::uint16_t>(i));               // Isot
+    w.u32(static_cast<std::uint32_t>(psot));            // Psot
+    w.u8(0);                                            // TPsot
+    w.u8(1);                                            // TNsot
+
+    w.u16(kQcd);
+    w.u16(static_cast<std::uint16_t>(2 + qbody.size()));
+    w.raw(qbody.data(), qbody.size());
+
+    w.u16(kSod);
+    w.raw(t.packets.data(), t.packets.size());
+  }
 
   w.u16(kEoc);
   return w.take();
 }
 
 StreamHeader parse_codestream(const std::vector<std::uint8_t>& bytes,
-                              std::size_t& packet_offset,
-                              std::size_t& packet_size) {
+                              std::vector<TilePart>& tiles) {
   ByteReader r(bytes.data(), bytes.size());
   StreamHeader hdr;
 
   if (r.u16() != kSoc) throw CodestreamError("missing SOC marker");
 
-  bool saw_siz = false, saw_cod = false, saw_qcd = false;
+  // --- Main header: SIZ + COD, terminated by the first SOT. ---------------
+  bool saw_siz = false, saw_cod = false;
+  std::uint16_t marker;
   for (;;) {
-    const std::uint16_t marker = r.u16();
-    if (marker == kSot) {
-      const std::uint16_t len = r.u16();
-      if (len != 8) throw CodestreamError("bad SOT length");
-      (void)r.u16();  // tile index
-      packet_size = r.u32();
-      if (r.u16() != kSod) throw CodestreamError("missing SOD marker");
-      packet_offset = r.pos();
-      break;
-    }
+    marker = r.u16();
+    if (marker == kSot) break;
+    if (marker == kEoc) throw CodestreamError("codestream has no tile-parts");
     const std::uint16_t len = r.u16();
     if (len < 2) throw CodestreamError("bad marker segment length");
     const std::size_t seg_end = r.pos() + (len - 2);
@@ -174,10 +219,16 @@ StreamHeader parse_codestream(const std::vector<std::uint8_t>& bytes,
         hdr.height = r.u32();
         hdr.components = r.u16();
         hdr.bit_depth = r.u8();
+        hdr.tile_w = r.u32();
+        hdr.tile_h = r.u32();
         if (hdr.width == 0 || hdr.height == 0 || hdr.components == 0 ||
             hdr.components > 16384 || hdr.bit_depth < 1 ||
             hdr.bit_depth > 16) {
           throw CodestreamError("implausible SIZ geometry");
+        }
+        if (hdr.tile_w == 0 || hdr.tile_h == 0 || hdr.tile_w > hdr.width ||
+            hdr.tile_h > hdr.height) {
+          throw CodestreamError("implausible SIZ tile size");
         }
         saw_siz = true;
         break;
@@ -211,35 +262,87 @@ StreamHeader parse_codestream(const std::vector<std::uint8_t>& bytes,
         saw_cod = true;
         break;
       }
-      case kQcd: {
-        const std::size_t ncomp = r.u16();
-        hdr.band_meta.resize(ncomp);
-        for (auto& comp : hdr.band_meta) {
-          const std::size_t nbands = r.u16();
-          comp.resize(nbands);
-          for (auto& bm : comp) {
-            bm.orient = r.u8();
-            bm.level = r.u8();
-            bm.numbps = r.u8();
-            bm.step = r.f64();
-            if (bm.orient > 3 || bm.numbps > 38 || !(bm.step > 0)) {
-              throw CodestreamError("implausible QCD band metadata");
-            }
-          }
-        }
-        saw_qcd = true;
-        break;
-      }
       default:
         throw CodestreamError("unknown marker in main header");
     }
     r.seek(seg_end);
   }
-  if (!saw_siz || !saw_cod || !saw_qcd) {
-    throw CodestreamError("main header missing SIZ/COD/QCD");
+  if (!saw_siz || !saw_cod) {
+    throw CodestreamError("main header missing SIZ/COD");
   }
-  if (packet_offset + packet_size + 2 > bytes.size()) {
-    throw CodestreamError("tile data runs past end of stream");
+
+  // The grid both sides agree on, from the SIZ nominal tile size.
+  const TileGrid grid =
+      TileGrid::from_tile_size(hdr.width, hdr.height, hdr.tile_w, hdr.tile_h);
+  const std::size_t ntiles = grid.num_tiles();
+  tiles.assign(ntiles, {});
+  std::vector<bool> seen(ntiles, false);
+
+  // --- Tile-parts: SOT / tile header / SOD / packets, Isot-indexed. -------
+  while (marker == kSot) {
+    const std::size_t sot_start = r.pos() - 2;
+    if (r.u16() != 10) throw CodestreamError("bad SOT length");
+    const std::size_t isot = r.u16();
+    const std::size_t psot = r.u32();
+    const unsigned tpsot = r.u8();
+    const unsigned tnsot = r.u8();
+    if (isot >= ntiles) {
+      throw CodestreamError("SOT tile index out of range (Isot=" +
+                            std::to_string(isot) + " of " +
+                            std::to_string(ntiles) + " tiles)");
+    }
+    if (seen[isot]) {
+      throw CodestreamError("duplicate tile-part for tile " +
+                            std::to_string(isot));
+    }
+    if (tpsot != 0 || tnsot != 1) {
+      throw CodestreamError(
+          "unsupported tile-part structure (TPsot/TNsot) for tile " +
+          std::to_string(isot));
+    }
+    seen[isot] = true;
+    TilePart& part = tiles[isot];
+
+    bool saw_qcd = false;
+    std::uint16_t tmarker;
+    for (;;) {
+      tmarker = r.u16();
+      if (tmarker == kSod) break;
+      const std::uint16_t len = r.u16();
+      if (len < 2) throw CodestreamError("bad marker segment length");
+      const std::size_t seg_end = r.pos() + (len - 2);
+      if (tmarker == kQcd) {
+        parse_qcd_body(r, part.band_meta);
+        if (part.band_meta.size() != hdr.components) {
+          throw CodestreamError("QCD component count mismatch");
+        }
+        saw_qcd = true;
+      } else {
+        throw CodestreamError("unknown marker in tile header");
+      }
+      r.seek(seg_end);
+    }
+    if (!saw_qcd) throw CodestreamError("tile header missing QCD");
+
+    part.packet_offset = r.pos();
+    const std::size_t consumed = r.pos() - sot_start;
+    if (psot < consumed) throw CodestreamError("implausible Psot");
+    // Room for the packets plus the next marker (another SOT or EOC).
+    if (sot_start + psot + 2 > bytes.size()) {
+      throw CodestreamError("tile data runs past end of stream");
+    }
+    part.packet_size = psot - consumed;
+    r.seek(sot_start + psot);
+    marker = r.u16();
+  }
+  if (marker != kEoc) {
+    throw CodestreamError("unknown marker between tile-parts");
+  }
+  for (std::size_t t = 0; t < ntiles; ++t) {
+    if (!seen[t]) {
+      throw CodestreamError("codestream missing tile-part for tile " +
+                            std::to_string(t));
+    }
   }
   return hdr;
 }

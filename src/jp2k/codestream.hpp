@@ -1,10 +1,12 @@
 // Codestream framing: marker-delimited headers around the Tier-2 packet
-// stream, modeled on the JPEG2000 Part-1 main-header structure (SOC, SIZ,
-// COD, QCD, SOT/SOD, EOC).  The QCD payload carries explicit per-band
-// bit-plane counts and quantizer steps (see DESIGN.md — we do not claim
-// bit-level interop with third-party decoders; the paper's claims don't
-// depend on it, and carrying the values explicitly keeps the decoder free
-// of guard-bit conventions).
+// streams, modeled on the JPEG2000 Part-1 structure (SOC, SIZ, COD, then
+// one SOT/QCD/SOD tile-part per tile, EOC).  The SIZ segment carries the
+// nominal tile size (XTsiz/YTsiz); each tile-part's SOT carries the
+// standard Isot/Psot/TPsot/TNsot fields and its own QCD with explicit
+// per-band bit-plane counts and quantizer steps (see DESIGN.md — we do not
+// claim bit-level interop with third-party decoders; the paper's claims
+// don't depend on it, and carrying the values explicitly keeps the decoder
+// free of guard-bit conventions).
 #pragma once
 
 #include <cstdint>
@@ -41,6 +43,10 @@ struct CodingParams {
   /// boundaries are R-D-optimized truncation points.
   int layers = 1;
   Progression progression = Progression::kLRCP;
+  /// Tile grid (jp2k/tile_grid.hpp).  Not serialized in COD — the grid
+  /// travels as the SIZ nominal tile size.  1x1 keeps the single-tile path.
+  std::size_t tiles_x = 1;
+  std::size_t tiles_y = 1;
 };
 
 /// Parsed main header.
@@ -49,6 +55,9 @@ struct StreamHeader {
   std::size_t height = 0;
   std::size_t components = 0;
   unsigned bit_depth = 8;
+  /// Nominal tile size from SIZ (== image size for a single-tile stream).
+  std::size_t tile_w = 0;
+  std::size_t tile_h = 0;
   CodingParams params;
   /// Per component, per subband (layout order): band_numbps and step.
   struct BandMeta {
@@ -57,17 +66,35 @@ struct StreamHeader {
     std::int32_t numbps;
     double step;
   };
-  std::vector<std::vector<BandMeta>> band_meta;
 };
 
-/// Serializes main header + tile header + packets + EOC.
-std::vector<std::uint8_t> write_codestream(
-    const StreamHeader& hdr, const std::vector<std::uint8_t>& packets);
+/// One tile-part: per-band metadata (the tile's QCD) plus its Tier-2
+/// packet stream.  The writer consumes `band_meta` + `packets`; the parser
+/// fills `band_meta` and the packet bounds (offsets into the parsed
+/// buffer, which must outlive them).
+struct TilePart {
+  std::vector<std::vector<StreamHeader::BandMeta>> band_meta;
+  std::vector<std::uint8_t> packets;  ///< Writer side.
+  std::size_t packet_offset = 0;      ///< Parser side.
+  std::size_t packet_size = 0;
+};
 
-/// Parses the main header; on return `packet_offset`/`packet_size` delimit
-/// the Tier-2 packet stream.  Throws CodestreamError on malformed input.
+/// Serializes main header + one tile-part per grid tile (in Isot order) +
+/// EOC.  `tiles` must match the grid implied by hdr.tile_w/tile_h.
+std::vector<std::uint8_t> write_codestream(const StreamHeader& hdr,
+                                           const std::vector<TilePart>& tiles);
+
+/// Parses the main header and every tile-part; `tiles` comes back indexed
+/// by Isot with each part's band metadata and packet bounds.  Throws
+/// CodestreamError on malformed input (bad marker, out-of-range or
+/// duplicate Isot, unsupported TPsot/TNsot, Psot overruns, missing tiles).
 StreamHeader parse_codestream(const std::vector<std::uint8_t>& bytes,
-                              std::size_t& packet_offset,
-                              std::size_t& packet_size);
+                              std::vector<TilePart>& tiles);
+
+/// Exact framing bytes write_codestream adds around one tile-part's packet
+/// body (SOT marker + segment, QCD, SOD) for a tile with `components`
+/// components of `bands_per_component` subbands each.
+std::size_t tile_part_overhead_bytes(std::size_t components,
+                                     std::size_t bands_per_component);
 
 }  // namespace cj2k::jp2k

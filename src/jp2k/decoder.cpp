@@ -11,29 +11,31 @@
 #include "jp2k/quant.hpp"
 #include "jp2k/t1_decoder.hpp"
 #include "jp2k/t2_decoder.hpp"
+#include "jp2k/tile_grid.hpp"
 
 namespace cj2k::jp2k {
 
 namespace {
 
-/// Rebuilds the Tile skeleton the T2 decoder fills in.
-Tile make_skeleton(const StreamHeader& hdr) {
+/// Rebuilds one tile's skeleton (geometry + the tile-part's QCD metadata)
+/// for the T2 decoder to fill in.
+Tile make_skeleton(const StreamHeader& hdr, const TilePart& part,
+                   std::size_t tile_w, std::size_t tile_h) {
   Tile tile;
-  tile.width = hdr.width;
-  tile.height = hdr.height;
+  tile.width = tile_w;
+  tile.height = tile_h;
   tile.levels = hdr.params.levels;
   tile.layers = hdr.params.layers;
   for (std::size_t c = 0; c < hdr.components; ++c) {
     TileComponent tc;
-    const auto layout =
-        subband_layout(hdr.width, hdr.height, hdr.params.levels);
-    CJ2K_CHECK_MSG(c < hdr.band_meta.size() &&
-                       hdr.band_meta[c].size() == layout.size(),
+    const auto layout = subband_layout(tile_w, tile_h, hdr.params.levels);
+    CJ2K_CHECK_MSG(c < part.band_meta.size() &&
+                       part.band_meta[c].size() == layout.size(),
                    "QCD band metadata does not match geometry");
     for (std::size_t b = 0; b < layout.size(); ++b) {
       Subband sb;
       sb.info = layout[b];
-      const auto& bm = hdr.band_meta[c][b];
+      const auto& bm = part.band_meta[c][b];
       if (static_cast<SubbandOrient>(bm.orient) != sb.info.orient ||
           bm.level != sb.info.level) {
         throw CodestreamError("QCD band order mismatch");
@@ -48,24 +50,21 @@ Tile make_skeleton(const StreamHeader& hdr) {
   return tile;
 }
 
-}  // namespace
-
-Image decode(const std::vector<std::uint8_t>& bytes, int max_layers) {
-  std::size_t pkt_off = 0, pkt_size = 0;
-  const StreamHeader hdr = parse_codestream(bytes, pkt_off, pkt_size);
-
-  Tile tile = make_skeleton(hdr);
+/// Decodes one tile-part into a tile-sized image (all paths are tile-local
+/// — inverse DWT, dequantization, and MCT never cross tile boundaries).
+Image decode_tile(const StreamHeader& hdr, const TilePart& part,
+                  std::size_t tile_w, std::size_t tile_h,
+                  const std::vector<std::uint8_t>& bytes, int max_layers) {
+  Tile tile = make_skeleton(hdr, part, tile_w, tile_h);
   tile.progression = static_cast<int>(hdr.params.progression);
-  if (max_layers > 0 && hdr.params.progression != Progression::kLRCP) {
-    throw InvalidArgument(
-        "progressive layer truncation requires LRCP ordering");
+  const std::size_t consumed = t2_decode(bytes.data() + part.packet_offset,
+                                         part.packet_size, tile, max_layers);
+  if (consumed > part.packet_size) {
+    throw CodestreamError("packet stream overrun");
   }
-  const std::size_t consumed =
-      t2_decode(bytes.data() + pkt_off, pkt_size, tile, max_layers);
-  if (consumed > pkt_size) throw CodestreamError("packet stream overrun");
 
-  const std::size_t w = hdr.width;
-  const std::size_t h = hdr.height;
+  const std::size_t w = tile_w;
+  const std::size_t h = tile_h;
   const unsigned depth = hdr.bit_depth;
   const bool color = hdr.params.mct && hdr.components >= 3;
 
@@ -207,6 +206,36 @@ Image decode(const std::vector<std::uint8_t>& bytes, int max_layers) {
         }
       }
     }
+  }
+  return img;
+}
+
+}  // namespace
+
+Image decode(const std::vector<std::uint8_t>& bytes, int max_layers) {
+  std::vector<TilePart> parts;
+  const StreamHeader hdr = parse_codestream(bytes, parts);
+
+  if (max_layers > 0 && hdr.params.progression != Progression::kLRCP) {
+    throw InvalidArgument(
+        "progressive layer truncation requires LRCP ordering");
+  }
+
+  const TileGrid grid =
+      TileGrid::from_tile_size(hdr.width, hdr.height, hdr.tile_w, hdr.tile_h);
+  if (grid.num_tiles() == 1) {
+    return decode_tile(hdr, parts[0], hdr.width, hdr.height, bytes,
+                       max_layers);
+  }
+
+  // Isot-indexed reassembly: parts[i] is tile i regardless of the order
+  // the tile-parts appeared in the stream.
+  Image img(hdr.width, hdr.height, hdr.components, hdr.bit_depth);
+  for (std::size_t i = 0; i < grid.num_tiles(); ++i) {
+    const TileRect rect = grid.tile(i);
+    const Image timg =
+        decode_tile(hdr, parts[i], rect.w, rect.h, bytes, max_layers);
+    blit_tile(timg, rect, img);
   }
   return img;
 }

@@ -31,6 +31,38 @@ void validate(const Image& img, const CodingParams& p) {
   if (p.layers < 1 || p.layers > 64) {
     throw InvalidArgument("quality layer count out of range");
   }
+  if (p.tiles_x < 1 || p.tiles_x > 256 || p.tiles_y < 1 || p.tiles_y > 256) {
+    throw InvalidArgument("tile grid out of range");
+  }
+}
+
+/// Layered budgets over a tile set (the multi-tile form of
+/// plan_layer_budgets: the "everything" fallback sums every tile's coded
+/// bytes once).
+std::vector<std::size_t> plan_layer_budgets_tiles(
+    const std::vector<Tile*>& tiles, const Image& img,
+    const CodingParams& params) {
+  std::size_t final_budget;
+  if (params.rate > 0.0) {
+    final_budget = static_cast<std::size_t>(
+        params.rate * static_cast<double>(img.raw_bytes()));
+  } else {
+    std::size_t all = 4096;
+    for (const Tile* tp : tiles) {
+      for (const auto& tc : tp->components) {
+        for (const auto& sb : tc.subbands) {
+          for (const auto& cb : sb.blocks) all += cb.enc.data.size() + 8;
+        }
+      }
+    }
+    final_budget = 2 * all;  // effectively unbounded
+  }
+  std::vector<std::size_t> budgets(static_cast<std::size_t>(params.layers));
+  for (int l = 0; l < params.layers; ++l) {
+    budgets[static_cast<std::size_t>(l)] =
+        final_budget >> (params.layers - 1 - l);
+  }
+  return budgets;
 }
 
 /// Builds the subband skeleton for one component.
@@ -297,25 +329,90 @@ void force_lossless_final_layer(Tile& tile) {
   }
 }
 
-std::vector<std::uint8_t> frame_codestream(
-    const Tile& tile, const Image& img, const CodingParams& params,
-    const std::vector<std::uint8_t>& packets) {
+namespace {
+
+/// One tile's QCD metadata in layout order.
+std::vector<std::vector<StreamHeader::BandMeta>> tile_band_meta(
+    const Tile& tile) {
+  std::vector<std::vector<StreamHeader::BandMeta>> meta(
+      tile.components.size());
+  for (std::size_t c = 0; c < tile.components.size(); ++c) {
+    for (const auto& sb : tile.components[c].subbands) {
+      meta[c].push_back({static_cast<std::uint8_t>(sb.info.orient),
+                         static_cast<std::uint8_t>(sb.info.level),
+                         sb.band_numbps, sb.quant_step});
+    }
+  }
+  return meta;
+}
+
+}  // namespace
+
+std::size_t tile_framing_reserve(const std::vector<Tile*>& tiles) {
+  if (tiles.size() <= 1) return 0;
+  std::size_t total = 0;
+  for (const Tile* tp : tiles) {
+    const std::size_t nbands =
+        tp->components.empty() ? 0 : tp->components.front().subbands.size();
+    total += tile_part_overhead_bytes(tp->components.size(), nbands);
+  }
+  return total;
+}
+
+RateControlStats allocate_rate_across_tiles(
+    const std::vector<Tile*>& tiles, const Image& img,
+    const CodingParams& params, const std::vector<HullSegment>& segments,
+    RateControlStats stats) {
+  CJ2K_CHECK_MSG(params.rate > 0.0 || params.layers > 1,
+                 "rate allocation needs a rate target or multiple layers");
+  // Multi-tile streams repeat the SOT/QCD/SOD framing per tile; reserve it
+  // out of the scan budgets so the assembled stream still meets the global
+  // target.  Single-tile reserve is 0 (the original arithmetic).
+  const std::size_t reserve = tile_framing_reserve(tiles);
+  if (params.layers > 1) {
+    auto budgets = plan_layer_budgets_tiles(tiles, img, params);
+    for (auto& b : budgets) b = b > reserve ? b - reserve : 0;
+    auto rc =
+        rate_control_layered_presorted_tiles(tiles, budgets, segments, stats);
+    if (params.rate <= 0.0) {
+      for (Tile* tp : tiles) force_lossless_final_layer(*tp);
+    }
+    return rc;
+  }
+  const auto target = static_cast<std::size_t>(
+      params.rate * static_cast<double>(img.raw_bytes()));
+  const std::size_t budget = target > reserve ? target - reserve : 0;
+  return rate_control_presorted_tiles(tiles, budget, segments, stats);
+}
+
+std::vector<std::uint8_t> frame_codestream_tiles(
+    const std::vector<const Tile*>& tiles, const TileGrid& grid,
+    const Image& img, const CodingParams& params,
+    const std::vector<std::vector<std::uint8_t>>& packets) {
+  CJ2K_CHECK_MSG(tiles.size() == grid.num_tiles() &&
+                     packets.size() == tiles.size(),
+                 "tile/packet count does not match the grid");
   StreamHeader hdr;
   hdr.width = img.width();
   hdr.height = img.height();
   hdr.components = img.components();
   hdr.bit_depth = img.bit_depth();
+  hdr.tile_w = grid.tile_w();
+  hdr.tile_h = grid.tile_h();
   hdr.params = params;
-  hdr.band_meta.resize(tile.components.size());
-  for (std::size_t c = 0; c < tile.components.size(); ++c) {
-    for (const auto& sb : tile.components[c].subbands) {
-      hdr.band_meta[c].push_back(
-          {static_cast<std::uint8_t>(sb.info.orient),
-           static_cast<std::uint8_t>(sb.info.level), sb.band_numbps,
-           sb.quant_step});
-    }
+  std::vector<TilePart> parts(tiles.size());
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    parts[i].band_meta = tile_band_meta(*tiles[i]);
+    parts[i].packets = packets[i];
   }
-  return write_codestream(hdr, packets);
+  return write_codestream(hdr, parts);
+}
+
+std::vector<std::uint8_t> frame_codestream(
+    const Tile& tile, const Image& img, const CodingParams& params,
+    const std::vector<std::uint8_t>& packets) {
+  const TileGrid grid = TileGrid::plan(img.width(), img.height(), 1, 1);
+  return frame_codestream_tiles({&tile}, grid, img, params, {packets});
 }
 
 std::vector<std::uint8_t> finish_tile(Tile& tile, const Image& img,
@@ -324,20 +421,12 @@ std::vector<std::uint8_t> finish_tile(Tile& tile, const Image& img,
   Timer stage;
 
   // Rate control / layer allocation.
-  if (params.layers > 1) {
-    const auto budgets = plan_layer_budgets(tile, img, params);
-    const auto rc = rate_control_layered(tile, budgets, params.wavelet);
-    if (params.rate <= 0.0) {
-      force_lossless_final_layer(tile);
-    }
-    if (stats) {
-      stats->rate = rc;
-      stats->rate_seconds = stage.seconds();
-    }
-  } else if (params.rate > 0.0) {
-    const auto budget = static_cast<std::size_t>(
-        params.rate * static_cast<double>(img.raw_bytes()));
-    const auto rc = rate_control(tile, budget, params.wavelet);
+  if (params.layers > 1 || params.rate > 0.0) {
+    RateControlStats hull_stats;
+    const auto segments =
+        build_sorted_segments(tile, params.wavelet, hull_stats);
+    const auto rc =
+        allocate_rate_across_tiles({&tile}, img, params, segments, hull_stats);
     if (stats) {
       stats->rate = rc;
       stats->rate_seconds = stage.seconds();
@@ -357,11 +446,88 @@ std::vector<std::uint8_t> finish_tile(Tile& tile, const Image& img,
   return bytes;
 }
 
+std::vector<std::uint8_t> finish_tiles(std::vector<Tile>& tiles,
+                                       const TileGrid& grid, const Image& img,
+                                       const CodingParams& params,
+                                       EncodeStats* stats) {
+  CJ2K_CHECK_MSG(tiles.size() == grid.num_tiles(),
+                 "tile count does not match the grid");
+  Timer stage;
+  std::vector<Tile*> ptrs;
+  ptrs.reserve(tiles.size());
+  for (auto& t : tiles) ptrs.push_back(&t);
+
+  if (params.layers > 1 || params.rate > 0.0) {
+    // Per-tile slope-sorted hull lists (distinct ordinal bases keep the
+    // tie-break a strict total order across tiles), k-way merged into the
+    // global slope order a single λ is scanned over.
+    RateControlStats hull_stats;
+    std::vector<std::vector<HullSegment>> lists;
+    lists.reserve(tiles.size());
+    std::uint64_t base = 0;
+    for (auto& t : tiles) {
+      lists.push_back(
+          build_sorted_segments(t, params.wavelet, hull_stats, base));
+      base += tile_block_count(t);
+    }
+    const auto segments = merge_segment_lists(std::move(lists));
+    const auto rc =
+        allocate_rate_across_tiles(ptrs, img, params, segments, hull_stats);
+    if (stats) {
+      stats->rate = rc;
+      stats->rate_seconds = stage.seconds();
+    }
+  } else {
+    for (auto& t : tiles) {
+      for (auto& tc : t.components) {
+        for (auto& sb : tc.subbands) {
+          for (auto& cb : sb.blocks) cb.include_all();
+        }
+      }
+    }
+  }
+
+  stage.reset();
+  std::vector<std::vector<std::uint8_t>> packets;
+  packets.reserve(tiles.size());
+  for (auto& t : tiles) packets.push_back(t2_encode(t));
+  std::vector<const Tile*> cptrs(ptrs.begin(), ptrs.end());
+  auto bytes = frame_codestream_tiles(cptrs, grid, img, params, packets);
+  if (stats) stats->t2_seconds = stage.seconds();
+  return bytes;
+}
+
 std::vector<std::uint8_t> encode(const Image& img, const CodingParams& params,
                                  EncodeStats* stats) {
   Timer total;
-  Tile tile = build_tile(img, params, stats);
-  auto bytes = finish_tile(tile, img, params, stats);
+  validate(img, params);
+  const TileGrid grid =
+      TileGrid::plan(img.width(), img.height(), params.tiles_x, params.tiles_y);
+  std::vector<std::uint8_t> bytes;
+  if (grid.num_tiles() == 1) {
+    Tile tile = build_tile(img, params, stats);
+    bytes = finish_tile(tile, img, params, stats);
+  } else {
+    // Per-tile fronts (stats accumulate across tiles), then the shared
+    // cross-tile tail.
+    std::vector<Tile> tiles;
+    tiles.reserve(grid.num_tiles());
+    for (std::size_t i = 0; i < grid.num_tiles(); ++i) {
+      const Image timg = extract_tile(img, grid.tile(i));
+      EncodeStats ts;
+      tiles.push_back(build_tile(timg, params, stats ? &ts : nullptr));
+      if (stats) {
+        stats->mct_seconds += ts.mct_seconds;
+        stats->dwt_seconds += ts.dwt_seconds;
+        stats->quant_seconds += ts.quant_seconds;
+        stats->t1_seconds += ts.t1_seconds;
+        stats->t1_symbols += ts.t1_symbols;
+        stats->t1_passes += ts.t1_passes;
+      }
+    }
+    if (stats) stats->samples = img.total_samples();
+    bytes = finish_tiles(tiles, grid, img, params, stats);
+  }
   if (stats) stats->total_seconds = total.seconds();
   return bytes;
 }

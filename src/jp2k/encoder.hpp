@@ -9,6 +9,7 @@
 #include "image/image.hpp"
 #include "jp2k/codestream.hpp"
 #include "jp2k/rate_control.hpp"
+#include "jp2k/tile_grid.hpp"
 
 namespace cj2k::jp2k {
 
@@ -43,6 +44,14 @@ std::vector<std::uint8_t> finish_tile(Tile& tile, const Image& img,
                                       const CodingParams& params,
                                       EncodeStats* stats = nullptr);
 
+/// Finishes a set of built tiles (one per grid rect, index order) into a
+/// multi-tile codestream: cross-tile rate allocation (one λ over the whole
+/// image), per-tile Tier-2, tile-part framing.
+std::vector<std::uint8_t> finish_tiles(std::vector<Tile>& tiles,
+                                       const TileGrid& grid, const Image& img,
+                                       const CodingParams& params,
+                                       EncodeStats* stats = nullptr);
+
 // The pieces finish_tile composes, exposed so the Cell pipeline's
 // distributed lossy tail (cellenc/stage_rate) reuses exactly the same
 // logic and stays byte-identical to the serial reference.
@@ -57,10 +66,31 @@ std::vector<std::size_t> plan_layer_budgets(const Tile& tile, const Image& img,
 /// R-D hull may drop zero-distortion tail passes otherwise).
 void force_lossless_final_layer(Tile& tile);
 
+/// Per-tile framing bytes (SOT + QCD + SOD) reserved out of the rate-scan
+/// budget on multi-tile encodes.  Zero for a single tile — the original
+/// single-tile budget arithmetic is preserved bit-for-bit.
+std::size_t tile_framing_reserve(const std::vector<Tile*>& tiles);
+
+/// Cross-tile rate allocation over the pre-merged global slope order:
+/// layer planning / budget shrink / greedy scan exactly as finish_tile,
+/// generalized to a tile set.  Used by both the serial finish_tiles and
+/// the Cell tile scheduler so their truncation choices are identical.
+RateControlStats allocate_rate_across_tiles(
+    const std::vector<Tile*>& tiles, const Image& img,
+    const CodingParams& params, const std::vector<HullSegment>& segments,
+    RateControlStats stats = {});
+
 /// Wraps a finished packet stream in the codestream framing (SIZ/COD/QCD
 /// main header, tile header, EOC).
 std::vector<std::uint8_t> frame_codestream(
     const Tile& tile, const Image& img, const CodingParams& params,
     const std::vector<std::uint8_t>& packets);
+
+/// Multi-tile framing: one tile-part per tile (index order), the grid's
+/// nominal tile size in SIZ.
+std::vector<std::uint8_t> frame_codestream_tiles(
+    const std::vector<const Tile*>& tiles, const TileGrid& grid,
+    const Image& img, const CodingParams& params,
+    const std::vector<std::vector<std::uint8_t>>& packets);
 
 }  // namespace cj2k::jp2k

@@ -1,6 +1,7 @@
 #include "jp2k/rate_control.hpp"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -65,9 +66,10 @@ void build_block_hull(CodeBlock& cb, double weight,
 }
 
 std::vector<HullSegment> build_sorted_segments(Tile& tile, WaveletKind kind,
-                                               RateControlStats& stats) {
+                                               RateControlStats& stats,
+                                               std::uint64_t ordinal_base) {
   std::vector<HullSegment> segments;
-  std::uint64_t ordinal = 0;
+  std::uint64_t ordinal = ordinal_base;
   for (auto& tc : tile.components) {
     for (auto& sb : tc.subbands) {
       const double w = hull_weight(sb, kind, tile.levels);
@@ -133,9 +135,22 @@ std::vector<HullSegment> merge_segment_lists(
   return out;
 }
 
-RateControlStats rate_control_presorted(
-    Tile& tile, std::size_t total_budget_bytes,
+namespace {
+
+/// Total T2 size across the tile set (the multi-tile refinement target;
+/// per-tile framing overhead is subtracted from the budget by the caller).
+std::size_t t2_encoded_size_tiles(const std::vector<Tile*>& tiles) {
+  std::size_t total = 0;
+  for (const Tile* t : tiles) total += t2_encoded_size(*t);
+  return total;
+}
+
+}  // namespace
+
+RateControlStats rate_control_presorted_tiles(
+    const std::vector<Tile*>& tiles, std::size_t total_budget_bytes,
     const std::vector<HullSegment>& segments, RateControlStats stats) {
+  CJ2K_CHECK_MSG(!tiles.empty(), "need at least one tile");
   stats.target_bytes = total_budget_bytes;
 
   // Iteratively shrink the body budget until headers + bodies fit.
@@ -148,11 +163,13 @@ RateControlStats rate_control_presorted(
     // Greedy prefix of the slope-sorted segments.  A block's segments have
     // decreasing slopes, so a prefix always yields consistent truncation
     // points.
-    for (auto& tc : tile.components) {
-      for (auto& sb : tc.subbands) {
-        for (auto& cb : sb.blocks) {
-          cb.included_passes = 0;
-          cb.included_len = 0;
+    for (Tile* tp : tiles) {
+      for (auto& tc : tp->components) {
+        for (auto& sb : tc.subbands) {
+          for (auto& cb : sb.blocks) {
+            cb.included_passes = 0;
+            cb.included_len = 0;
+          }
         }
       }
     }
@@ -168,7 +185,7 @@ RateControlStats rate_control_presorted(
     stats.selected_bytes = used;
     stats.lambda = lambda;
 
-    const std::size_t total = t2_encoded_size(tile);
+    const std::size_t total = t2_encoded_size_tiles(tiles);
     if (total <= total_budget_bytes || body_budget == 0) break;
     const std::size_t overshoot = total - total_budget_bytes;
     body_budget = body_budget > overshoot + 16 ? body_budget - overshoot - 16
@@ -177,15 +194,16 @@ RateControlStats rate_control_presorted(
   return stats;
 }
 
-RateControlStats rate_control_layered_presorted(
-    Tile& tile, const std::vector<std::size_t>& budgets,
+RateControlStats rate_control_layered_presorted_tiles(
+    const std::vector<Tile*>& tiles, const std::vector<std::size_t>& budgets,
     const std::vector<HullSegment>& segments, RateControlStats stats) {
+  CJ2K_CHECK_MSG(!tiles.empty(), "need at least one tile");
   CJ2K_CHECK_MSG(!budgets.empty(), "need at least one layer budget");
   for (std::size_t i = 1; i < budgets.size(); ++i) {
     CJ2K_CHECK_MSG(budgets[i] >= budgets[i - 1],
                    "layer budgets must be ascending");
   }
-  tile.layers = static_cast<int>(budgets.size());
+  for (Tile* tp : tiles) tp->layers = static_cast<int>(budgets.size());
   stats.target_bytes = budgets.back();
 
   // Final-layer body budget, refined against the real T2 size as in the
@@ -196,12 +214,14 @@ RateControlStats rate_control_layered_presorted(
           : 0;
   for (int iter = 0; iter < 8; ++iter) {
     ++stats.iterations;
-    for (auto& tc : tile.components) {
-      for (auto& sb : tc.subbands) {
-        for (auto& cb : sb.blocks) {
-          cb.included_passes = 0;
-          cb.included_len = 0;
-          cb.layer_passes.assign(budgets.size(), 0);
+    for (Tile* tp : tiles) {
+      for (auto& tc : tp->components) {
+        for (auto& sb : tc.subbands) {
+          for (auto& cb : sb.blocks) {
+            cb.included_passes = 0;
+            cb.included_len = 0;
+            cb.layer_passes.assign(budgets.size(), 0);
+          }
         }
       }
     }
@@ -223,23 +243,39 @@ RateControlStats rate_control_layered_presorted(
         stats.lambda = seg.slope;
       }
       // Freeze this layer's cumulative pass counts.
-      for (auto& tc : tile.components) {
-        for (auto& sb : tc.subbands) {
-          for (auto& cb : sb.blocks) {
-            cb.layer_passes[l] = cb.included_passes;
+      for (Tile* tp : tiles) {
+        for (auto& tc : tp->components) {
+          for (auto& sb : tc.subbands) {
+            for (auto& cb : sb.blocks) {
+              cb.layer_passes[l] = cb.included_passes;
+            }
           }
         }
       }
     }
     stats.selected_bytes = used;
 
-    const std::size_t total = t2_encoded_size(tile);
+    const std::size_t total = t2_encoded_size_tiles(tiles);
     if (total <= budgets.back() || final_body == 0) break;
     const std::size_t overshoot = total - budgets.back();
     final_body =
         final_body > overshoot + 16 ? final_body - overshoot - 16 : 0;
   }
   return stats;
+}
+
+RateControlStats rate_control_presorted(
+    Tile& tile, std::size_t total_budget_bytes,
+    const std::vector<HullSegment>& segments, RateControlStats stats) {
+  return rate_control_presorted_tiles({&tile}, total_budget_bytes, segments,
+                                      std::move(stats));
+}
+
+RateControlStats rate_control_layered_presorted(
+    Tile& tile, const std::vector<std::size_t>& budgets,
+    const std::vector<HullSegment>& segments, RateControlStats stats) {
+  return rate_control_layered_presorted_tiles({&tile}, budgets, segments,
+                                              std::move(stats));
 }
 
 RateControlStats rate_control(Tile& tile, std::size_t total_budget_bytes,

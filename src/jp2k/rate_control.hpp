@@ -75,8 +75,12 @@ void build_block_hull(CodeBlock& cb, double weight,
 
 /// Builds and slope-sorts the R-D hull segments for the whole tile
 /// (the serial phase-1+2; also resets every block's selection state).
+/// `ordinal_base` offsets the block ordinals — multi-tile encodes pass the
+/// cumulative block count of the preceding tiles so the global slope order
+/// is a strict total order across the whole image.
 std::vector<HullSegment> build_sorted_segments(Tile& tile, WaveletKind kind,
-                                               RateControlStats& stats);
+                                               RateControlStats& stats,
+                                               std::uint64_t ordinal_base = 0);
 
 /// K-way merge of per-worker segment lists, each already sorted by
 /// hull_segment_before, into the single global slope order.  O(S log K)
@@ -96,6 +100,21 @@ RateControlStats rate_control_presorted(Tile& tile,
 /// Layered variant of rate_control_presorted (see rate_control_layered).
 RateControlStats rate_control_layered_presorted(
     Tile& tile, const std::vector<std::size_t>& budgets,
+    const std::vector<HullSegment>& segments, RateControlStats stats = {});
+
+// Multi-tile cores: the same greedy scan + refinement over the blocks of
+// several tiles at once, with a single global budget — one λ holds across
+// the whole image (DESIGN.md §7).  `segments` must be the merged slope
+// order over every tile's hulls (distinct ordinal bases per tile).  The
+// single-tile entry points above delegate here with one tile, so both
+// paths stay byte-identical.
+
+RateControlStats rate_control_presorted_tiles(
+    const std::vector<Tile*>& tiles, std::size_t total_budget_bytes,
+    const std::vector<HullSegment>& segments, RateControlStats stats = {});
+
+RateControlStats rate_control_layered_presorted_tiles(
+    const std::vector<Tile*>& tiles, const std::vector<std::size_t>& budgets,
     const std::vector<HullSegment>& segments, RateControlStats stats = {});
 
 /// Selects `included_passes`/`included_len` for every block of the tile so

@@ -75,6 +75,16 @@ struct Tile {
   std::vector<TileComponent> components;
 };
 
+/// Code blocks in the tile (the canonical traversal's length — multi-tile
+/// encodes use the cumulative count as each tile's hull ordinal base).
+inline std::size_t tile_block_count(const Tile& tile) {
+  std::size_t n = 0;
+  for (const auto& tc : tile.components) {
+    for (const auto& sb : tc.subbands) n += sb.blocks.size();
+  }
+  return n;
+}
+
 /// Splits a subband into its code-block grid (geometry only).
 inline void make_block_grid(Subband& sb, std::size_t cb_w, std::size_t cb_h) {
   sb.grid_w = ceil_div(sb.info.w, cb_w);

@@ -265,6 +265,52 @@ TEST(PipelineAudit, StrictModeFailsTheDirtyGeometry) {
   EXPECT_THROW(enc.encode(img, p, opt), AuditError);
 }
 
+TEST(PipelineAudit, MultiTileEncodesAreStrictCleanAndNameTiles) {
+  // 512x512 over a 2x2 grid: every 256x256 tile keeps all DMA rows at a
+  // cache-line multiple through 3 levels, so the full multi-tile encode
+  // (both wavelets) must hold the strict invariants end to end.
+  const Image img = synth::photographic(512, 512, 3, 85);
+  PipelineOptions opt;
+  opt.audit.enabled = true;
+  opt.audit.strict = true;
+  CellEncoder enc(config(8, 0));
+  for (auto w : {jp2k::WaveletKind::kReversible53,
+                 jp2k::WaveletKind::kIrreversible97}) {
+    auto p = clean_params(w);
+    p.tiles_x = p.tiles_y = 2;
+    const auto res = enc.encode(img, p, opt);
+    EXPECT_TRUE(res.audit.clean()) << res.audit.summary();
+    EXPECT_EQ(res.tiles, 4u);
+    // Ledger sites carry the tile provenance: "tileN/<stage>".
+    bool saw_first = false, saw_last = false;
+    for (const auto& s : res.audit.sites) {
+      if (s.site.rfind("tile0/", 0) == 0) saw_first = true;
+      if (s.site.rfind("tile3/", 0) == 0) saw_last = true;
+    }
+    EXPECT_TRUE(saw_first) << res.audit.summary();
+    EXPECT_TRUE(saw_last) << res.audit.summary();
+  }
+}
+
+TEST(PipelineAudit, StrictViolationNamesTheOffendingTile) {
+  // Default 5 levels shrink a 160x128 tile's deep rows below one cache
+  // line; the strict report must say which tile tripped the invariant.
+  const Image img = synth::photographic(320, 256, 3, 86);
+  jp2k::CodingParams p;
+  p.tiles_x = p.tiles_y = 2;
+  PipelineOptions opt;
+  opt.audit.enabled = true;
+  opt.audit.strict = true;
+  CellEncoder enc(config(4, 0));
+  try {
+    enc.encode(img, p, opt);
+    FAIL() << "expected AuditError";
+  } catch (const AuditError& e) {
+    EXPECT_NE(std::string(e.what()).find("tile"), std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
 TEST(PipelineAudit, LsBudgetIsEnforcedThroughThePipeline) {
   const Image img = synth::photographic(256, 256, 3, 84);
   PipelineOptions opt;

@@ -11,6 +11,7 @@
 //   --layers N          quality layers (default 1)
 //   --levels N          decomposition levels (default 5)
 //   --cb N              code block size (default 64)
+//   --tiles CxR         split the image into a CxR tile grid (default 1x1)
 //   --no-mct            disable RCT/ICT
 //   --fixed-point       Q13 fixed-point 9/7 (Jasper's original arithmetic)
 //   --reset-ctx         RESET contexts each coding pass
@@ -36,8 +37,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: cj2k encode <in.bmp|in.ppm> <out.cj2k> [--lossy] "
                "[--rate R] [--layers N]\n"
-               "                   [--levels N] [--cb N] [--no-mct] "
-               "[--fixed-point] [--reset-ctx] [--vsc]\n"
+               "                   [--levels N] [--cb N] [--tiles CxR] "
+               "[--no-mct] [--fixed-point] [--reset-ctx] [--vsc]\n"
                "       cj2k decode <in.cj2k> <out.bmp|out.ppm> [--layers N]\n"
                "       cj2k info   <in.cj2k>\n"
                "       cj2k bench  <in.bmp|in.ppm> [--spes N] [--ppes N] "
@@ -94,6 +95,22 @@ bool opt_flag(const std::vector<std::string>& args, const char* name) {
   return false;
 }
 
+/// Parses --tiles CxR (e.g. "2x2") into params; leaves the 1x1 default
+/// when the flag is absent.
+void opt_tiles(const std::vector<std::string>& args, jp2k::CodingParams& p) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] != "--tiles") continue;
+    const std::string& v = args[i + 1];
+    const std::size_t x = v.find('x');
+    if (x == std::string::npos || x == 0 || x + 1 >= v.size()) {
+      throw InvalidArgument("--tiles expects CxR, e.g. --tiles 2x2");
+    }
+    p.tiles_x = static_cast<std::size_t>(std::stoul(v.substr(0, x)));
+    p.tiles_y = static_cast<std::size_t>(std::stoul(v.substr(x + 1)));
+    return;
+  }
+}
+
 int cmd_encode(const std::string& in, const std::string& out,
                const std::vector<std::string>& args) {
   const Image img = read_image(in);
@@ -112,6 +129,7 @@ int cmd_encode(const std::string& in, const std::string& out,
   p.fixed_point_97 = opt_flag(args, "--fixed-point");
   p.t1.reset_contexts = opt_flag(args, "--reset-ctx");
   p.t1.vertically_causal = opt_flag(args, "--vsc");
+  opt_tiles(args, p);
 
   jp2k::EncodeStats stats;
   const auto bytes = jp2k::encode(img, p, &stats);
@@ -141,12 +159,19 @@ int cmd_decode(const std::string& in, const std::string& out,
 
 int cmd_info(const std::string& in) {
   const auto bytes = read_file(in);
-  std::size_t off = 0, size = 0;
-  const auto hdr = jp2k::parse_codestream(bytes, off, size);
+  std::vector<jp2k::TilePart> parts;
+  const auto hdr = jp2k::parse_codestream(bytes, parts);
+  std::size_t packet_bytes = 0;
+  for (const auto& p : parts) packet_bytes += p.packet_size;
   std::printf("codestream: %zu bytes total, %zu packet bytes\n", bytes.size(),
-              size);
+              packet_bytes);
   std::printf("image: %zux%zu, %zu component(s), %u bpp\n", hdr.width,
               hdr.height, hdr.components, hdr.bit_depth);
+  const auto grid = jp2k::TileGrid::from_tile_size(hdr.width, hdr.height,
+                                                   hdr.tile_w, hdr.tile_h);
+  std::printf("tiles: %zux%zu grid (%zu tile-part(s), nominal %zux%zu)\n",
+              grid.cols(), grid.rows(), parts.size(), grid.tile_w(),
+              grid.tile_h());
   std::printf("coding: %s wavelet, %d levels, %zux%zu blocks, MCT %s, "
               "%d layer(s)%s%s%s\n",
               hdr.params.wavelet == jp2k::WaveletKind::kReversible53
@@ -158,8 +183,9 @@ int cmd_info(const std::string& in) {
               hdr.params.t1.reset_contexts ? ", RESET" : "",
               hdr.params.t1.vertically_causal ? ", VSC" : "",
               hdr.params.rate > 0 ? ", rate-controlled" : "");
-  for (std::size_t c = 0; c < hdr.band_meta.size(); ++c) {
-    std::printf("component %zu: %zu subbands\n", c, hdr.band_meta[c].size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    std::printf("tile %zu: %zu packet bytes, %zu component(s)\n", i,
+                parts[i].packet_size, parts[i].band_meta.size());
   }
   return 0;
 }
