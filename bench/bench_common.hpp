@@ -79,8 +79,9 @@ inline void emit_json(const char* bench, const std::string& label,
               "\"sim_seconds\":%.9g",
               bench, label.c_str(), sim_seconds);
   if (res != nullptr) {
-    std::printf(",\"dma_bytes\":%llu,\"stages\":{",
-                static_cast<unsigned long long>(res->dma_bytes));
+    std::printf(",\"dma_bytes\":%llu,\"overlap_saved\":%.9g,\"stages\":{",
+                static_cast<unsigned long long>(res->dma_bytes),
+                res->overlap_saved_seconds);
     bool first = true;
     for (const auto& s : res->stages) {
       std::printf("%s\"%s\":%.9g", first ? "" : ",", s.name.c_str(),

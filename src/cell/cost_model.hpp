@@ -70,6 +70,10 @@ struct CostParams {
   /// Serial stitch pass: concatenating finished precinct packets into the
   /// progression order (bulk copies on the PPE).
   double ppe_t2_stitch_cycles_per_byte = 6.0;
+  /// Per-completion overhead of the ordered hand-off between the worker
+  /// pool and the streaming stitch consumer (mailbox poll + FIFO pop +
+  /// cursor bookkeeping on the PPE; charged once per precinct stream).
+  double ppe_handoff_cycles_per_item = 40.0;
   /// PPE streaming throughput for the vector-ish stages, expressed as
   /// cycles per *lane* (the PPE runs them scalar: 4 lanes = 4+ ops).
   double ppe_lane_op = 1.2;

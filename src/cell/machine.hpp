@@ -45,6 +45,10 @@ struct StageTiming {
   double dma_aggregate = 0; ///< Total traffic over chip bandwidth.
   double ppe = 0;           ///< Max per-PPE-thread compute seconds.
   double seconds = 0;       ///< Composed stage time.
+  /// Seconds hidden by overlapping this stage with neighbouring work
+  /// (serial-sum of the overlapped pieces minus the overlapped span).
+  /// Zero for phase-ordered stages; `seconds` already has it subtracted.
+  double overlap_saved = 0;
   std::uint64_t dma_bytes = 0;
 
   StageTiming& operator+=(const StageTiming& o) {
@@ -53,6 +57,7 @@ struct StageTiming {
     dma_aggregate += o.dma_aggregate;
     ppe += o.ppe;
     seconds += o.seconds;
+    overlap_saved += o.overlap_saved;
     dma_bytes += o.dma_bytes;
     return *this;
   }

@@ -286,14 +286,19 @@ PipelineResult CellEncoder::encode(const Image& img,
 
   if (distribute_tail) {
     // --- Distributed lossy tail: k-way slope merge + serial greedy scan +
-    // precinct-parallel Tier-2 (byte-identical to jp2k::finish_tile). --------
+    // precinct-parallel Tier-2 (byte-identical to jp2k::finish_tile).
+    // With overlap_lossy_tail the serial residue is pipelined against the
+    // parallel work (released sizing, streaming stitch). --------------------
+    RateTailOptions tail_opts;
+    tail_opts.overlap = opt.overlap_lossy_tail;
     LossyTailResult tail =
-        stage_rate_tail(machine_, tile, img, params, hulls);
+        stage_rate_tail(machine_, tile, img, params, hulls, tail_opts);
     res.codestream = std::move(tail.codestream);
     res.stages.push_back(tail.rate_timing);
     res.stages.push_back(tail.t2_timing);
     res.serial_rate_seconds = tail.serial_rate_seconds;
     res.serial_t2_seconds = tail.serial_t2_seconds;
+    res.rate_stats = std::move(tail.stats);
   } else {
     // --- Serial baseline tail (the paper's configuration): rate control +
     // Tier-2 + framing via the shared serial implementation; simulated PPE
@@ -322,6 +327,7 @@ PipelineResult CellEncoder::encode(const Image& img,
 
   for (const auto& s : res.stages) {
     res.simulated_seconds += s.seconds;
+    res.overlap_saved_seconds += s.overlap_saved;
     res.dma_bytes += s.dma_bytes;
   }
   res.audit = audit.report();

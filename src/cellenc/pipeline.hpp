@@ -16,6 +16,7 @@
 #include "cellenc/stage_t1.hpp"
 #include "image/image.hpp"
 #include "jp2k/codestream.hpp"
+#include "jp2k/rate_control.hpp"
 
 namespace cj2k::cellenc {
 
@@ -27,6 +28,13 @@ struct PipelineOptions {
   /// precinct-parallel Tier-2, DESIGN.md §5).  Off reproduces the paper's
   /// serial-PPE rate/T2 baseline (Fig. 5's ~60% share at 16 SPEs).
   bool parallel_lossy_tail = true;
+  /// Overlap the distributed tail's serial residue with its parallel work
+  /// (released-sizing λ-scan overlap, streaming Tier-2 stitch, final-parts
+  /// reuse — DESIGN.md §5).  Off keeps the phase-ordered accounting of the
+  /// distributed tail (the serial-baseline toggle for A/B benches); the
+  /// codestream is byte-identical either way.  Ignored when
+  /// parallel_lossy_tail is false.
+  bool overlap_lossy_tail = true;
   /// Cell-invariant audit (cellcheck tier 2, DESIGN.md §6): per-stage DMA
   /// and Local Store ledger in PipelineResult::audit; strict mode fails the
   /// encode (AuditError) on the first inefficient transfer or LS
@@ -59,6 +67,12 @@ struct PipelineResult {
   /// …and what the serial baseline would have charged for rate / Tier-2.
   double serial_rate_seconds = 0;
   double serial_t2_seconds = 0;
+  /// Seconds the overlapped tail hid versus its phase-ordered accounting
+  /// (sum of StageTiming::overlap_saved; zero with overlap_lossy_tail off).
+  double overlap_saved_seconds = 0;
+  /// Rate-allocation ledger of the run (iterations, per-iteration scan
+  /// records); empty on lossless runs.
+  jp2k::RateControlStats rate_stats;
 
   /// Simulated seconds of the named stage (0 when absent).
   double stage_seconds(const std::string& name) const;

@@ -1,6 +1,8 @@
 #include "cellenc/stage_rate.hpp"
 
 #include <algorithm>
+#include <unordered_map>
+#include <utility>
 
 #include "common/error.hpp"
 #include "decomp/work_queue.hpp"
@@ -21,15 +23,24 @@ double reset_cycles_per_block(int layers) {
   return 4.0 + static_cast<double>(layers);
 }
 
+/// Resolution a subband contributes to (0 = LL, else levels - level + 1 —
+/// the inverse of bands_of_resolution in the Tier-2 encoder).
+int resolution_of(const jp2k::Subband& sb, int levels) {
+  return sb.info.orient == jp2k::SubbandOrient::LL
+             ? 0
+             : levels - sb.info.level + 1;
+}
+
 }  // namespace
 
 LossyTailResult stage_rate_tail(cell::Machine& m, jp2k::Tile& tile,
                                 const Image& img,
                                 const jp2k::CodingParams& params,
-                                HullCapture& hulls) {
+                                HullCapture& hulls,
+                                const RateTailOptions& opts) {
   const jp2k::TileGrid grid =
       jp2k::TileGrid::plan(img.width(), img.height(), 1, 1);
-  return stage_rate_tail_tiles(m, grid, {&tile}, img, params, hulls);
+  return stage_rate_tail_tiles(m, grid, {&tile}, img, params, hulls, opts);
 }
 
 LossyTailResult stage_rate_tail_tiles(cell::Machine& m,
@@ -37,7 +48,8 @@ LossyTailResult stage_rate_tail_tiles(cell::Machine& m,
                                       const std::vector<jp2k::Tile*>& tiles,
                                       const Image& img,
                                       const jp2k::CodingParams& params,
-                                      HullCapture& hulls) {
+                                      HullCapture& hulls,
+                                      const RateTailOptions& opts) {
   CJ2K_CHECK_MSG(params.rate > 0.0 || params.layers > 1,
                  "lossy tail needs a rate target or multiple layers");
   CJ2K_CHECK_MSG(tiles.size() == grid.num_tiles(),
@@ -58,22 +70,90 @@ LossyTailResult stage_rate_tail_tiles(cell::Machine& m,
   // order a single global λ needs.
   const auto segments = jp2k::merge_segment_lists(std::move(hulls.worker_lists));
 
+  // Block -> precinct-stream index over the flattened (tile-major,
+  // component-major, resolution-minor) part order, and the merged-order
+  // index of each part's *last* hull segment — the scan position at which
+  // that part's truncation points are final, i.e. its sizing release gate.
+  std::unordered_map<const jp2k::CodeBlock*, std::size_t> block_part;
+  block_part.reserve(static_cast<std::size_t>(nblocks));
+  std::size_t part_count = 0;
+  for (const jp2k::Tile* tp : tiles) {
+    const std::size_t base = part_count;
+    const auto nres = static_cast<std::size_t>(tp->levels + 1);
+    for (std::size_t c = 0; c < tp->components.size(); ++c) {
+      for (const auto& sb : tp->components[c].subbands) {
+        const auto r = static_cast<std::size_t>(
+            resolution_of(sb, tp->levels));
+        for (const auto& cb : sb.blocks) {
+          block_part.emplace(&cb, base + c * nres + r);
+        }
+      }
+    }
+    part_count += tp->components.size() * nres;
+  }
+  std::vector<std::size_t> part_gate(part_count, 0);  // segments to wait for
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const auto it = block_part.find(segments[s].block);
+    CJ2K_CHECK_MSG(it != block_part.end(), "hull segment outside the tiles");
+    part_gate[it->second] = s + 1;  // ascending s keeps the max
+  }
+
   // --- Greedy λ-threshold scan + budget refinement (the shared allocation
   // core mirrors jp2k::finish_tile / finish_tiles so the selection — and
   // therefore the codestream — is byte-identical to the serial reference).
-  res.stats =
-      jp2k::allocate_rate_across_tiles(tiles, img, params, segments,
-                                       hulls.stats);
+  // The sizing hook codes each iteration's selection precinct-parallel and
+  // keeps the per-iteration part sizes for the cost model, plus the last
+  // pass's coded streams for reuse by the final assembly.
+  std::vector<std::vector<double>> iter_part_bytes;
+  std::vector<std::vector<jp2k::T2PrecinctStream>> last_parts;
+  const jp2k::SizingFn sizer = [&](int) -> std::size_t {
+    std::vector<double> bytes;
+    bytes.reserve(part_count);
+    std::size_t total = 0;
+    std::vector<std::vector<jp2k::T2PrecinctStream>> pass;
+    pass.reserve(tiles.size());
+    for (jp2k::Tile* tp : tiles) {
+      pass.push_back(jp2k::t2_encode_precincts(*tp, /*parallel=*/true));
+      for (const auto& ps : pass.back()) {
+        bytes.push_back(static_cast<double>(ps.total_bytes));
+        total += ps.total_bytes;
+      }
+    }
+    iter_part_bytes.push_back(std::move(bytes));
+    last_parts = std::move(pass);
+    return total;
+  };
+  res.stats = jp2k::allocate_rate_across_tiles(tiles, img, params, segments,
+                                               hulls.stats, sizer);
 
-  // --- Precinct-parallel Tier-2: code the independent (component,
-  // resolution) streams on the worker pool, then stitch serially per tile.
+  // --- Final Tier-2 assembly.  With a rate target the last sizing pass
+  // already coded the final selection, so its precinct streams are reused
+  // (the phase-ordered baseline recodes them; a pure layer ladder must too,
+  // because force_lossless_final_layer mutates the selection after
+  // allocation).  The overlapped path stitches through the streaming
+  // consumer while workers are still coding.
+  const bool reuse_parts =
+      opts.overlap && params.rate > 0.0 && !last_parts.empty();
   std::vector<std::vector<jp2k::T2PrecinctStream>> parts;
   std::vector<std::vector<std::uint8_t>> packets;
   parts.reserve(tiles.size());
   packets.reserve(tiles.size());
-  for (jp2k::Tile* tp : tiles) {
-    parts.push_back(jp2k::t2_encode_precincts(*tp, /*parallel=*/true));
-    packets.push_back(jp2k::t2_stitch(*tp, parts.back()));
+  if (reuse_parts) {
+    parts = std::move(last_parts);
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+      packets.push_back(jp2k::t2_stitch(*tiles[t], parts[t]));
+    }
+  } else if (opts.overlap) {
+    for (jp2k::Tile* tp : tiles) {
+      std::vector<jp2k::T2PrecinctStream> tile_parts;
+      packets.push_back(jp2k::t2_encode_streamed(*tp, &tile_parts));
+      parts.push_back(std::move(tile_parts));
+    }
+  } else {
+    for (jp2k::Tile* tp : tiles) {
+      parts.push_back(jp2k::t2_encode_precincts(*tp, /*parallel=*/true));
+      packets.push_back(jp2k::t2_stitch(*tp, parts.back()));
+    }
   }
   const std::vector<const jp2k::Tile*> cptrs(tiles.begin(), tiles.end());
   res.codestream =
@@ -92,53 +172,138 @@ LossyTailResult stage_rate_tail_tiles(cell::Machine& m,
   }
   if (t2_speed.empty()) t2_speed.push_back(cp.ppe_t2_cycles_per_byte / hz);
 
-  std::vector<double> part_bytes;
-  std::uint64_t packet_bytes = 0;
-  for (const auto& tile_parts : parts) {
-    for (const auto& ps : tile_parts) {
-      part_bytes.push_back(static_cast<double>(ps.total_bytes));
-      packet_bytes += ps.total_bytes;
-    }
-  }
-  // Makespan of one parallel sizing/assembly pass over the precinct
-  // streams.  Refinement iterations are charged with the final sizes (a
-  // slight underestimate for early, larger selections; the iteration count
-  // is small and bounded at 8).
-  const double precinct_pass =
-      decomp::schedule_virtual(part_bytes, t2_speed).makespan;
-
+  const int layers = tiles.front()->layers;
+  const double reset_sec =
+      static_cast<double>(nblocks) * reset_cycles_per_block(layers) / hz;
+  const double seg_sec = cp.ppe_rate_scan_cycles_per_seg / hz;
   const double merge_sec =
       static_cast<double>(nsegs) * cp.ppe_merge_cycles_per_seg / hz;
-  const double scan_sec =
-      static_cast<double>(res.stats.iterations) *
-      (static_cast<double>(nsegs) * cp.ppe_rate_scan_cycles_per_seg +
-       static_cast<double>(nblocks) *
-           reset_cycles_per_block(tiles.front()->layers)) /
-      hz;
+
+  // Per-iteration rate model, charged with what each iteration actually
+  // did: the scan walks `segments_consumed` segments after the per-block
+  // reset, and the sizing pass codes that iteration's (not the final)
+  // precinct sizes.  Overlapped, a precinct's sizing job is released once
+  // the scan passes its gate (or stops), so the iteration span is
+  // max(scan finish, released-sizing makespan); phase-ordered they add.
+  CJ2K_CHECK_MSG(
+      iter_part_bytes.size() == res.stats.scan_iterations.size(),
+      "one sizing pass per recorded scan iteration");
+  double scan_ppe = 0;       // Serial scan time, summed over iterations.
+  double sizing_phase = 0;   // Phase-ordered sizing makespans.
+  double span_overlap = 0;   // Overlapped per-iteration spans.
+  for (std::size_t i = 0; i < iter_part_bytes.size(); ++i) {
+    const auto& rec = res.stats.scan_iterations[i];
+    const double scan_finish =
+        reset_sec + static_cast<double>(rec.segments_consumed) * seg_sec;
+    scan_ppe += scan_finish;
+    const auto& bytes = iter_part_bytes[i];
+    sizing_phase += decomp::schedule_virtual(bytes, t2_speed).makespan;
+    std::vector<double> release(bytes.size());
+    for (std::size_t p = 0; p < bytes.size(); ++p) {
+      const std::size_t gate =
+          std::min(part_gate[p], rec.segments_consumed);
+      release[p] = reset_sec + static_cast<double>(gate) * seg_sec;
+    }
+    const auto sched =
+        decomp::schedule_virtual_released(bytes, t2_speed, release);
+    span_overlap += std::max(scan_finish, sched.makespan);
+  }
 
   res.rate_timing.name = "rate";
-  // Sequential phases: serial merge + per-iteration [serial scan ->
-  // parallel sizing].  The parallel share is reported as spe_compute.
-  res.rate_timing.ppe = merge_sec + scan_sec;
-  res.rate_timing.spe_compute =
-      static_cast<double>(res.stats.iterations) * precinct_pass;
+  res.rate_timing.ppe = merge_sec + scan_ppe;
+  res.rate_timing.spe_compute = sizing_phase;
   res.rate_timing.dma_bytes = nsegs * kHullSegmentBytes;
   res.rate_timing.dma_aggregate =
       static_cast<double>(res.rate_timing.dma_bytes) / m.total_mem_bw();
-  res.rate_timing.seconds =
-      res.rate_timing.ppe + res.rate_timing.spe_compute;
+  const double rate_phase_sec = merge_sec + scan_ppe + sizing_phase;
+  if (opts.overlap) {
+    res.rate_timing.seconds = merge_sec + span_overlap;
+    res.rate_timing.overlap_saved =
+        rate_phase_sec - res.rate_timing.seconds;
+  } else {
+    res.rate_timing.seconds = rate_phase_sec;
+  }
+
+  // --- Final-assembly model.  Coding finish times per precinct stream feed
+  // the ordered hand-off replay of the streaming stitch: the serial
+  // consumer appends packets in emission order (tile index × progression ×
+  // component), stalling only when the next packet's stream is unfinished.
+  std::vector<double> final_part_bytes;
+  final_part_bytes.reserve(part_count);
+  std::uint64_t packet_bytes = 0;
+  for (const auto& tile_parts : parts) {
+    for (const auto& ps : tile_parts) {
+      final_part_bytes.push_back(static_cast<double>(ps.total_bytes));
+      packet_bytes += ps.total_bytes;
+    }
+  }
+  const double stitch_byte_sec = cp.ppe_t2_stitch_cycles_per_byte / hz;
+  // Reused parts are already in memory when assembly starts (their coding
+  // was charged to the last sizing pass), so every stream is ready at t=0;
+  // otherwise a fresh coding pass runs and streams finish as the pool
+  // drains.
+  const auto coding =
+      decomp::schedule_virtual(final_part_bytes, t2_speed);
+  std::vector<double> pkt_ready;
+  std::vector<double> pkt_cost;
+  std::size_t part_base = 0;
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    const jp2k::Tile& tile = *tiles[t];
+    const auto nres = static_cast<std::size_t>(tile.levels + 1);
+    const auto add_packet = [&](int l, int r) {
+      for (std::size_t c = 0; c < tile.components.size(); ++c) {
+        const std::size_t p =
+            part_base + c * nres + static_cast<std::size_t>(r);
+        pkt_ready.push_back(reuse_parts ? 0.0 : coding.item_finish[p]);
+        pkt_cost.push_back(
+            static_cast<double>(
+                parts[t][c * nres + static_cast<std::size_t>(r)]
+                    .layer_bytes[static_cast<std::size_t>(l)]
+                    .size()) *
+            stitch_byte_sec);
+      }
+    };
+    if (tile.progression == 1) {  // RLCP
+      for (int r = 0; r <= tile.levels; ++r) {
+        for (int l = 0; l < tile.layers; ++l) add_packet(l, r);
+      }
+    } else {  // LRCP
+      for (int l = 0; l < tile.layers; ++l) {
+        for (int r = 0; r <= tile.levels; ++r) add_packet(l, r);
+      }
+    }
+    part_base += tile.components.size() * nres;
+  }
+  const auto handoff = decomp::schedule_ordered_handoff(pkt_ready, pkt_cost);
+  const double handoff_overhead = static_cast<double>(part_count) *
+                                  cp.ppe_handoff_cycles_per_item / hz;
+  const double framing_sec =
+      static_cast<double>(res.codestream.size() - packet_bytes) *
+      stitch_byte_sec;
 
   res.t2_timing.name = "t2";
-  res.t2_timing.spe_compute = precinct_pass;
-  // Serial header-stitch + framing over the finished stream.
-  res.t2_timing.ppe = static_cast<double>(res.codestream.size()) *
-                      cp.ppe_t2_stitch_cycles_per_byte / hz;
   res.t2_timing.dma_bytes = 2 * packet_bytes;  // bodies out, stitch reads.
   res.t2_timing.dma_aggregate =
       static_cast<double>(res.t2_timing.dma_bytes) / m.total_mem_bw();
-  res.t2_timing.seconds =
-      std::max(res.t2_timing.spe_compute, res.t2_timing.dma_aggregate) +
-      res.t2_timing.ppe;
+  // Phase-ordered baseline (PR-3 accounting): coding pass, then the serial
+  // stitch over the whole framed stream.
+  const double t2_phase_sec =
+      std::max(coding.makespan, res.t2_timing.dma_aggregate) +
+      static_cast<double>(res.codestream.size()) *
+          stitch_byte_sec;
+  if (opts.overlap) {
+    res.t2_timing.spe_compute = reuse_parts ? 0.0 : coding.makespan;
+    res.t2_timing.ppe = handoff.busy + handoff_overhead + framing_sec;
+    res.t2_timing.seconds =
+        std::max(handoff.makespan, res.t2_timing.dma_aggregate) +
+        handoff_overhead + framing_sec;
+    res.t2_timing.overlap_saved = t2_phase_sec - res.t2_timing.seconds;
+  } else {
+    res.t2_timing.spe_compute = coding.makespan;
+    res.t2_timing.ppe =
+        static_cast<double>(res.codestream.size()) * stitch_byte_sec;
+    res.t2_timing.seconds = t2_phase_sec;
+  }
 
   // The paper-faithful serial charges, for the Fig.-5 comparison.
   res.serial_rate_seconds =

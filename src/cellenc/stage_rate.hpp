@@ -17,6 +17,21 @@
 //   * final Tier-2 body assembly reuses the same precinct decomposition,
 //     followed by a serial header-stitch pass.
 //
+// The serial residue that remains is further *pipelined* (DESIGN.md §5):
+//   * the greedy λ scan is resumable (jp2k::IncrementalScan), so each
+//     refinement iteration's precinct sizing jobs are released the moment
+//     the scan prefix covering a precinct's blocks is decided — sizing
+//     overlaps the scan instead of waiting for it;
+//   * the final Tier-2 stitch is a streaming consumer (jp2k::T2StitchStream
+//     fed through a CompletionChannel): the PPE concatenates finished
+//     precinct packets in progression order while the pool still codes
+//     later precincts;
+//   * when a rate target drove the allocation, the last sizing pass already
+//     coded the final selection, so its precinct streams are reused verbatim
+//     (the phase-ordered tail recodes them).
+// RateTailOptions::overlap toggles between the overlapped model and the
+// phase-ordered PR-3 accounting; the output bytes are identical either way.
+//
 // The stage reuses jp2k's rate_control_*_presorted and t2_encode_precincts
 // directly, so the codestream is byte-identical to jp2k::encode.
 #pragma once
@@ -32,6 +47,15 @@
 #include "jp2k/tile_grid.hpp"
 
 namespace cj2k::cellenc {
+
+/// Knobs for the distributed lossy tail.
+struct RateTailOptions {
+  /// Overlap the serial residue with the parallel work: released-sizing
+  /// scan overlap, streaming stitch, final-parts reuse.  When false the
+  /// stage runs (and charges) the phase-ordered serial-baseline tail;
+  /// the emitted bytes are identical either way.
+  bool overlap = true;
+};
 
 struct LossyTailResult {
   std::vector<std::uint8_t> codestream;
@@ -51,7 +75,8 @@ struct LossyTailResult {
 LossyTailResult stage_rate_tail(cell::Machine& m, jp2k::Tile& tile,
                                 const Image& img,
                                 const jp2k::CodingParams& params,
-                                HullCapture& hulls);
+                                HullCapture& hulls,
+                                const RateTailOptions& opts = {});
 
 /// Multi-tile form: one global λ over the whole tile set (the worker lists
 /// in `hulls` carry segments from every tile, ordinals offset per tile), a
@@ -62,6 +87,7 @@ LossyTailResult stage_rate_tail_tiles(cell::Machine& m,
                                       const std::vector<jp2k::Tile*>& tiles,
                                       const Image& img,
                                       const jp2k::CodingParams& params,
-                                      HullCapture& hulls);
+                                      HullCapture& hulls,
+                                      const RateTailOptions& opts = {});
 
 }  // namespace cj2k::cellenc

@@ -168,13 +168,16 @@ PipelineResult encode_tiled(cell::Machine& machine, const Image& img,
     std::vector<jp2k::Tile*> ptrs;
     ptrs.reserve(ntiles);
     for (auto& f : fronts) ptrs.push_back(&f.tile);
-    LossyTailResult tail =
-        stage_rate_tail_tiles(machine, grid, ptrs, img, params, merged);
+    RateTailOptions tail_opts;
+    tail_opts.overlap = opt.overlap_lossy_tail;
+    LossyTailResult tail = stage_rate_tail_tiles(machine, grid, ptrs, img,
+                                                 params, merged, tail_opts);
     res.codestream = std::move(tail.codestream);
     res.stages.push_back(tail.rate_timing);
     res.stages.push_back(tail.t2_timing);
     res.serial_rate_seconds = tail.serial_rate_seconds;
     res.serial_t2_seconds = tail.serial_t2_seconds;
+    res.rate_stats = std::move(tail.stats);
     res.simulated_seconds =
         front_makespan + tail.rate_timing.seconds + tail.t2_timing.seconds;
   } else if (lossy_tail) {
@@ -240,7 +243,10 @@ PipelineResult encode_tiled(cell::Machine& machine, const Image& img,
     res.simulated_seconds = decomp::schedule_pipeline(items, gp.groups).makespan;
   }
 
-  for (const auto& s : res.stages) res.dma_bytes += s.dma_bytes;
+  for (const auto& s : res.stages) {
+    res.dma_bytes += s.dma_bytes;
+    res.overlap_saved_seconds += s.overlap_saved;
+  }
   if (audit) {
     res.audit = audit->report();
     gmachine.attach_audit(nullptr);

@@ -1,0 +1,20 @@
+// Minimal SHA-256 (FIPS 180-4), used by the golden-vector regression tests
+// to pin reference codestreams as short digests instead of checked-in
+// binaries.  Not a hardened crypto implementation — a content fingerprint.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cj2k::common {
+
+/// SHA-256 digest of `data`, as 64 lowercase hex characters.
+std::string sha256_hex(const std::uint8_t* data, std::size_t size);
+
+inline std::string sha256_hex(const std::vector<std::uint8_t>& data) {
+  return sha256_hex(data.data(), data.size());
+}
+
+}  // namespace cj2k::common

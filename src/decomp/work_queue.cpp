@@ -19,6 +19,7 @@ Schedule schedule_virtual(const std::vector<double>& item_cost,
   CJ2K_CHECK_MSG(!worker_speed_factor.empty(), "need at least one worker");
   Schedule s;
   s.assignment.resize(item_cost.size());
+  s.item_finish.resize(item_cost.size());
   s.worker_time.assign(worker_speed_factor.size(), 0.0);
   for (std::size_t i = 0; i < item_cost.size(); ++i) {
     // Earliest-free worker takes the next queue item.
@@ -28,9 +29,72 @@ Schedule schedule_virtual(const std::vector<double>& item_cost,
     }
     s.worker_time[best] += item_cost[i] * worker_speed_factor[best];
     s.assignment[i] = static_cast<int>(best);
+    s.item_finish[i] = s.worker_time[best];
   }
   s.makespan = finish(s);
   return s;
+}
+
+Schedule schedule_virtual_released(
+    const std::vector<double>& item_cost,
+    const std::vector<double>& worker_speed_factor,
+    const std::vector<double>& release_time) {
+  CJ2K_CHECK_MSG(!worker_speed_factor.empty(), "need at least one worker");
+  CJ2K_CHECK_MSG(release_time.size() == item_cost.size(),
+                 "one release time per item");
+  Schedule s;
+  s.assignment.resize(item_cost.size());
+  s.item_finish.resize(item_cost.size());
+  s.worker_time.assign(worker_speed_factor.size(), 0.0);
+
+  // Admission order: release time, index as the tiebreak (a FIFO fed as
+  // items become ready).
+  std::vector<std::size_t> order(item_cost.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return release_time[a] < release_time[b];
+                   });
+
+  for (const std::size_t i : order) {
+    // The worker that can *start* the item earliest (a free worker still
+    // waits for the release).
+    std::size_t best = 0;
+    double best_start = std::max(s.worker_time[0], release_time[i]);
+    for (std::size_t w = 1; w < s.worker_time.size(); ++w) {
+      const double start = std::max(s.worker_time[w], release_time[i]);
+      if (start < best_start ||
+          (start == best_start && s.worker_time[w] < s.worker_time[best])) {
+        best = w;
+        best_start = start;
+      }
+    }
+    s.worker_time[best] =
+        best_start + item_cost[i] * worker_speed_factor[best];
+    s.assignment[i] = static_cast<int>(best);
+    s.item_finish[i] = s.worker_time[best];
+  }
+  s.makespan = finish(s);
+  return s;
+}
+
+HandoffSchedule schedule_ordered_handoff(const std::vector<double>& ready,
+                                         const std::vector<double>& cost) {
+  CJ2K_CHECK_MSG(ready.size() == cost.size(), "one cost per event");
+  HandoffSchedule h;
+  h.finish.resize(ready.size());
+  double t = 0;
+  for (std::size_t i = 0; i < ready.size(); ++i) {
+    if (ready[i] > t) {
+      h.stall += ready[i] - t;
+      t = ready[i];
+    }
+    t += cost[i];
+    h.busy += cost[i];
+    h.finish[i] = t;
+  }
+  h.makespan = t;
+  return h;
 }
 
 Schedule schedule_static(const std::vector<double>& item_cost,
@@ -38,11 +102,13 @@ Schedule schedule_static(const std::vector<double>& item_cost,
   CJ2K_CHECK_MSG(!worker_speed_factor.empty(), "need at least one worker");
   Schedule s;
   s.assignment.resize(item_cost.size());
+  s.item_finish.resize(item_cost.size());
   s.worker_time.assign(worker_speed_factor.size(), 0.0);
   for (std::size_t i = 0; i < item_cost.size(); ++i) {
     const std::size_t w = i % s.worker_time.size();
     s.worker_time[w] += item_cost[i] * worker_speed_factor[w];
     s.assignment[i] = static_cast<int>(w);
+    s.item_finish[i] = s.worker_time[w];
   }
   s.makespan = finish(s);
   return s;
@@ -59,6 +125,7 @@ Schedule schedule_virtual_fused(const std::vector<double>& item_cost,
                  "one tail speed per worker");
   Schedule s;
   s.assignment.resize(item_cost.size());
+  s.item_finish.resize(item_cost.size());
   s.worker_time.assign(worker_speed_factor.size(), 0.0);
   for (std::size_t i = 0; i < item_cost.size(); ++i) {
     std::size_t best = 0;
@@ -68,6 +135,7 @@ Schedule schedule_virtual_fused(const std::vector<double>& item_cost,
     s.worker_time[best] += item_cost[i] * worker_speed_factor[best] +
                            tail_cost[i] * tail_speed_factor[best];
     s.assignment[i] = static_cast<int>(best);
+    s.item_finish[i] = s.worker_time[best];
   }
   s.makespan = finish(s);
   return s;
@@ -84,12 +152,14 @@ Schedule schedule_static_fused(const std::vector<double>& item_cost,
                  "one tail speed per worker");
   Schedule s;
   s.assignment.resize(item_cost.size());
+  s.item_finish.resize(item_cost.size());
   s.worker_time.assign(worker_speed_factor.size(), 0.0);
   for (std::size_t i = 0; i < item_cost.size(); ++i) {
     const std::size_t w = i % s.worker_time.size();
     s.worker_time[w] += item_cost[i] * worker_speed_factor[w] +
                         tail_cost[i] * tail_speed_factor[w];
     s.assignment[i] = static_cast<int>(w);
+    s.item_finish[i] = s.worker_time[w];
   }
   s.makespan = finish(s);
   return s;

@@ -12,8 +12,10 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace cj2k::decomp {
@@ -38,10 +40,53 @@ class WorkQueue {
   std::size_t size_;
 };
 
+/// Multi-producer single-consumer completion channel: the ordered hand-off
+/// between a worker pool and a serial consumer (the PPE stitching Tier-2
+/// packets while SPEs are still coding later precinct streams).  Workers
+/// push finished item indices; the consumer pops them in completion order,
+/// blocking until an item arrives, and is released once every expected item
+/// has been delivered.
+class CompletionChannel {
+ public:
+  explicit CompletionChannel(std::size_t expected) : expected_(expected) {}
+
+  /// Announces item `index` as finished (any thread).
+  void push(std::size_t index) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fifo_.push_back(index);
+    }
+    cv_.notify_one();
+  }
+
+  /// Pops the next finished item in completion order; blocks while the
+  /// channel is empty.  Returns false once all `expected` items have been
+  /// popped (the consumer is done).
+  bool pop(std::size_t& index) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (popped_ == expected_) return false;
+    cv_.wait(lock, [&] { return head_ < fifo_.size(); });
+    index = fifo_[head_++];
+    ++popped_;
+    return true;
+  }
+
+  std::size_t expected() const { return expected_; }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::size_t> fifo_;  ///< Completion order; head_ is the cursor.
+  std::size_t head_ = 0;
+  std::size_t popped_ = 0;
+  std::size_t expected_;
+};
+
 /// Result of a virtual-time schedule.
 struct Schedule {
   std::vector<int> assignment;        ///< Worker index per item.
   std::vector<double> worker_time;    ///< Final virtual time per worker.
+  std::vector<double> item_finish;    ///< Virtual finish time per item.
   double makespan = 0;                ///< max(worker_time).
 };
 
@@ -75,6 +120,35 @@ Schedule schedule_static_fused(const std::vector<double>& item_cost,
                                const std::vector<double>& worker_speed_factor,
                                const std::vector<double>& tail_cost,
                                const std::vector<double>& tail_speed_factor);
+
+/// Earliest-free-worker assignment where item i only becomes runnable at
+/// `release_time[i]` — the shape of the overlapped λ scan, which releases
+/// each precinct's sizing job the moment the greedy prefix covering its
+/// blocks is decided.  Items are admitted in release order (index breaks
+/// ties, mirroring a FIFO fed as items become ready); each goes to the
+/// worker that can start it earliest (smallest max(free, release), lowest
+/// index breaks ties).  With all releases zero this equals
+/// schedule_virtual.
+Schedule schedule_virtual_released(
+    const std::vector<double>& item_cost,
+    const std::vector<double>& worker_speed_factor,
+    const std::vector<double>& release_time);
+
+/// Result of an ordered-completion hand-off replay.
+struct HandoffSchedule {
+  std::vector<double> finish;  ///< Consumer finish time per event, in order.
+  double makespan = 0;         ///< finish.back() (0 when empty).
+  double busy = 0;             ///< Serial work performed (sum of costs).
+  double stall = 0;            ///< Time the consumer idled waiting on events.
+};
+
+/// Replays a serial consumer that processes events in the given order
+/// (the streaming Tier-2 stitch appending packets in progression order):
+/// event i becomes available at `ready[i]` virtual seconds and costs
+/// `cost[i]` on the consumer.  The consumer never reorders: an unready
+/// event stalls it even when later events are already available.
+HandoffSchedule schedule_ordered_handoff(const std::vector<double>& ready,
+                                         const std::vector<double>& cost);
 
 /// One stage of an item in the tile pipeline: `pool` seconds on the item's
 /// SPE group, then `serial` seconds on the shared serial resource (the PPE

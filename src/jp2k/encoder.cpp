@@ -362,7 +362,7 @@ std::size_t tile_framing_reserve(const std::vector<Tile*>& tiles) {
 RateControlStats allocate_rate_across_tiles(
     const std::vector<Tile*>& tiles, const Image& img,
     const CodingParams& params, const std::vector<HullSegment>& segments,
-    RateControlStats stats) {
+    RateControlStats stats, const SizingFn& sizer) {
   CJ2K_CHECK_MSG(params.rate > 0.0 || params.layers > 1,
                  "rate allocation needs a rate target or multiple layers");
   // Multi-tile streams repeat the SOT/QCD/SOD framing per tile; reserve it
@@ -372,8 +372,8 @@ RateControlStats allocate_rate_across_tiles(
   if (params.layers > 1) {
     auto budgets = plan_layer_budgets_tiles(tiles, img, params);
     for (auto& b : budgets) b = b > reserve ? b - reserve : 0;
-    auto rc =
-        rate_control_layered_presorted_tiles(tiles, budgets, segments, stats);
+    auto rc = rate_control_layered_presorted_tiles(tiles, budgets, segments,
+                                                   stats, sizer);
     if (params.rate <= 0.0) {
       for (Tile* tp : tiles) force_lossless_final_layer(*tp);
     }
@@ -382,7 +382,7 @@ RateControlStats allocate_rate_across_tiles(
   const auto target = static_cast<std::size_t>(
       params.rate * static_cast<double>(img.raw_bytes()));
   const std::size_t budget = target > reserve ? target - reserve : 0;
-  return rate_control_presorted_tiles(tiles, budget, segments, stats);
+  return rate_control_presorted_tiles(tiles, budget, segments, stats, sizer);
 }
 
 std::vector<std::uint8_t> frame_codestream_tiles(

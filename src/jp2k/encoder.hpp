@@ -78,7 +78,7 @@ std::size_t tile_framing_reserve(const std::vector<Tile*>& tiles);
 RateControlStats allocate_rate_across_tiles(
     const std::vector<Tile*>& tiles, const Image& img,
     const CodingParams& params, const std::vector<HullSegment>& segments,
-    RateControlStats stats = {});
+    RateControlStats stats = {}, const SizingFn& sizer = {});
 
 /// Wraps a finished packet stream in the codestream framing (SIZ/COD/QCD
 /// main header, tile header, EOC).

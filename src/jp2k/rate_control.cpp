@@ -135,6 +135,32 @@ std::vector<HullSegment> merge_segment_lists(
   return out;
 }
 
+std::size_t IncrementalScan::advance(std::size_t max_segments) {
+  if (done()) return 0;
+  const auto& segments = *segments_;
+  std::size_t examined = 0;
+  while (examined < max_segments && position_ < segments.size()) {
+    const auto& seg = segments[position_];
+    if (used_ + seg.delta_r > budget_) {
+      stopped_ = true;
+      break;
+    }
+    used_ += seg.delta_r;
+    seg.block->included_passes = seg.pass_count;
+    seg.block->included_len = seg.trunc_len;
+    lambda_ = seg.slope;
+    ++position_;
+    ++examined;
+  }
+  return examined;
+}
+
+void IncrementalScan::set_budget(std::size_t body_budget) {
+  CJ2K_CHECK_MSG(body_budget >= budget_, "scan budgets must be ascending");
+  budget_ = body_budget;
+  stopped_ = false;
+}
+
 namespace {
 
 /// Total T2 size across the tile set (the multi-tile refinement target;
@@ -145,11 +171,17 @@ std::size_t t2_encoded_size_tiles(const std::vector<Tile*>& tiles) {
   return total;
 }
 
+std::size_t sized_total(const std::vector<Tile*>& tiles, const SizingFn& sizer,
+                        int iteration) {
+  return sizer ? sizer(iteration) : t2_encoded_size_tiles(tiles);
+}
+
 }  // namespace
 
 RateControlStats rate_control_presorted_tiles(
     const std::vector<Tile*>& tiles, std::size_t total_budget_bytes,
-    const std::vector<HullSegment>& segments, RateControlStats stats) {
+    const std::vector<HullSegment>& segments, RateControlStats stats,
+    const SizingFn& sizer) {
   CJ2K_CHECK_MSG(!tiles.empty(), "need at least one tile");
   stats.target_bytes = total_budget_bytes;
 
@@ -173,19 +205,14 @@ RateControlStats rate_control_presorted_tiles(
         }
       }
     }
-    std::size_t used = 0;
-    double lambda = 0.0;
-    for (const auto& seg : segments) {
-      if (used + seg.delta_r > body_budget) break;
-      used += seg.delta_r;
-      seg.block->included_passes = seg.pass_count;
-      seg.block->included_len = seg.trunc_len;
-      lambda = seg.slope;
-    }
-    stats.selected_bytes = used;
-    stats.lambda = lambda;
+    IncrementalScan scan(segments, body_budget);
+    scan.run_to_stop();
+    stats.selected_bytes = scan.used();
+    stats.lambda = scan.lambda();
 
-    const std::size_t total = t2_encoded_size_tiles(tiles);
+    const std::size_t total = sized_total(tiles, sizer, iter);
+    stats.scan_iterations.push_back(
+        {body_budget, scan.used(), scan.position(), total});
     if (total <= total_budget_bytes || body_budget == 0) break;
     const std::size_t overshoot = total - total_budget_bytes;
     body_budget = body_budget > overshoot + 16 ? body_budget - overshoot - 16
@@ -196,7 +223,8 @@ RateControlStats rate_control_presorted_tiles(
 
 RateControlStats rate_control_layered_presorted_tiles(
     const std::vector<Tile*>& tiles, const std::vector<std::size_t>& budgets,
-    const std::vector<HullSegment>& segments, RateControlStats stats) {
+    const std::vector<HullSegment>& segments, RateControlStats stats,
+    const SizingFn& sizer) {
   CJ2K_CHECK_MSG(!tiles.empty(), "need at least one tile");
   CJ2K_CHECK_MSG(!budgets.empty(), "need at least one layer budget");
   for (std::size_t i = 1; i < budgets.size(); ++i) {
@@ -229,19 +257,17 @@ RateControlStats rate_control_layered_presorted_tiles(
                              ? static_cast<double>(final_body) /
                                    static_cast<double>(budgets.back())
                              : 0.0;
-    std::size_t used = 0;
-    std::size_t seg_idx = 0;
+    // One walk over the slope order: each layer raises the budget and
+    // resumes the scan where the previous layer's wall stopped it (the
+    // blocking segment is retried against the larger budget).
+    IncrementalScan scan(segments, static_cast<std::size_t>(
+                                       static_cast<double>(budgets[0]) * scale));
     for (std::size_t l = 0; l < budgets.size(); ++l) {
-      const auto layer_body = static_cast<std::size_t>(
-          static_cast<double>(budgets[l]) * scale);
-      for (; seg_idx < segments.size(); ++seg_idx) {
-        const auto& seg = segments[seg_idx];
-        if (used + seg.delta_r > layer_body) break;
-        used += seg.delta_r;
-        seg.block->included_passes = seg.pass_count;
-        seg.block->included_len = seg.trunc_len;
-        stats.lambda = seg.slope;
+      if (l > 0) {
+        scan.set_budget(static_cast<std::size_t>(
+            static_cast<double>(budgets[l]) * scale));
       }
+      scan.run_to_stop();
       // Freeze this layer's cumulative pass counts.
       for (Tile* tp : tiles) {
         for (auto& tc : tp->components) {
@@ -253,9 +279,12 @@ RateControlStats rate_control_layered_presorted_tiles(
         }
       }
     }
-    stats.selected_bytes = used;
+    stats.selected_bytes = scan.used();
+    if (scan.position() > 0) stats.lambda = scan.lambda();
 
-    const std::size_t total = t2_encoded_size_tiles(tiles);
+    const std::size_t total = sized_total(tiles, sizer, iter);
+    stats.scan_iterations.push_back(
+        {final_body, scan.used(), scan.position(), total});
     if (total <= budgets.back() || final_body == 0) break;
     const std::size_t overshoot = total - budgets.back();
     final_body =

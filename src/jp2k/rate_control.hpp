@@ -23,11 +23,23 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "jp2k/tile.hpp"
 
 namespace cj2k::jp2k {
+
+/// One budget-refinement iteration of the greedy scan, recorded so the cost
+/// model can charge what each iteration actually did (early iterations size
+/// *larger* selections than the final one) and so the overlapped pipeline
+/// knows how far each scan walked.
+struct ScanIterationRecord {
+  std::size_t body_budget = 0;       ///< Greedy budget given to this scan.
+  std::size_t selected_bytes = 0;    ///< Body bytes the greedy prefix took.
+  std::size_t segments_consumed = 0; ///< Segments the scan examined.
+  std::size_t sized_bytes = 0;       ///< T2 size of this iteration's selection.
+};
 
 struct RateControlStats {
   std::size_t target_bytes = 0;    ///< Body-byte budget given.
@@ -36,6 +48,8 @@ struct RateControlStats {
   std::uint64_t passes_considered = 0;  ///< Work metric for the cost model.
   std::uint64_t hull_points = 0;
   int iterations = 0;              ///< Budget-refinement iterations.
+  /// Per-iteration ledger of the refinement loop (size == iterations).
+  std::vector<ScanIterationRecord> scan_iterations;
 };
 
 /// One convex-hull segment of a block's R-D curve.
@@ -89,6 +103,61 @@ std::vector<HullSegment> build_sorted_segments(Tile& tile, WaveletKind kind,
 std::vector<HullSegment> merge_segment_lists(
     std::vector<std::vector<HullSegment>>&& lists);
 
+/// Resumable greedy λ-threshold scan over a pre-sorted segment list.  The
+/// scan walks the global slope order, taking every segment that still fits
+/// the body budget (applying its truncation point to the block) and
+/// stopping at the first that does not.  `advance` moves the walk by a
+/// bounded number of segments, so a caller can interleave the scan with
+/// other work — the overlapped pipeline releases each precinct's sizing
+/// job the moment the walk has passed the last segment of that precinct's
+/// blocks.  `set_budget` raises the budget and resumes a stopped walk
+/// (the layered scan's per-layer budget steps).  Driving the scan to
+/// completion in any chunking yields exactly the selection of the one-shot
+/// greedy loop it replaces.
+class IncrementalScan {
+ public:
+  IncrementalScan(const std::vector<HullSegment>& segments,
+                  std::size_t body_budget)
+      : segments_(&segments), budget_(body_budget) {}
+
+  /// Examines up to `max_segments` more segments, taking those that fit.
+  /// Returns the number examined by this call (0 once done).
+  std::size_t advance(std::size_t max_segments);
+
+  /// Drives the walk until it stops (budget wall or end of list).
+  void run_to_stop() { advance(segments_->size()); }
+
+  /// Raises the budget (must be non-decreasing) and resumes a walk stopped
+  /// at the budget wall.
+  void set_budget(std::size_t body_budget);
+
+  /// True when the walk has stopped: the next segment does not fit, or no
+  /// segments remain.
+  bool done() const {
+    return stopped_ || position_ >= segments_->size();
+  }
+
+  std::size_t position() const { return position_; }  ///< Segments examined.
+  std::size_t used() const { return used_; }          ///< Body bytes taken.
+  double lambda() const { return lambda_; }  ///< Slope of last taken segment.
+
+ private:
+  const std::vector<HullSegment>* segments_;
+  std::size_t budget_;
+  std::size_t position_ = 0;
+  std::size_t used_ = 0;
+  double lambda_ = 0.0;
+  bool stopped_ = false;  ///< Hit the budget wall (cleared by set_budget).
+};
+
+/// Optional per-iteration sizing hook for the refinement loop: called after
+/// each greedy scan with the blocks' selection state applied; must return
+/// the total T2 byte size of the current selection (what
+/// t2_encoded_size summed over the tiles would report).  The distributed
+/// tail supplies one that also records per-precinct sizes for its cost
+/// model; when empty, the serial per-tile sizing is used.
+using SizingFn = std::function<std::size_t(int iteration)>;
+
 /// Greedy λ-threshold scan + budget refinement over pre-sorted segments.
 /// `stats` carries the hull-building counters accumulated by the caller
 /// (passes_considered / hull_points); the scan fills in the rest.
@@ -111,11 +180,13 @@ RateControlStats rate_control_layered_presorted(
 
 RateControlStats rate_control_presorted_tiles(
     const std::vector<Tile*>& tiles, std::size_t total_budget_bytes,
-    const std::vector<HullSegment>& segments, RateControlStats stats = {});
+    const std::vector<HullSegment>& segments, RateControlStats stats = {},
+    const SizingFn& sizer = {});
 
 RateControlStats rate_control_layered_presorted_tiles(
     const std::vector<Tile*>& tiles, const std::vector<std::size_t>& budgets,
-    const std::vector<HullSegment>& segments, RateControlStats stats = {});
+    const std::vector<HullSegment>& segments, RateControlStats stats = {},
+    const SizingFn& sizer = {});
 
 /// Selects `included_passes`/`included_len` for every block of the tile so
 /// the final T2 output (headers + bodies) fits `total_budget_bytes`.

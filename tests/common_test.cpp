@@ -4,11 +4,14 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "common/align.hpp"
 #include "common/aligned_buffer.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/sha256.hpp"
 #include "common/span2d.hpp"
 
 namespace cj2k {
@@ -112,6 +115,30 @@ TEST(Rng, GaussianMoments) {
   }
   EXPECT_NEAR(sum / n, 0.0, 0.02);
   EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+// FIPS 180-4 test vectors: empty message, one-block "abc", and the
+// two-block 448-bit message (exercises the 128-byte padding tail).
+TEST(Sha256, FipsVectors) {
+  EXPECT_EQ(common::sha256_hex(nullptr, 0),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  const std::string abc = "abc";
+  EXPECT_EQ(common::sha256_hex(
+                reinterpret_cast<const std::uint8_t*>(abc.data()), abc.size()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  const std::string two =
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  EXPECT_EQ(common::sha256_hex(
+                reinterpret_cast<const std::uint8_t*>(two.data()), two.size()),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, VectorOverloadMatchesPointerForm) {
+  std::vector<std::uint8_t> data(300);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  EXPECT_EQ(common::sha256_hex(data),
+            common::sha256_hex(data.data(), data.size()));
 }
 
 TEST(Error, CheckMacroThrowsWithContext) {

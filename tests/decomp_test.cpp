@@ -155,5 +155,165 @@ TEST(Schedule, SingleWorkerMakespanIsTotalWork) {
   EXPECT_EQ(sched.assignment, (std::vector<int>{0, 0, 0}));
 }
 
+// --- Edge cases of the virtual schedulers ---------------------------------
+
+TEST(Schedule, ZeroCostItemsFinishInstantly) {
+  std::vector<double> cost(5, 0.0);
+  const auto sched = schedule_virtual(cost, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(sched.makespan, 0.0);
+  ASSERT_EQ(sched.item_finish.size(), cost.size());
+  for (double f : sched.item_finish) EXPECT_DOUBLE_EQ(f, 0.0);
+  for (int w : sched.assignment) {
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, 2);
+  }
+}
+
+TEST(Schedule, MoreWorkersThanItemsLeavesWorkersIdle) {
+  std::vector<double> cost{3.0, 2.0};
+  const auto sched = schedule_virtual(cost, std::vector<double>(5, 1.0));
+  EXPECT_DOUBLE_EQ(sched.makespan, 3.0);
+  // Each item lands on its own worker; three workers never run.
+  EXPECT_NE(sched.assignment[0], sched.assignment[1]);
+  int idle = 0;
+  for (double t : sched.worker_time) {
+    if (t == 0.0) ++idle;
+  }
+  EXPECT_EQ(idle, 3);
+}
+
+TEST(Schedule, ItemFinishMatchesWorkerTimeline) {
+  std::vector<double> cost{2, 2, 2, 2};
+  const auto sched = schedule_virtual(cost, {1.0, 1.0});
+  // Round-robin by construction here: finishes 2, 2, 4, 4.
+  EXPECT_EQ(sched.item_finish, (std::vector<double>{2, 2, 4, 4}));
+}
+
+TEST(Schedule, ReleasedWithZeroReleasesEqualsPlainVirtual) {
+  std::vector<double> cost{5, 1, 4, 2, 3, 6, 1};
+  std::vector<double> speed{1.0, 1.5, 0.7};
+  const auto plain = schedule_virtual(cost, speed);
+  const auto released = schedule_virtual_released(
+      cost, speed, std::vector<double>(cost.size(), 0.0));
+  EXPECT_DOUBLE_EQ(released.makespan, plain.makespan);
+  EXPECT_EQ(released.assignment, plain.assignment);
+  EXPECT_EQ(released.item_finish, plain.item_finish);
+}
+
+TEST(Schedule, ReleasedHandCase) {
+  // Admission order by release: item 0 (r=0), item 2 (r=1), item 1 (r=5).
+  // Item 0 -> worker 0, finishes at 4.  Item 2 starts at its release (1) on
+  // worker 1, finishes at 4.  Item 1 waits for its release: both workers
+  // free at 4 but the item is only ready at 5; finishes at 7.
+  const auto s = schedule_virtual_released({4, 2, 3}, {1.0, 1.0}, {0, 5, 1});
+  EXPECT_EQ(s.item_finish, (std::vector<double>{4, 7, 4}));
+  EXPECT_DOUBLE_EQ(s.makespan, 7.0);
+  EXPECT_NE(s.assignment[0], s.assignment[2]);
+}
+
+TEST(Schedule, ReleasedLateItemsStallEvenIdleWorkers) {
+  // Every worker idles until the single release point.
+  const auto s = schedule_virtual_released({1, 1}, {1.0, 1.0, 1.0}, {10, 10});
+  EXPECT_DOUBLE_EQ(s.makespan, 11.0);
+  EXPECT_EQ(s.item_finish, (std::vector<double>{11, 11}));
+}
+
+// --- Ordered-completion hand-off ------------------------------------------
+
+TEST(OrderedHandoff, HandCase) {
+  // ready {0,3,1}, cost {2,1,5}: event 0 runs 0->2; event 1 is not ready
+  // until 3 (stall 1), runs 3->4; event 2 was ready long ago, runs 4->9.
+  const auto h = schedule_ordered_handoff({0, 3, 1}, {2, 1, 5});
+  EXPECT_EQ(h.finish, (std::vector<double>{2, 4, 9}));
+  EXPECT_DOUBLE_EQ(h.makespan, 9.0);
+  EXPECT_DOUBLE_EQ(h.busy, 8.0);
+  EXPECT_DOUBLE_EQ(h.stall, 1.0);
+}
+
+TEST(OrderedHandoff, NoStallWhenEventsAreReadyInOrder) {
+  const auto h = schedule_ordered_handoff({0, 0, 0}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(h.makespan, 6.0);
+  EXPECT_DOUBLE_EQ(h.stall, 0.0);
+  EXPECT_EQ(h.finish, (std::vector<double>{1, 3, 6}));
+}
+
+TEST(OrderedHandoff, EmptyIsZero) {
+  const auto h = schedule_ordered_handoff({}, {});
+  EXPECT_DOUBLE_EQ(h.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(h.busy, 0.0);
+  EXPECT_DOUBLE_EQ(h.stall, 0.0);
+  EXPECT_TRUE(h.finish.empty());
+}
+
+TEST(OrderedHandoff, ConsumerNeverReordersPastAnUnreadyEvent) {
+  // Event 1 is ready last; the already-ready event 2 must still wait.
+  const auto h = schedule_ordered_handoff({0, 100, 0}, {1, 1, 1});
+  EXPECT_EQ(h.finish, (std::vector<double>{1, 101, 102}));
+  EXPECT_DOUBLE_EQ(h.stall, 99.0);
+}
+
+// --- Serial-resource-only pipeline schedules ------------------------------
+
+TEST(Pipeline, SerialOnlyItemsSerializeAcrossGroups) {
+  // Items with no pool work: the shared serial resource is the only one,
+  // so even with 3 groups everything queues FIFO.
+  std::vector<std::vector<PipelinePhase>> items(3);
+  items[0].push_back({0.0, 2.0});
+  items[1].push_back({0.0, 3.0});
+  items[2].push_back({0.0, 4.0});
+  const auto s = schedule_pipeline(items, 3);
+  EXPECT_DOUBLE_EQ(s.makespan, 9.0);
+  EXPECT_EQ(s.item_finish, (std::vector<double>{2, 5, 9}));
+}
+
+// --- CompletionChannel -----------------------------------------------------
+
+TEST(CompletionChannel, PopsInCompletionOrderThenTerminates) {
+  CompletionChannel ch(3);
+  ch.push(2);
+  ch.push(0);
+  ch.push(1);
+  std::size_t idx = 99;
+  ASSERT_TRUE(ch.pop(idx));
+  EXPECT_EQ(idx, 2u);
+  ASSERT_TRUE(ch.pop(idx));
+  EXPECT_EQ(idx, 0u);
+  ASSERT_TRUE(ch.pop(idx));
+  EXPECT_EQ(idx, 1u);
+  EXPECT_FALSE(ch.pop(idx));
+  EXPECT_FALSE(ch.pop(idx));  // stays terminated
+}
+
+TEST(CompletionChannel, DrainsEveryIndexAcrossProducerThreads) {
+  constexpr std::size_t kItems = 512;
+  constexpr std::size_t kProducers = 4;
+  CompletionChannel ch(kItems);
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ch, p] {
+      for (std::size_t i = p; i < kItems; i += kProducers) ch.push(i);
+    });
+  }
+  std::set<std::size_t> seen;
+  std::size_t idx;
+  while (ch.pop(idx)) {
+    EXPECT_TRUE(seen.insert(idx).second) << "duplicate " << idx;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(seen.size(), kItems);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), kItems - 1);
+}
+
+TEST(CompletionChannel, ConsumerBlocksUntilProducerDelivers) {
+  CompletionChannel ch(1);
+  std::size_t idx = 99;
+  std::thread producer([&ch] { ch.push(7); });
+  ASSERT_TRUE(ch.pop(idx));  // blocks until the push lands
+  EXPECT_EQ(idx, 7u);
+  producer.join();
+  EXPECT_FALSE(ch.pop(idx));
+}
+
 }  // namespace
 }  // namespace cj2k::decomp

@@ -1,0 +1,88 @@
+// Golden-vector regression tests: SHA-256 digests of reference codestreams,
+// pinned so any byte drift in the encoder — serial or pipelined, any SPE
+// count — fails loudly.  The digests were produced by the serial
+// jp2k::encode reference; the Cell pipeline must match them bit for bit at
+// every machine size (the paper's central byte-identity claim).
+//
+// If an *intentional* format change lands, regenerate by running this test
+// and copying the "actual" digests from the failure output.
+#include <gtest/gtest.h>
+
+#include "cellenc/pipeline.hpp"
+#include "common/sha256.hpp"
+#include "image/synth.hpp"
+#include "jp2k/encoder.hpp"
+
+namespace cj2k {
+namespace {
+
+cell::MachineConfig config(int spes, int ppes) {
+  cell::MachineConfig cfg;
+  cfg.num_spes = spes;
+  cfg.num_ppe_threads = ppes;
+  return cfg;
+}
+
+struct GoldenCase {
+  const char* name;
+  bool lossy;
+  std::size_t tiles;      ///< Grid is tiles × tiles.
+  const char* digest;     ///< SHA-256 of the reference codestream.
+};
+
+// The fixed golden workload: one 96×80 RGB synthetic photograph.
+Image golden_image() { return synth::photographic(96, 80, 3, 2024); }
+
+jp2k::CodingParams golden_params(const GoldenCase& gc) {
+  jp2k::CodingParams p;
+  p.levels = 3;
+  p.tiles_x = gc.tiles;
+  p.tiles_y = gc.tiles;
+  if (gc.lossy) {
+    p.wavelet = jp2k::WaveletKind::kIrreversible97;
+    p.rate = 0.25;
+    p.layers = 2;
+    p.progression = jp2k::Progression::kRLCP;
+  }
+  return p;
+}
+
+const GoldenCase kCases[] = {
+    {"lossless_1x1", false, 1,
+     "60ff0fbc83da84f3e4ece4bb1b6630c44757c212a62c6c8eefe2e34af7d105c2"},
+    {"lossless_2x2", false, 2,
+     "d6480a90ff4a73a062bd95ee07e6c4c22fc637a125f7c0742ad467bb3a9c385c"},
+    {"lossy_1x1", true, 1,
+     "c0fccdefd2b5ad4313fb9d90a8c436c5006be7487a68c89e604f84aaccb96d0f"},
+    {"lossy_2x2", true, 2,
+     "3afa0ac18278f515685a6ec88c0862c2d2f21acb2d14d5df590982cd81ebca3b"},
+};
+
+class Golden : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(Golden, SerialReferenceMatchesPinnedDigest) {
+  const GoldenCase& gc = GetParam();
+  const auto bytes = jp2k::encode(golden_image(), golden_params(gc));
+  EXPECT_EQ(common::sha256_hex(bytes), gc.digest) << gc.name;
+}
+
+TEST_P(Golden, PipelineMatchesPinnedDigestAtEverySpeCount) {
+  const GoldenCase& gc = GetParam();
+  const Image img = golden_image();
+  const jp2k::CodingParams p = golden_params(gc);
+  for (int spes : {1, 8, 16}) {
+    cellenc::CellEncoder enc(config(spes, 2));
+    const auto res = enc.encode(img, p);
+    EXPECT_EQ(common::sha256_hex(res.codestream), gc.digest)
+        << gc.name << " at " << spes << " SPEs";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGoldenVectors, Golden, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace cj2k

@@ -6,13 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <numeric>
 #include <tuple>
 
 #include "cellenc/pipeline.hpp"
+#include "common/rng.hpp"
 #include "image/synth.hpp"
 #include "jp2k/encoder.hpp"
 #include "jp2k/rate_control.hpp"
 #include "jp2k/t2_encoder.hpp"
+#include "jp2k/tile.hpp"
 
 namespace cj2k {
 namespace {
@@ -97,6 +100,173 @@ TEST(ParallelRate, PrecinctT2MatchesMonolithicT2) {
   }
 }
 
+// --- IncrementalScan: resumable greedy scan == one-shot greedy loop -------
+
+TEST(IncrementalScan, ChunkedAdvanceEqualsOneShotGreedyPrefix) {
+  const Image img = synth::photographic(160, 128, 1, 74);
+  jp2k::CodingParams p;
+  p.wavelet = jp2k::WaveletKind::kIrreversible97;
+  p.mct = false;
+  jp2k::Tile tile = jp2k::build_tile(img, p);
+  jp2k::RateControlStats stats;
+  const auto segments = jp2k::build_sorted_segments(tile, p.wavelet, stats);
+  ASSERT_GT(segments.size(), 16u);
+
+  // Reference: the one-shot greedy prefix the scan replaces.
+  std::size_t total = 0;
+  for (const auto& s : segments) total += s.delta_r;
+  const std::size_t budget = total / 3;
+  std::size_t ref_used = 0;
+  std::size_t ref_pos = 0;
+  double ref_lambda = 0.0;
+  std::vector<std::pair<int, std::size_t>> ref_sel;
+  for (const auto& seg : segments) {
+    if (ref_used + seg.delta_r > budget) break;
+    ref_used += seg.delta_r;
+    seg.block->included_passes = seg.pass_count;
+    seg.block->included_len = seg.trunc_len;
+    ref_lambda = seg.slope;
+    ++ref_pos;
+  }
+  for (const auto& tc : tile.components) {
+    for (const auto& sb : tc.subbands) {
+      for (const auto& cb : sb.blocks) {
+        ref_sel.emplace_back(cb.included_passes, cb.included_len);
+      }
+    }
+  }
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{1000000}}) {
+    for (auto& tc : tile.components) {
+      for (auto& sb : tc.subbands) {
+        for (auto& cb : sb.blocks) {
+          cb.included_passes = 0;
+          cb.included_len = 0;
+        }
+      }
+    }
+    jp2k::IncrementalScan scan(segments, budget);
+    while (!scan.done()) scan.advance(chunk);
+    EXPECT_EQ(scan.used(), ref_used) << chunk;
+    EXPECT_EQ(scan.position(), ref_pos) << chunk;
+    EXPECT_DOUBLE_EQ(scan.lambda(), ref_lambda) << chunk;
+    EXPECT_EQ(scan.advance(chunk), 0u);  // done stays done
+    std::size_t i = 0;
+    for (const auto& tc : tile.components) {
+      for (const auto& sb : tc.subbands) {
+        for (const auto& cb : sb.blocks) {
+          EXPECT_EQ(cb.included_passes, ref_sel[i].first) << chunk;
+          EXPECT_EQ(cb.included_len, ref_sel[i].second) << chunk;
+          ++i;
+        }
+      }
+    }
+  }
+}
+
+TEST(IncrementalScan, SetBudgetRetriesTheBlockingSegment) {
+  std::vector<jp2k::CodeBlock> blocks(3);
+  std::vector<jp2k::HullSegment> segs;
+  segs.push_back({10.0, 5, &blocks[0], 1, 5, 0});
+  segs.push_back({8.0, 4, &blocks[1], 1, 4, std::uint64_t{1} << 16});
+  segs.push_back({6.0, 8, &blocks[2], 1, 8, std::uint64_t{2} << 16});
+
+  jp2k::IncrementalScan scan(segs, 7);
+  scan.run_to_stop();  // takes seg 0 (5 <= 7), blocks on seg 1
+  EXPECT_TRUE(scan.done());
+  EXPECT_EQ(scan.position(), 1u);
+  EXPECT_EQ(scan.used(), 5u);
+  EXPECT_EQ(scan.advance(10), 0u);  // a stopped scan stays stopped
+
+  scan.set_budget(9);  // the layered budget step: retry the blocker
+  scan.run_to_stop();  // takes seg 1 (5+4 = 9), blocks on seg 2
+  EXPECT_EQ(scan.position(), 2u);
+  EXPECT_EQ(scan.used(), 9u);
+  EXPECT_EQ(blocks[1].included_passes, 1);
+
+  scan.set_budget(17);
+  scan.run_to_stop();  // takes seg 2, exhausts the list
+  EXPECT_TRUE(scan.done());
+  EXPECT_EQ(scan.position(), 3u);
+  EXPECT_EQ(scan.used(), 17u);
+  EXPECT_DOUBLE_EQ(scan.lambda(), 6.0);
+}
+
+// --- T2StitchStream: any completion order, identical bytes ----------------
+
+TEST(T2StitchStream, AnyOfferOrderMatchesSerialStitch) {
+  const Image img = synth::photographic(160, 128, 3, 75);
+  for (auto prog : {jp2k::Progression::kLRCP, jp2k::Progression::kRLCP}) {
+    jp2k::CodingParams p;
+    p.wavelet = jp2k::WaveletKind::kIrreversible97;
+    p.layers = 3;
+    p.progression = prog;
+    p.rate = 0.2;
+    jp2k::Tile tile = jp2k::build_tile(img, p);
+    jp2k::rate_control_layered(tile, jp2k::plan_layer_budgets(tile, img, p),
+                               p.wavelet);
+
+    const auto parts = jp2k::t2_encode_precincts(tile);
+    const auto reference = jp2k::t2_stitch(tile, parts);
+
+    std::vector<std::size_t> order(parts.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    Rng rng(76);
+    for (int perm = 0; perm < 4; ++perm) {
+      if (perm == 1) std::reverse(order.begin(), order.end());
+      if (perm >= 2) {
+        for (std::size_t i = order.size(); i > 1; --i) {
+          std::swap(order[i - 1],
+                    order[static_cast<std::size_t>(rng.next_below(i))]);
+        }
+      }
+      jp2k::T2StitchStream stream(tile);
+      ASSERT_EQ(stream.num_parts(), parts.size());
+      std::size_t appended = 0;
+      for (std::size_t k = 0; k < order.size(); ++k) {
+        EXPECT_EQ(stream.complete(), false);
+        appended += stream.offer(order[k], parts[order[k]]);
+      }
+      EXPECT_TRUE(stream.complete());
+      EXPECT_EQ(appended, reference.size());
+      EXPECT_EQ(stream.take(), reference)
+          << "perm=" << perm << " prog=" << static_cast<int>(prog);
+    }
+  }
+}
+
+TEST(T2StitchStream, StreamedEncodeMatchesSerialEncode) {
+  const Image img = synth::photographic(128, 96, 3, 77);
+  for (int layers : {1, 3}) {
+    jp2k::CodingParams p;
+    p.wavelet = jp2k::WaveletKind::kIrreversible97;
+    p.layers = layers;
+    p.rate = 0.25;
+    jp2k::Tile tile = jp2k::build_tile(img, p);
+    const auto budgets = jp2k::plan_layer_budgets(tile, img, p);
+    if (layers > 1) {
+      jp2k::rate_control_layered(tile, budgets, p.wavelet);
+    } else {
+      jp2k::rate_control(tile, budgets.back(), p.wavelet);
+    }
+
+    const auto serial = jp2k::t2_encode(tile);
+    std::vector<jp2k::T2PrecinctStream> parts;
+    const auto streamed = jp2k::t2_encode_streamed(tile, &parts);
+    EXPECT_EQ(streamed, serial) << layers;
+
+    // The captured parts are the canonical precinct decomposition.
+    const auto reference_parts = jp2k::t2_encode_precincts(tile);
+    ASSERT_EQ(parts.size(), reference_parts.size());
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      EXPECT_EQ(parts[i].component, reference_parts[i].component);
+      EXPECT_EQ(parts[i].resolution, reference_parts[i].resolution);
+      EXPECT_EQ(parts[i].layer_bytes, reference_parts[i].layer_bytes);
+    }
+  }
+}
+
 // --- Pipeline: byte identity across the lossy feature matrix --------------
 
 using LossyCase = std::tuple<bool /*fixed*/, int /*layers*/,
@@ -131,6 +301,135 @@ INSTANTIATE_TEST_SUITE_P(
                                          jp2k::Progression::kRLCP)));
 
 // --- Hull overlap: construction rides the T1 span -------------------------
+
+// --- Randomized differential: pipelined vs serial, byte for byte ----------
+
+TEST(ParallelRate, RandomizedDifferentialOverRandomGeometries) {
+  Rng rng(0xC0FFEE5EEDull);
+  const int spe_choices[] = {1, 3, 8, 16};
+  for (int trial = 0; trial < 10; ++trial) {
+    jp2k::CodingParams p;
+    p.wavelet = jp2k::WaveletKind::kIrreversible97;
+    p.fixed_point_97 = rng.next_below(2) == 0;
+    p.levels = 3;
+    p.layers = 1 + static_cast<int>(rng.next_below(3));
+    p.progression = rng.next_below(2) == 0 ? jp2k::Progression::kLRCP
+                                           : jp2k::Progression::kRLCP;
+    // Rate 0 with layers > 1 exercises the lossless-final-layer ladder (the
+    // recode path); otherwise pick a fractional target.
+    p.rate = (p.layers > 1 && rng.next_below(3) == 0)
+                 ? 0.0
+                 : 0.08 + 0.05 * static_cast<double>(rng.next_below(6));
+    p.tiles_x = 1 + rng.next_below(2);
+    p.tiles_y = 1 + rng.next_below(2);
+    // Dirty geometries: odd, non-line-multiple widths and heights.
+    const std::size_t w = 48 + rng.next_below(83);
+    const std::size_t h = 40 + rng.next_below(67);
+    const Image img = synth::photographic(
+        w, h, 3, 1000 + static_cast<std::uint64_t>(trial));
+
+    const auto serial = jp2k::encode(img, p);
+    const int spes = spe_choices[rng.next_below(4)];
+    const int ppes = static_cast<int>(rng.next_below(3));
+    for (const bool overlap : {true, false}) {
+      cellenc::CellEncoder enc(config(spes, ppes));
+      cellenc::PipelineOptions opt;
+      opt.overlap_lossy_tail = overlap;
+      const auto res = enc.encode(img, p, opt);
+      EXPECT_EQ(res.codestream, serial)
+          << "trial=" << trial << " " << w << "x" << h << " spes=" << spes
+          << " ppes=" << ppes << " layers=" << p.layers
+          << " rate=" << p.rate << " tiles=" << p.tiles_x << "x" << p.tiles_y
+          << " overlap=" << overlap;
+    }
+  }
+}
+
+// --- Overlap accounting ----------------------------------------------------
+
+TEST(ParallelRate, OverlapReducesSimulatedTailTime) {
+  const Image img = synth::photographic(256, 192, 3, 78);
+  jp2k::CodingParams p;
+  p.wavelet = jp2k::WaveletKind::kIrreversible97;
+  p.rate = 0.2;
+
+  cellenc::PipelineOptions on;
+  cellenc::PipelineOptions off;
+  off.overlap_lossy_tail = false;
+
+  cellenc::CellEncoder enc_on(config(16, 2));
+  cellenc::CellEncoder enc_off(config(16, 2));
+  const auto res_on = enc_on.encode(img, p, on);
+  const auto res_off = enc_off.encode(img, p, off);
+
+  // Same bytes, less simulated tail time, and the ledger says why.
+  EXPECT_EQ(res_on.codestream, res_off.codestream);
+  EXPECT_GT(res_on.overlap_saved_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(res_off.overlap_saved_seconds, 0.0);
+  EXPECT_LE(res_on.stage_seconds("rate"), res_off.stage_seconds("rate"));
+  EXPECT_LT(res_on.stage_seconds("t2"), res_off.stage_seconds("t2"));
+  const double tail_on =
+      res_on.stage_seconds("rate") + res_on.stage_seconds("t2");
+  const double tail_off =
+      res_off.stage_seconds("rate") + res_off.stage_seconds("t2");
+  EXPECT_NEAR(tail_off - tail_on, res_on.overlap_saved_seconds,
+              1e-12 + tail_off * 1e-9);
+  EXPECT_GT(res_on.rate_stats.iterations, 0);
+}
+
+// --- Refinement-iteration sizing cost (regression: charged per iteration) --
+
+TEST(ParallelRate, SizingCostIsChargedWithPerIterationSizes) {
+  const Image img = synth::photographic(96, 80, 3, 79);
+  jp2k::CodingParams p;
+  p.wavelet = jp2k::WaveletKind::kIrreversible97;
+  p.levels = 3;
+  p.rate = 0.1;
+
+  // One SPE, zero PPE helper threads: every sizing pass is a serial walk
+  // over that iteration's part bytes, so the charge is hand-computable from
+  // the scan ledger.
+  cellenc::CellEncoder enc(config(1, 0));
+  cellenc::PipelineOptions opt;
+  opt.overlap_lossy_tail = false;  // phase-ordered accounting
+  const auto res = enc.encode(img, p, opt);
+
+  const auto& scan = res.rate_stats.scan_iterations;
+  ASSERT_EQ(static_cast<int>(scan.size()), res.rate_stats.iterations);
+  ASSERT_GE(scan.size(), 1u);
+
+  const cell::CostParams cp;  // the encoder ran on the default cost model
+  const double hz = cp.clock_hz;
+  jp2k::Tile skel = jp2k::build_tile(img, p);
+  const double nblocks =
+      static_cast<double>(jp2k::tile_block_count(skel));
+  const double layers = 1.0;  // single-layer: reset charge is 4 + layers
+
+  double expected_spe = 0.0;
+  double expected_scan = 0.0;
+  for (const auto& rec : scan) {
+    expected_spe += static_cast<double>(rec.sized_bytes) *
+                    cp.spe_t2_cycles_per_byte / hz;
+    expected_scan +=
+        (nblocks * (4.0 + layers) +
+         static_cast<double>(rec.segments_consumed) *
+             cp.ppe_rate_scan_cycles_per_seg) /
+        hz;
+  }
+  const double expected_ppe =
+      static_cast<double>(res.rate_stats.hull_points) *
+          cp.ppe_merge_cycles_per_seg / hz +
+      expected_scan;
+
+  const cell::StageTiming* rate = nullptr;
+  for (const auto& s : res.stages) {
+    if (s.name == "rate") rate = &s;
+  }
+  ASSERT_NE(rate, nullptr);
+  EXPECT_NEAR(rate->spe_compute, expected_spe, expected_spe * 1e-9);
+  EXPECT_NEAR(rate->ppe, expected_ppe, expected_ppe * 1e-9);
+  EXPECT_DOUBLE_EQ(rate->seconds, rate->ppe + rate->spe_compute);
+}
 
 TEST(ParallelRate, HullConstructionHidesUnderTier1) {
   const Image img = synth::photographic(256, 256, 3, 73);
