@@ -38,6 +38,16 @@ struct CostParams {
   double ppe_float_op = 1.1;
   double ppe_branch = 2.5;
   double ppe_t1_cycles_per_symbol = 85.0;
+
+  // HT (Part 15) cleanup-pass block coder, per coded *sample* (unlike the
+  // EBCOT per-MQ-symbol costs above: HT visits each coefficient once, in
+  // branch-light 2×2 quads, instead of up to three MQ decisions per bit
+  // plane).  Calibrated from published HTJ2K-vs-EBCOT software throughput
+  // ratios (~6-10× block-coder speedup) against the per-symbol costs
+  // above at the lossy workload's average of ~4 coded symbols per sample
+  // — see DESIGN.md §9.
+  double spe_ht_cycles_per_sample = 24.0;
+  double ppe_ht_cycles_per_sample = 45.0;
   /// Serial rate-allocation cost (Jasper recomputes per-pass R-D data on
   /// the PPE; calibrated so the stage approaches the paper's ~60% share of
   /// lossy encoding at 16 SPEs — see EXPERIMENTS.md).  Used by the

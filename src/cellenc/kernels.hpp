@@ -9,6 +9,7 @@
 
 #include "cell/dma.hpp"
 #include "cell/simd.hpp"
+#include "common/align.hpp"
 #include "image/image.hpp"
 
 namespace cj2k::cellenc {
@@ -21,6 +22,21 @@ void dma_get_row(cell::DmaEngine& dma, void* ls_dst, const void* main_src,
                  std::size_t elems);
 void dma_put_row(cell::DmaEngine& dma, const void* ls_src, void* main_dst,
                  std::size_t elems);
+
+/// Audit-driven row padding: widens a row transfer of 4-byte elements to a
+/// whole number of 128-byte cache lines whenever the plane's stride has
+/// room, so awkward widths (e.g. the 1586-wide Fig.5 workload) keep the
+/// whole transfer on the efficient bulk path instead of tripping the DMA
+/// audit's tail counters.  Plane rows are cache-line aligned and their
+/// stride padding is zero-initialized, so a caller widening its transfers
+/// must keep the tail bytes stable: either fetch-and-restore them untouched
+/// or write zeros.
+inline std::size_t padded_row_elems(std::size_t elems,
+                                    std::size_t stride_elems) {
+  const std::size_t padded =
+      round_up(elems, kCacheLineBytes / sizeof(Sample));
+  return padded <= stride_elems ? padded : elems;
+}
 
 // --- SIMD row arithmetic ----------------------------------------------------
 // All row helpers require `n` to be reachable with a scalar tail; pointers

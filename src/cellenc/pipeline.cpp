@@ -13,6 +13,7 @@
 #include "decomp/chunk.hpp"
 #include "jp2k/dwt2d.hpp"
 #include "jp2k/encoder.hpp"
+#include "jp2k/ht_block.hpp"
 #include "jp2k/quant.hpp"
 #include "jp2k/rate_control.hpp"
 #include "jp2k/t2_encoder.hpp"
@@ -180,8 +181,8 @@ TileFrontResult encode_tile_front(cell::Machine& machine, const Image& img,
         jp2k::Subband sb;
         sb.info = info;
         sb.quant_step = jp2k::quant_step_for_band(
-            params.base_quant_step, params.wavelet, info.level, info.orient,
-            params.levels);
+            jp2k::effective_base_quant_step(params), params.wavelet,
+            info.level, info.orient, params.levels);
         jp2k::make_block_grid(sb, params.cb_width, params.cb_height);
         tc.subbands.push_back(std::move(sb));
       }
@@ -225,8 +226,8 @@ TileFrontResult encode_tile_front(cell::Machine& machine, const Image& img,
         jp2k::Subband sb;
         sb.info = info;
         sb.quant_step = jp2k::quant_step_for_band(
-            params.base_quant_step, params.wavelet, info.level, info.orient,
-            params.levels);
+            jp2k::effective_base_quant_step(params), params.wavelet,
+            info.level, info.orient, params.levels);
         jp2k::make_block_grid(sb, params.cb_width, params.cb_height);
         tc.subbands.push_back(std::move(sb));
       }
@@ -246,7 +247,8 @@ TileFrontResult encode_tile_front(cell::Machine& machine, const Image& img,
   // build each block's R-D hull as it finishes (the hull cost hides under
   // the T1 span — the fused schedule accounts for it). -----------------------
   const T1StageResult t1 =
-      stage_t1(machine, tile, coeff_views, opt.t1_dist, params.t1, hulls);
+      stage_t1(machine, tile, coeff_views, opt.t1_dist, params.t1, hulls,
+               params.block_coder);
   res.stages.push_back(t1.timing);
   res.t1_symbols = t1.total_symbols;
   res.hull_extra_seconds = t1.hull_extra_seconds;
@@ -271,7 +273,9 @@ PipelineResult CellEncoder::encode(const Image& img,
 
   ScopedAudit audit(machine_, opt.audit);
 
-  const bool lossy_tail = params.rate > 0.0 || params.layers > 1;
+  // HT never takes the lossy tail: no truncation points means no PCRD rate
+  // stage at all (the stage_rate fast path promised by the HT backend).
+  const bool lossy_tail = jp2k::uses_pcrd_rate_control(params);
   const bool distribute_tail = lossy_tail && opt.parallel_lossy_tail;
   HullCapture hulls;
   hulls.wavelet = params.wavelet;

@@ -536,12 +536,16 @@ cell::StageTiming stage_dwt53(cell::Machine& m, Span2d<Sample> plane,
         if (static_cast<std::size_t>(i) >= rows.size()) return;
         const auto [start, count] = rows[static_cast<std::size_t>(i)];
         const std::size_t pad = round_up(ww, 32);
+        // Whole-cache-line transfers; lin[ww..tw) is fetched, left
+        // untouched, and written back, so neighbouring coefficients in the
+        // stride round-trip bit-exactly.
+        const std::size_t tw = padded_row_elems(ww, plane.stride());
         Sample* lin = ctx.ls.alloc<Sample>(pad);
         Sample* even = ctx.ls.alloc<Sample>(pad / 2 + 4);
         Sample* odd = ctx.ls.alloc<Sample>(pad / 2 + 4);
         const std::size_t nl = (ww + 1) / 2;
         for (std::size_t y = start; y < start + count; ++y) {
-          dma_get_row(ctx.dma, lin, plane.row(y), ww);
+          dma_get_row(ctx.dma, lin, plane.row(y), tw);
           spe_horizontal53_row(ctx.simd, lin, even, odd, ww);
           // Reassemble L|H contiguously so the row goes back in one
           // aligned DMA (writing the H half alone would start at an
@@ -550,7 +554,7 @@ cell::StageTiming stage_dwt53(cell::Machine& m, Span2d<Sample> plane,
           if (ww > nl) {
             ls_copy(ctx.simd, lin + nl, odd, (ww - nl) * sizeof(Sample));
           }
-          dma_put_row(ctx.dma, lin, plane.row(y), ww);
+          dma_put_row(ctx.dma, lin, plane.row(y), tw);
         }
         ctx.ls.reset();
       };
@@ -622,18 +626,20 @@ cell::StageTiming stage_dwt97(cell::Machine& m, Span2d<float> plane,
         if (static_cast<std::size_t>(i) >= rows.size()) return;
         const auto [start, count] = rows[static_cast<std::size_t>(i)];
         const std::size_t pad = round_up(ww, 32);
+        // Whole-cache-line transfers (see the 5/3 kernel above).
+        const std::size_t tw = padded_row_elems(ww, plane.stride());
         float* lin = ctx.ls.alloc<float>(pad);
         float* even = ctx.ls.alloc<float>(pad / 2 + 4);
         float* odd = ctx.ls.alloc<float>(pad / 2 + 4);
         const std::size_t nl = (ww + 1) / 2;
         for (std::size_t y = start; y < start + count; ++y) {
-          dma_get_row(ctx.dma, lin, plane.row(y), ww);
+          dma_get_row(ctx.dma, lin, plane.row(y), tw);
           spe_horizontal97_row(ctx.simd, lin, even, odd, ww);
           ls_copy(ctx.simd, lin, even, nl * sizeof(float));
           if (ww > nl) {
             ls_copy(ctx.simd, lin + nl, odd, (ww - nl) * sizeof(float));
           }
-          dma_put_row(ctx.dma, lin, plane.row(y), ww);
+          dma_put_row(ctx.dma, lin, plane.row(y), tw);
         }
         ctx.ls.reset();
       };
@@ -705,18 +711,20 @@ cell::StageTiming stage_dwt97_fixed(cell::Machine& m, Span2d<Sample> plane,
         if (static_cast<std::size_t>(i) >= rows.size()) return;
         const auto [start, count] = rows[static_cast<std::size_t>(i)];
         const std::size_t pad = round_up(ww, 32);
+        // Whole-cache-line transfers (see the 5/3 kernel above).
+        const std::size_t tw = padded_row_elems(ww, plane.stride());
         Sample* lin = ctx.ls.alloc<Sample>(pad);
         Sample* even = ctx.ls.alloc<Sample>(pad / 2 + 4);
         Sample* odd = ctx.ls.alloc<Sample>(pad / 2 + 4);
         const std::size_t nl = (ww + 1) / 2;
         for (std::size_t y = start; y < start + count; ++y) {
-          dma_get_row(ctx.dma, lin, plane.row(y), ww);
+          dma_get_row(ctx.dma, lin, plane.row(y), tw);
           spe_horizontal97_fixed_row(ctx.simd, lin, even, odd, ww);
           ls_copy(ctx.simd, lin, even, nl * sizeof(Sample));
           if (ww > nl) {
             ls_copy(ctx.simd, lin + nl, odd, (ww - nl) * sizeof(Sample));
           }
-          dma_put_row(ctx.dma, lin, plane.row(y), ww);
+          dma_put_row(ctx.dma, lin, plane.row(y), tw);
         }
         ctx.ls.reset();
       };

@@ -57,15 +57,21 @@ cell::StageTiming stage_quant(cell::Machine& m, Span2d<const float> fplane,
     }
     const auto [start, count] = rows[static_cast<std::size_t>(i)];
     const std::size_t pad = round_up(w, 32);
+    // Whole-cache-line transfers; the fetched fplane tail is ignored and
+    // qout[w..tw) writes zeros, matching the qplane's zero-initialized
+    // stride padding (this stage is the plane's only writer).
+    const std::size_t tw =
+        padded_row_elems(w, std::min(fplane.stride(), qplane.stride()));
     float* fin = ctx.ls.alloc<float>(pad);
     Sample* qout = ctx.ls.alloc<Sample>(pad);
+    for (std::size_t x = w; x < tw; ++x) qout[x] = 0;
     for (std::size_t y = start; y < start + count; ++y) {
-      dma_get_row(ctx.dma, fin, fplane.row(y), w);
+      dma_get_row(ctx.dma, fin, fplane.row(y), tw);
       for (const auto& seg : segments_for_row(tc, y)) {
         simd_quant_row(ctx.simd, fin + seg.x0, qout + seg.x0, seg.width,
                        seg.inv_step);
       }
-      dma_put_row(ctx.dma, qout, qplane.row(y), w);
+      dma_put_row(ctx.dma, qout, qplane.row(y), tw);
     }
     ctx.ls.reset();
   };
@@ -101,17 +107,21 @@ cell::StageTiming stage_quant_fixed(cell::Machine& m,
     }
     const auto [start, count] = rows[static_cast<std::size_t>(i)];
     const std::size_t pad = round_up(w, 32);
+    // Whole-cache-line transfers (see stage_quant above).
+    const std::size_t tw =
+        padded_row_elems(w, std::min(fxplane.stride(), qplane.stride()));
     Sample* fin = ctx.ls.alloc<Sample>(pad);
     Sample* qout = ctx.ls.alloc<Sample>(pad);
+    for (std::size_t x = w; x < tw; ++x) qout[x] = 0;
     for (std::size_t y = start; y < start + count; ++y) {
-      dma_get_row(ctx.dma, fin, fxplane.row(y), w);
+      dma_get_row(ctx.dma, fin, fxplane.row(y), tw);
       for (const auto& seg : segments_for_row(tc, y)) {
         const auto inv = static_cast<std::int64_t>(
             (65536.0 / seg.step) + 0.5);
         simd_quant_fixed_row(ctx.simd, fin + seg.x0, qout + seg.x0,
                              seg.width, inv);
       }
-      dma_put_row(ctx.dma, qout, qplane.row(y), w);
+      dma_put_row(ctx.dma, qout, qplane.row(y), tw);
     }
     ctx.ls.reset();
   };

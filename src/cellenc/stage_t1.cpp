@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "decomp/work_queue.hpp"
+#include "jp2k/ht_block.hpp"
 #include "jp2k/t1_encoder.hpp"
 
 namespace cj2k::cellenc {
@@ -29,8 +30,10 @@ constexpr std::uint64_t kHullSegmentBytes = 32;
 T1StageResult stage_t1(cell::Machine& m, jp2k::Tile& tile,
                        const std::vector<Span2d<const Sample>>& coeff_planes,
                        T1Distribution dist, const jp2k::T1Options& t1opt,
-                       HullCapture* hulls) {
+                       HullCapture* hulls, jp2k::BlockCoder coder) {
   CJ2K_CHECK(coeff_planes.size() == tile.components.size());
+  CJ2K_CHECK_MSG(!(hulls && coder == jp2k::BlockCoder::kHt),
+                 "HT blocks have no truncation points to build hulls over");
 
   // Flatten the block list (the work queue's contents).  The flattening
   // order is the canonical tile traversal, so the index doubles as the
@@ -67,7 +70,10 @@ T1StageResult stage_t1(cell::Machine& m, jp2k::Tile& tile,
         const auto view = coeff_planes[br.component].subview(
             br.sb->info.x0 + br.cb->x0, br.sb->info.y0 + br.cb->y0, br.cb->w,
             br.cb->h);
-        br.cb->enc = jp2k::t1_encode_block(view, br.sb->info.orient, t1opt);
+        br.cb->enc = coder == jp2k::BlockCoder::kHt
+                         ? jp2k::ht_encode_block(view)
+                         : jp2k::t1_encode_block(view, br.sb->info.orient,
+                                                 t1opt);
         br.cb->include_all();
         if (hulls) {
           jp2k::build_block_hull(*br.cb, br.hull_weight,
@@ -110,14 +116,21 @@ T1StageResult stage_t1(cell::Machine& m, jp2k::Tile& tile,
   // with hull capture, each block carries a per-pass hull tail executed on
   // the same worker (fused schedule).
   const auto& cp = m.model().params();
+  const bool ht = coder == jp2k::BlockCoder::kHt;
+  // EBCOT cost is per MQ symbol; HT cost is per coded sample (and
+  // T1EncodedBlock::total_symbols counts exactly that for HT blocks).
+  const double spe_unit =
+      ht ? cp.spe_ht_cycles_per_sample : cp.spe_t1_cycles_per_symbol;
+  const double ppe_unit =
+      ht ? cp.ppe_ht_cycles_per_sample : cp.ppe_t1_cycles_per_symbol;
   std::vector<double> speed;       // seconds per symbol
   std::vector<double> hull_speed;  // seconds per coding pass
   for (int i = 0; i < m.num_spes(); ++i) {
-    speed.push_back(cp.spe_t1_cycles_per_symbol / cp.clock_hz);
+    speed.push_back(spe_unit / cp.clock_hz);
     hull_speed.push_back(cp.spe_rate_hull_cycles_per_pass / cp.clock_hz);
   }
   for (int i = 0; i < m.num_ppe_threads(); ++i) {
-    speed.push_back(cp.ppe_t1_cycles_per_symbol / cp.clock_hz);
+    speed.push_back(ppe_unit / cp.clock_hz);
     hull_speed.push_back(cp.ppe_rate_hull_cycles_per_pass / cp.clock_hz);
   }
   CJ2K_CHECK_MSG(!speed.empty(), "T1 needs at least one processing element");

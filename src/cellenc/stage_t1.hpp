@@ -63,10 +63,16 @@ struct T1StageResult {
 /// Host execution is multithreaded; simulated time replays the chosen
 /// distribution policy over the per-block symbol counts.  With `hulls`,
 /// each worker also builds the blocks' R-D hulls (see above).
+///
+/// `coder` selects the block backend: EBCOT (per-MQ-symbol replay costs)
+/// or the Part-15 HT cleanup pass (per-sample costs; ht_block.hpp).  HT
+/// blocks have no truncation points, so `hulls` must be null for HT — the
+/// PCRD machinery the hulls feed does not exist on that path.
 T1StageResult stage_t1(cell::Machine& m, jp2k::Tile& tile,
                        const std::vector<Span2d<const Sample>>& coeff_planes,
                        T1Distribution dist = T1Distribution::kWorkQueue,
                        const jp2k::T1Options& t1opt = {},
-                       HullCapture* hulls = nullptr);
+                       HullCapture* hulls = nullptr,
+                       jp2k::BlockCoder coder = jp2k::BlockCoder::kEbcot);
 
 }  // namespace cj2k::cellenc

@@ -99,7 +99,9 @@ PipelineResult encode_tiled(cell::Machine& machine, const Image& img,
     }
   }
 
-  const bool lossy_tail = params.rate > 0.0 || params.layers > 1;
+  // HT tiles never take a lossy tail (no truncation points → no PCRD);
+  // they flow through the lossless-shaped per-tile Tier-2 pipeline below.
+  const bool lossy_tail = jp2k::uses_pcrd_rate_control(params);
   const bool distribute_tail = lossy_tail && opt.parallel_lossy_tail;
 
   // --- Hull ordinal bases: cumulative block counts in tile-index order

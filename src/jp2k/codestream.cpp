@@ -10,6 +10,7 @@ namespace cj2k::jp2k {
 namespace {
 
 constexpr std::uint16_t kSoc = 0xFF4F;
+constexpr std::uint16_t kCap = 0xFF50;
 constexpr std::uint16_t kSiz = 0xFF51;
 constexpr std::uint16_t kCod = 0xFF52;
 constexpr std::uint16_t kQcd = 0xFF5C;
@@ -19,6 +20,10 @@ constexpr std::uint16_t kEoc = 0xFFD9;
 
 /// QCD body bytes per band: orient u8 + level u8 + numbps u8 + step f64.
 constexpr std::size_t kQcdBandBytes = 11;
+
+/// Pcap bit announcing Part-15 (HT) capabilities: bit 15 counted from the
+/// MSB as bit 1, i.e. 1 << (32 - 15).
+constexpr std::uint32_t kPcapPart15 = 0x00020000u;
 
 class ByteWriter {
  public:
@@ -153,6 +158,15 @@ std::vector<std::uint8_t> write_codestream(
   w.u32(static_cast<std::uint32_t>(hdr.tile_w));
   w.u32(static_cast<std::uint32_t>(hdr.tile_h));
 
+  // CAP — emitted only for HT streams, so EBCOT codestreams stay
+  // byte-identical to pre-HT ones.
+  if (hdr.params.block_coder == BlockCoder::kHt) {
+    w.u16(kCap);
+    w.u16(2 + 4 + 2);       // Lcap
+    w.u32(kPcapPart15);     // Pcap: Part-15 capabilities present
+    w.u16(0);               // Ccap15: default HT style
+  }
+
   // COD.
   w.u16(kCod);
   w.u16(2 + 1 + 1 + 2 + 2 + 1 + 1 + 1 + 1 + 8);
@@ -197,7 +211,8 @@ std::vector<std::uint8_t> write_codestream(
 }
 
 StreamHeader parse_codestream(const std::vector<std::uint8_t>& bytes,
-                              std::vector<TilePart>& tiles) {
+                              std::vector<TilePart>& tiles,
+                              const ParseOptions& opt) {
   ByteReader r(bytes.data(), bytes.size());
   StreamHeader hdr;
 
@@ -260,6 +275,19 @@ StreamHeader parse_codestream(const std::vector<std::uint8_t>& bytes,
           throw CodestreamError("implausible COD parameters");
         }
         saw_cod = true;
+        break;
+      }
+      case kCap: {
+        hdr.cap_present = true;
+        hdr.pcap = r.u32();
+        hdr.scap15 = r.u16();
+        if (hdr.pcap & kPcapPart15) {
+          if (!opt.accept_ht) {
+            throw CodestreamError(
+                "HT (Part 15) codestream, but HT support is disabled");
+          }
+          hdr.params.block_coder = BlockCoder::kHt;
+        }
         break;
       }
       default:

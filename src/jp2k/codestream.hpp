@@ -47,7 +47,20 @@ struct CodingParams {
   /// travels as the SIZ nominal tile size.  1x1 keeps the single-tile path.
   std::size_t tiles_x = 1;
   std::size_t tiles_y = 1;
+  /// Block coder backend.  Not carried in COD: HT streams announce
+  /// themselves with a CAP (capabilities, Part 15) marker after SIZ, so
+  /// EBCOT codestreams are byte-identical to pre-HT ones.
+  BlockCoder block_coder = BlockCoder::kEbcot;
 };
+
+/// True when the encoder must run PCRD rate control (convex-hull pruning +
+/// the λ scan).  HT blocks have no truncation points, so any rate target is
+/// folded into the quantizer instead (jp2k/ht_block.hpp) and the whole
+/// lossy tail disappears — the serial-residue win of the HT backend.
+inline bool uses_pcrd_rate_control(const CodingParams& p) {
+  return (p.rate > 0.0 || p.layers > 1) &&
+         p.block_coder == BlockCoder::kEbcot;
+}
 
 /// Parsed main header.
 struct StreamHeader {
@@ -59,6 +72,12 @@ struct StreamHeader {
   std::size_t tile_w = 0;
   std::size_t tile_h = 0;
   CodingParams params;
+  /// CAP marker contents, when present (HT streams only).  Pcap bit 17
+  /// (0x00020000) announces Part-15 capabilities; Scap15 is the Ccap15
+  /// style word.
+  bool cap_present = false;
+  std::uint32_t pcap = 0;
+  std::uint16_t scap15 = 0;
   /// Per component, per subband (layout order): band_numbps and step.
   struct BandMeta {
     std::uint8_t orient;
@@ -84,12 +103,21 @@ struct TilePart {
 std::vector<std::uint8_t> write_codestream(const StreamHeader& hdr,
                                            const std::vector<TilePart>& tiles);
 
+/// Parser knobs.
+struct ParseOptions {
+  /// Accept HT (Part 15) codestreams.  When false, a CAP marker announcing
+  /// HT capabilities throws CodestreamError — a decoder built without the
+  /// HT backend must reject rather than mis-decode.
+  bool accept_ht = true;
+};
+
 /// Parses the main header and every tile-part; `tiles` comes back indexed
 /// by Isot with each part's band metadata and packet bounds.  Throws
 /// CodestreamError on malformed input (bad marker, out-of-range or
 /// duplicate Isot, unsupported TPsot/TNsot, Psot overruns, missing tiles).
 StreamHeader parse_codestream(const std::vector<std::uint8_t>& bytes,
-                              std::vector<TilePart>& tiles);
+                              std::vector<TilePart>& tiles,
+                              const ParseOptions& opt = {});
 
 /// Exact framing bytes write_codestream adds around one tile-part's packet
 /// body (SOT marker + segment, QCD, SOD) for a tile with `components`

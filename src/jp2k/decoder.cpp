@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "jp2k/codestream.hpp"
 #include "jp2k/dwt2d.hpp"
+#include "jp2k/ht_block.hpp"
 #include "jp2k/mct.hpp"
 #include "jp2k/quant.hpp"
 #include "jp2k/t1_decoder.hpp"
@@ -50,6 +51,20 @@ Tile make_skeleton(const StreamHeader& hdr, const TilePart& part,
   return tile;
 }
 
+/// Tier-1 dispatch: one code block through whichever block coder the
+/// stream was produced with.
+void decode_block(const StreamHeader& hdr, const Subband& sb,
+                  const CodeBlock& cb, Span2d<Sample> dst) {
+  if (hdr.params.block_coder == BlockCoder::kHt) {
+    ht_decode_block(cb.enc.data.data(), cb.enc.data.size(),
+                    cb.enc.num_bitplanes, dst);
+  } else {
+    t1_decode_block(cb.enc.data.data(), cb.enc.data.size(),
+                    cb.enc.num_bitplanes, cb.included_passes, sb.info.orient,
+                    dst, hdr.params.t1);
+  }
+}
+
 /// Decodes one tile-part into a tile-sized image (all paths are tile-local
 /// — inverse DWT, dequantization, and MCT never cross tile boundaries).
 Image decode_tile(const StreamHeader& hdr, const TilePart& part,
@@ -79,9 +94,7 @@ Image decode_tile(const StreamHeader& hdr, const TilePart& part,
         for (auto& cb : sb.blocks) {
           auto dst = view.subview(sb.info.x0 + cb.x0, sb.info.y0 + cb.y0,
                                   cb.w, cb.h);
-          t1_decode_block(cb.enc.data.data(), cb.enc.data.size(),
-                          cb.enc.num_bitplanes, cb.included_passes,
-                          sb.info.orient, dst, hdr.params.t1);
+          decode_block(hdr, sb, cb, dst);
         }
       }
       inverse53(view, hdr.params.levels);
@@ -107,9 +120,7 @@ Image decode_tile(const StreamHeader& hdr, const TilePart& part,
         for (auto& cb : sb.blocks) {
           auto dst = qview.subview(sb.info.x0 + cb.x0, sb.info.y0 + cb.y0,
                                    cb.w, cb.h);
-          t1_decode_block(cb.enc.data.data(), cb.enc.data.size(),
-                          cb.enc.num_bitplanes, cb.included_passes,
-                          sb.info.orient, dst, hdr.params.t1);
+          decode_block(hdr, sb, cb, dst);
         }
         for (std::size_t y = 0; y < sb.info.h; ++y) {
           dequantize_fixed_row(qplane.row(sb.info.y0 + y) + sb.info.x0,
@@ -160,9 +171,7 @@ Image decode_tile(const StreamHeader& hdr, const TilePart& part,
         for (auto& cb : sb.blocks) {
           auto dst = qview.subview(sb.info.x0 + cb.x0, sb.info.y0 + cb.y0,
                                    cb.w, cb.h);
-          t1_decode_block(cb.enc.data.data(), cb.enc.data.size(),
-                          cb.enc.num_bitplanes, cb.included_passes,
-                          sb.info.orient, dst, hdr.params.t1);
+          decode_block(hdr, sb, cb, dst);
         }
         dequantize(
             qview.subview(sb.info.x0, sb.info.y0, sb.info.w, sb.info.h),
@@ -212,9 +221,13 @@ Image decode_tile(const StreamHeader& hdr, const TilePart& part,
 
 }  // namespace
 
-Image decode(const std::vector<std::uint8_t>& bytes, int max_layers) {
+Image decode(const std::vector<std::uint8_t>& bytes,
+             const DecodeOptions& opt) {
+  const int max_layers = opt.max_layers;
   std::vector<TilePart> parts;
-  const StreamHeader hdr = parse_codestream(bytes, parts);
+  ParseOptions popt;
+  popt.accept_ht = opt.accept_ht;
+  const StreamHeader hdr = parse_codestream(bytes, parts, popt);
 
   if (max_layers > 0 && hdr.params.progression != Progression::kLRCP) {
     throw InvalidArgument(
@@ -238,6 +251,12 @@ Image decode(const std::vector<std::uint8_t>& bytes, int max_layers) {
     blit_tile(timg, rect, img);
   }
   return img;
+}
+
+Image decode(const std::vector<std::uint8_t>& bytes, int max_layers) {
+  DecodeOptions opt;
+  opt.max_layers = max_layers;
+  return decode(bytes, opt);
 }
 
 }  // namespace cj2k::jp2k

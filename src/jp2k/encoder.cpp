@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "jp2k/dwt2d.hpp"
+#include "jp2k/ht_block.hpp"
 #include "jp2k/mct.hpp"
 #include "jp2k/quant.hpp"
 #include "jp2k/t1_encoder.hpp"
@@ -33,6 +34,18 @@ void validate(const Image& img, const CodingParams& p) {
   }
   if (p.tiles_x < 1 || p.tiles_x > 256 || p.tiles_y < 1 || p.tiles_y > 256) {
     throw InvalidArgument("tile grid out of range");
+  }
+  if (p.block_coder == BlockCoder::kHt) {
+    // HT codewords have no truncation points: quality layers cannot be
+    // carved out of them, and a rate target on the reversible path (where
+    // EBCOT truncates passes) has nothing to act on.
+    if (p.layers > 1) {
+      throw InvalidArgument("HT block coder does not support quality layers");
+    }
+    if (p.rate > 0.0 && p.wavelet == WaveletKind::kReversible53) {
+      throw InvalidArgument(
+          "HT rate targeting requires the lossy 9/7 path (quantizer-based)");
+    }
   }
 }
 
@@ -78,15 +91,17 @@ TileComponent make_component_skeleton(std::size_t w, std::size_t h,
   return tc;
 }
 
-/// Runs Tier-1 over every block of a subband whose coefficients sit in
-/// `coeff_plane` at the band's offsets.
+/// Runs the selected block coder over every block of a subband whose
+/// coefficients sit in `coeff_plane` at the band's offsets.
 void t1_over_band(Subband& sb, Span2d<const Sample> coeff_plane,
-                  const T1Options& t1opt, EncodeStats* stats) {
+                  const CodingParams& params, EncodeStats* stats) {
   int band_numbps = 0;
   for (auto& cb : sb.blocks) {
     const auto view = coeff_plane.subview(sb.info.x0 + cb.x0,
                                           sb.info.y0 + cb.y0, cb.w, cb.h);
-    cb.enc = t1_encode_block(view, sb.info.orient, t1opt);
+    cb.enc = params.block_coder == BlockCoder::kHt
+                 ? ht_encode_block(view)
+                 : t1_encode_block(view, sb.info.orient, params.t1);
     cb.include_all();
     band_numbps = std::max(band_numbps, cb.enc.num_bitplanes);
     if (stats) {
@@ -161,7 +176,7 @@ Tile build_tile(const Image& img, const CodingParams& params,
       TileComponent tc = make_component_skeleton(w, h, params);
       for (auto& sb : tc.subbands) {
         sb.quant_step = 1.0;
-        t1_over_band(sb, work[c].view(), params.t1, stats);
+        t1_over_band(sb, work[c].view(), params, stats);
       }
       tile.components.push_back(std::move(tc));
     }
@@ -201,7 +216,7 @@ Tile build_tile(const Image& img, const CodingParams& params,
       TileComponent tc = make_component_skeleton(w, h, params);
       stage.reset();
       for (auto& sb : tc.subbands) {
-        sb.quant_step = quant_step_for_band(params.base_quant_step,
+        sb.quant_step = quant_step_for_band(effective_base_quant_step(params),
                                             params.wavelet, sb.info.level,
                                             sb.info.orient, params.levels);
         for (std::size_t y = 0; y < sb.info.h; ++y) {
@@ -214,7 +229,7 @@ Tile build_tile(const Image& img, const CodingParams& params,
 
       stage.reset();
       for (auto& sb : tc.subbands) {
-        t1_over_band(sb, qplane.view(), params.t1, stats);
+        t1_over_band(sb, qplane.view(), params, stats);
       }
       if (stats) stats->t1_seconds += stage.seconds();
       tile.components.push_back(std::move(tc));
@@ -267,7 +282,7 @@ Tile build_tile(const Image& img, const CodingParams& params,
       Span2d<float> fview(fplanes[c].data(), w, h, stride);
       stage.reset();
       for (auto& sb : tc.subbands) {
-        sb.quant_step = quant_step_for_band(params.base_quant_step,
+        sb.quant_step = quant_step_for_band(effective_base_quant_step(params),
                                             params.wavelet, sb.info.level,
                                             sb.info.orient, params.levels);
         quantize(fview.subview(sb.info.x0, sb.info.y0, sb.info.w, sb.info.h),
@@ -279,7 +294,7 @@ Tile build_tile(const Image& img, const CodingParams& params,
 
       stage.reset();
       for (auto& sb : tc.subbands) {
-        t1_over_band(sb, qplane.view(), params.t1, stats);
+        t1_over_band(sb, qplane.view(), params, stats);
       }
       if (stats) stats->t1_seconds += stage.seconds();
       tile.components.push_back(std::move(tc));
@@ -421,7 +436,7 @@ std::vector<std::uint8_t> finish_tile(Tile& tile, const Image& img,
   Timer stage;
 
   // Rate control / layer allocation.
-  if (params.layers > 1 || params.rate > 0.0) {
+  if (uses_pcrd_rate_control(params)) {
     RateControlStats hull_stats;
     const auto segments =
         build_sorted_segments(tile, params.wavelet, hull_stats);
@@ -457,7 +472,7 @@ std::vector<std::uint8_t> finish_tiles(std::vector<Tile>& tiles,
   ptrs.reserve(tiles.size());
   for (auto& t : tiles) ptrs.push_back(&t);
 
-  if (params.layers > 1 || params.rate > 0.0) {
+  if (uses_pcrd_rate_control(params)) {
     // Per-tile slope-sorted hull lists (distinct ordinal bases keep the
     // tie-break a strict total order across tiles), k-way merged into the
     // global slope order a single λ is scanned over.

@@ -14,6 +14,12 @@ namespace cj2k::jp2k {
 /// second letter = vertical filter (HL = horizontally high-pass).
 enum class SubbandOrient : std::uint8_t { LL = 0, HL = 1, LH = 2, HH = 3 };
 
+/// Which block coder produces the Tier-1 codewords: the Part-1 EBCOT coder
+/// (three passes per bit plane, MQ-coded, truncatable) or the Part-15 HT
+/// cleanup-pass coder (single pass, MagSgn/MEL/VLC, no truncation points —
+/// see jp2k/ht_block.hpp).
+enum class BlockCoder : std::uint8_t { kEbcot = 0, kHt = 1 };
+
 /// Context numbering used throughout Tier-1 (the conventional software
 /// layout): zero coding 0..8, sign coding 9..13, magnitude refinement
 /// 14..16, run-length 17, uniform 18.

@@ -28,6 +28,7 @@ struct GoldenCase {
   bool lossy;
   std::size_t tiles;      ///< Grid is tiles × tiles.
   const char* digest;     ///< SHA-256 of the reference codestream.
+  jp2k::BlockCoder coder = jp2k::BlockCoder::kEbcot;
 };
 
 // The fixed golden workload: one 96×80 RGB synthetic photograph.
@@ -38,11 +39,14 @@ jp2k::CodingParams golden_params(const GoldenCase& gc) {
   p.levels = 3;
   p.tiles_x = gc.tiles;
   p.tiles_y = gc.tiles;
+  p.block_coder = gc.coder;
   if (gc.lossy) {
     p.wavelet = jp2k::WaveletKind::kIrreversible97;
     p.rate = 0.25;
-    p.layers = 2;
-    p.progression = jp2k::Progression::kRLCP;
+    if (gc.coder == jp2k::BlockCoder::kEbcot) {
+      p.layers = 2;  // HT is single-layer: no truncation points
+      p.progression = jp2k::Progression::kRLCP;
+    }
   }
   return p;
 }
@@ -56,6 +60,18 @@ const GoldenCase kCases[] = {
      "c0fccdefd2b5ad4313fb9d90a8c436c5006be7487a68c89e604f84aaccb96d0f"},
     {"lossy_2x2", true, 2,
      "3afa0ac18278f515685a6ec88c0862c2d2f21acb2d14d5df590982cd81ebca3b"},
+    {"ht_lossless_1x1", false, 1,
+     "37c43ee361de81e5ed7488d7e0d1312d9c129dc76408ccd2cbb4574271a19c9a",
+     jp2k::BlockCoder::kHt},
+    {"ht_lossless_2x2", false, 2,
+     "a4859183fd0c269004fd9f6413bcc22a47c704861b4056e3d8fd631f0793bd5a",
+     jp2k::BlockCoder::kHt},
+    {"ht_lossy_1x1", true, 1,
+     "d296b35c301ff4eac14ad307bdb810175550c00b49ffa4388ff7eb492ebd0553",
+     jp2k::BlockCoder::kHt},
+    {"ht_lossy_2x2", true, 2,
+     "6d061b693e3b325452adf7885846804e27715fd31ba4c97faacef3d109971f8b",
+     jp2k::BlockCoder::kHt},
 };
 
 class Golden : public ::testing::TestWithParam<GoldenCase> {};

@@ -1,0 +1,191 @@
+// HT (Part 15) block-coder tests: block-level roundtrips over random and
+// adversarial content, the HT<->EBCOT lossless cross-check (same pixels
+// from either backend), CAP-marker signaling, the HT-disabled decoder
+// rejection, and the coder's validate() rules.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/span2d.hpp"
+#include "image/synth.hpp"
+#include "jp2k/codestream.hpp"
+#include "jp2k/decoder.hpp"
+#include "jp2k/encoder.hpp"
+#include "jp2k/ht_block.hpp"
+
+namespace cj2k::jp2k {
+namespace {
+
+/// Encode -> decode one block and require bit-exact coefficients.
+void roundtrip(const std::vector<Sample>& coeffs, std::size_t w,
+               std::size_t h) {
+  ASSERT_EQ(coeffs.size(), w * h);
+  const Span2d<const Sample> in(coeffs.data(), w, h, w);
+  const T1EncodedBlock enc = ht_encode_block(in);
+  EXPECT_EQ(enc.total_symbols, static_cast<std::uint64_t>(w * h));
+
+  std::vector<Sample> back(w * h, Sample{-12345});
+  Span2d<Sample> out(back.data(), w, h, w);
+  ht_decode_block(enc.data.data(), enc.data.size(), enc.num_bitplanes, out);
+  EXPECT_EQ(back, coeffs) << w << "x" << h;
+}
+
+TEST(HtBlock, RoundTripsRandomBlocksAcrossShapesAndMagnitudes) {
+  std::mt19937 rng(42);
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {1, 1}, {1, 7}, {5, 1}, {2, 2}, {3, 5}, {17, 13}, {33, 31}, {64, 64}};
+  for (const auto& [w, h] : shapes) {
+    for (int bits : {1, 4, 12}) {
+      std::uniform_int_distribution<Sample> mag(-(1 << bits), 1 << bits);
+      std::vector<Sample> coeffs(w * h);
+      for (auto& c : coeffs) c = mag(rng);
+      roundtrip(coeffs, w, h);
+    }
+  }
+}
+
+TEST(HtBlock, RoundTripsSparseBlocks) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<std::size_t> pos(0, 31 * 29 - 1);
+  std::vector<Sample> coeffs(31 * 29, 0);
+  for (int i = 0; i < 8; ++i) coeffs[pos(rng)] = (i % 2) ? 30000 : -30000;
+  roundtrip(coeffs, 31, 29);
+}
+
+TEST(HtBlock, AllZeroBlockEncodesEmptyAndDecodesToZero) {
+  const std::vector<Sample> coeffs(16 * 16, 0);
+  const Span2d<const Sample> in(coeffs.data(), 16, 16, 16);
+  const T1EncodedBlock enc = ht_encode_block(in);
+  EXPECT_TRUE(enc.data.empty());
+  EXPECT_EQ(enc.num_bitplanes, 0);
+
+  std::vector<Sample> back(16 * 16, Sample{99});
+  Span2d<Sample> out(back.data(), 16, 16, 16);
+  ht_decode_block(enc.data.data(), enc.data.size(), 0, out);
+  EXPECT_EQ(back, coeffs);
+}
+
+TEST(HtBlock, DecoderRejectsTruncatedOrCorruptSegments) {
+  std::vector<Sample> coeffs(8 * 8);
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    coeffs[i] = static_cast<Sample>((i * 37) % 255) - 127;
+  }
+  const Span2d<const Sample> in(coeffs.data(), 8, 8, 8);
+  const T1EncodedBlock enc = ht_encode_block(in);
+  ASSERT_GE(enc.data.size(), 5u);
+
+  std::vector<Sample> back(8 * 8);
+  Span2d<Sample> out(back.data(), 8, 8, 8);
+  // Shorter than the 4-byte Scup trailer.
+  EXPECT_THROW(ht_decode_block(enc.data.data(), 3, 0, out), CodestreamError);
+  // Scup trailer claiming more bytes than the segment holds.
+  std::vector<std::uint8_t> bad(enc.data);
+  bad[bad.size() - 1] = 0xff;
+  bad[bad.size() - 2] = 0xff;
+  EXPECT_THROW(ht_decode_block(bad.data(), bad.size(), 0, out),
+               CodestreamError);
+}
+
+TEST(HtCodec, LosslessDecodesPixelIdenticalToEbcot) {
+  const Image img = synth::photographic(96, 80, 3, 2024);
+  CodingParams pe;
+  pe.levels = 3;
+  CodingParams ph = pe;
+  ph.block_coder = BlockCoder::kHt;
+
+  const auto eb = encode(img, pe);
+  const auto ht = encode(img, ph);
+  const Image de = decode(eb);
+  const Image dh = decode(ht);
+  ASSERT_EQ(de.components(), dh.components());
+  for (std::size_t c = 0; c < de.components(); ++c) {
+    for (std::size_t y = 0; y < de.height(); ++y) {
+      for (std::size_t x = 0; x < de.width(); ++x) {
+        ASSERT_EQ(de.plane(c).at(y, x), dh.plane(c).at(y, x))
+            << "c=" << c << " y=" << y << " x=" << x;
+        ASSERT_EQ(dh.plane(c).at(y, x), img.plane(c).at(y, x));
+      }
+    }
+  }
+}
+
+TEST(HtCodec, CapMarkerSignalsPart15) {
+  const Image img = synth::photographic(64, 48, 3, 5);
+  CodingParams ph;
+  ph.levels = 3;
+  ph.block_coder = BlockCoder::kHt;
+  const auto ht = encode(img, ph);
+
+  std::vector<TilePart> parts;
+  const auto hdr = parse_codestream(ht, parts);
+  EXPECT_TRUE(hdr.cap_present);
+  EXPECT_EQ(hdr.pcap & 0x00020000u, 0x00020000u);  // Part 15 bit
+  EXPECT_EQ(hdr.params.block_coder, BlockCoder::kHt);
+
+  CodingParams pe;
+  pe.levels = 3;
+  const auto eb = encode(img, pe);
+  std::vector<TilePart> eparts;
+  const auto ehdr = parse_codestream(eb, eparts);
+  EXPECT_FALSE(ehdr.cap_present);
+  EXPECT_EQ(ehdr.params.block_coder, BlockCoder::kEbcot);
+}
+
+TEST(HtCodec, DecoderRejectsHtStreamWhenHtDisabled) {
+  const Image img = synth::photographic(64, 48, 3, 6);
+  CodingParams ph;
+  ph.levels = 3;
+  ph.block_coder = BlockCoder::kHt;
+  const auto ht = encode(img, ph);
+
+  DecodeOptions no_ht;
+  no_ht.accept_ht = false;
+  EXPECT_THROW(decode(ht, no_ht), CodestreamError);
+
+  // The same options still accept plain EBCOT streams...
+  CodingParams pe;
+  pe.levels = 3;
+  EXPECT_NO_THROW(decode(encode(img, pe), no_ht));
+  // ...and the default options accept the HT stream.
+  EXPECT_NO_THROW(decode(ht));
+}
+
+TEST(HtCodec, ValidateRejectsLayersAndReversibleRate) {
+  const Image img = synth::photographic(32, 32, 3, 8);
+  CodingParams p;
+  p.block_coder = BlockCoder::kHt;
+  p.layers = 2;
+  EXPECT_THROW(encode(img, p), InvalidArgument);
+
+  CodingParams q;
+  q.block_coder = BlockCoder::kHt;
+  q.rate = 0.2;  // rate on the reversible 5/3 path has no quantizer to use
+  EXPECT_THROW(encode(img, q), InvalidArgument);
+}
+
+TEST(HtCodec, QuantizerRateTargetingTracksTheRequestedRate) {
+  const Image img = synth::photographic(256, 256, 3, 9);
+  CodingParams p;
+  p.block_coder = BlockCoder::kHt;
+  p.wavelet = WaveletKind::kIrreversible97;
+  const double raw = static_cast<double>(img.raw_bytes());
+
+  double prev_size = raw * 2;
+  for (double rate : {0.5, 0.25, 0.1}) {
+    p.rate = rate;
+    const auto bytes = encode(img, p);
+    const double achieved = static_cast<double>(bytes.size()) / raw;
+    // Monotone in the target and within a loose factor of it (the mapping
+    // is an approximate calibration, not a closed loop; DESIGN.md §9).
+    EXPECT_LT(static_cast<double>(bytes.size()), prev_size) << rate;
+    EXPECT_LT(achieved, rate * 2.0) << rate;
+    EXPECT_GT(achieved, rate * 0.3) << rate;
+    prev_size = static_cast<double>(bytes.size());
+  }
+}
+
+}  // namespace
+}  // namespace cj2k::jp2k

@@ -322,6 +322,14 @@ TEST(ParallelRate, RandomizedDifferentialOverRandomGeometries) {
                  : 0.08 + 0.05 * static_cast<double>(rng.next_below(6));
     p.tiles_x = 1 + rng.next_below(2);
     p.tiles_y = 1 + rng.next_below(2);
+    // Block-coder axis: roughly a third of the trials run the HT backend.
+    // HT streams are single-layer and rate-target via the quantizer, so
+    // force a valid combination while keeping the other axes random.
+    if (rng.next_below(3) == 0) {
+      p.block_coder = jp2k::BlockCoder::kHt;
+      p.layers = 1;
+      if (p.rate == 0.0) p.rate = 0.1;
+    }
     // Dirty geometries: odd, non-line-multiple widths and heights.
     const std::size_t w = 48 + rng.next_below(83);
     const std::size_t h = 40 + rng.next_below(67);
@@ -340,7 +348,8 @@ TEST(ParallelRate, RandomizedDifferentialOverRandomGeometries) {
           << "trial=" << trial << " " << w << "x" << h << " spes=" << spes
           << " ppes=" << ppes << " layers=" << p.layers
           << " rate=" << p.rate << " tiles=" << p.tiles_x << "x" << p.tiles_y
-          << " overlap=" << overlap;
+          << " overlap=" << overlap << " coder="
+          << (p.block_coder == jp2k::BlockCoder::kHt ? "ht" : "ebcot");
     }
   }
 }

@@ -12,6 +12,8 @@
 //   --levels N          decomposition levels (default 5)
 //   --cb N              code block size (default 64)
 //   --tiles CxR         split the image into a CxR tile grid (default 1x1)
+//   --block-coder B     block coder: ebcot (default) or ht (Part 15 cleanup
+//                       pass; single layer, rate targeting via quantizer)
 //   --no-mct            disable RCT/ICT
 //   --fixed-point       Q13 fixed-point 9/7 (Jasper's original arithmetic)
 //   --reset-ctx         RESET contexts each coding pass
@@ -38,7 +40,9 @@ int usage() {
                "usage: cj2k encode <in.bmp|in.ppm> <out.cj2k> [--lossy] "
                "[--rate R] [--layers N]\n"
                "                   [--levels N] [--cb N] [--tiles CxR] "
-               "[--no-mct] [--fixed-point] [--reset-ctx] [--vsc]\n"
+               "[--block-coder ebcot|ht]\n"
+               "                   [--no-mct] [--fixed-point] [--reset-ctx] "
+               "[--vsc]\n"
                "       cj2k decode <in.cj2k> <out.bmp|out.ppm> [--layers N]\n"
                "       cj2k info   <in.cj2k>\n"
                "       cj2k bench  <in.bmp|in.ppm> [--spes N] [--ppes N] "
@@ -95,6 +99,25 @@ bool opt_flag(const std::vector<std::string>& args, const char* name) {
   return false;
 }
 
+/// Parses --block-coder ebcot|ht into params; leaves the EBCOT default
+/// when the flag is absent.
+void opt_block_coder(const std::vector<std::string>& args,
+                     jp2k::CodingParams& p) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] != "--block-coder") continue;
+    const std::string& v = args[i + 1];
+    if (v == "ebcot") {
+      p.block_coder = jp2k::BlockCoder::kEbcot;
+    } else if (v == "ht") {
+      p.block_coder = jp2k::BlockCoder::kHt;
+    } else {
+      throw InvalidArgument("--block-coder expects 'ebcot' or 'ht', got '" +
+                            v + "'");
+    }
+    return;
+  }
+}
+
 /// Parses --tiles CxR (e.g. "2x2") into params; leaves the 1x1 default
 /// when the flag is absent.
 void opt_tiles(const std::vector<std::string>& args, jp2k::CodingParams& p) {
@@ -129,6 +152,7 @@ int cmd_encode(const std::string& in, const std::string& out,
   p.fixed_point_97 = opt_flag(args, "--fixed-point");
   p.t1.reset_contexts = opt_flag(args, "--reset-ctx");
   p.t1.vertically_causal = opt_flag(args, "--vsc");
+  opt_block_coder(args, p);
   opt_tiles(args, p);
 
   jp2k::EncodeStats stats;
@@ -183,6 +207,13 @@ int cmd_info(const std::string& in) {
               hdr.params.t1.reset_contexts ? ", RESET" : "",
               hdr.params.t1.vertically_causal ? ", VSC" : "",
               hdr.params.rate > 0 ? ", rate-controlled" : "");
+  if (hdr.params.block_coder == jp2k::BlockCoder::kHt) {
+    std::printf("block coder: HT (Part 15), CAP Pcap=0x%08x Ccap15=0x%04x\n",
+                hdr.pcap, hdr.scap15);
+  } else {
+    std::printf("block coder: EBCOT%s\n",
+                hdr.cap_present ? " (CAP marker present)" : "");
+  }
   for (std::size_t i = 0; i < parts.size(); ++i) {
     std::printf("tile %zu: %zu packet bytes, %zu component(s)\n", i,
                 parts[i].packet_size, parts[i].band_meta.size());
