@@ -79,9 +79,10 @@ inline void emit_json(const char* bench, const std::string& label,
               "\"sim_seconds\":%.9g",
               bench, label.c_str(), sim_seconds);
   if (res != nullptr) {
-    std::printf(",\"dma_bytes\":%llu,\"overlap_saved\":%.9g,\"stages\":{",
+    std::printf(",\"dma_bytes\":%llu,\"overlap_saved\":%.9g,"
+                "\"dma_overlap_saved\":%.9g,\"stages\":{",
                 static_cast<unsigned long long>(res->dma_bytes),
-                res->overlap_saved_seconds);
+                res->overlap_saved_seconds, res->dma_overlap_saved_seconds);
     bool first = true;
     for (const auto& s : res->stages) {
       std::printf("%s\"%s\":%.9g", first ? "" : ",", s.name.c_str(),
@@ -92,11 +93,13 @@ inline void emit_json(const char* bench, const std::string& label,
     if (res->audit.enabled) {
       std::printf(",\"audit\":{\"dma_transfers\":%llu,"
                   "\"dma_inefficient\":%llu,\"ls_peak\":%llu,"
-                  "\"ls_over_budget\":%llu,\"clean\":%s}",
+                  "\"ls_over_budget\":%llu,\"tag_hazards\":%llu,"
+                  "\"clean\":%s}",
                   static_cast<unsigned long long>(res->audit.dma_transfers),
                   static_cast<unsigned long long>(res->audit.dma_inefficient),
                   static_cast<unsigned long long>(res->audit.ls_peak),
                   static_cast<unsigned long long>(res->audit.ls_over_budget),
+                  static_cast<unsigned long long>(res->audit.tag_hazards()),
                   res->audit.clean() ? "true" : "false");
     }
   }

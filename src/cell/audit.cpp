@@ -79,6 +79,34 @@ void InvariantAudit::record_ls(std::size_t used_now,
   }
 }
 
+void InvariantAudit::record_tag_hazard(TagHazard kind,
+                                       const std::string& detail) {
+  const std::string site = qualified_site(AuditSiteScope::current());
+  const char* label = "tag hazard";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SiteAccum& a = sites_[site];
+    switch (kind) {
+      case TagHazard::kTouchBeforeWait:
+        ++a.tag_touch_before_wait;
+        label = "touch-before-wait";
+        break;
+      case TagHazard::kReuseInFlight:
+        ++a.tag_reuse_in_flight;
+        label = "reuse-in-flight";
+        break;
+      case TagHazard::kPendingAtExit:
+        ++a.tag_pending_at_exit;
+        label = "pending-at-exit";
+        break;
+    }
+  }
+  if (cfg_.strict) {
+    throw AuditError("DMA tag hazard (" + std::string(label) + ") at site '" +
+                     site + "': " + detail);
+  }
+}
+
 AuditReport InvariantAudit::report() const {
   AuditReport r;
   r.enabled = cfg_.enabled;
@@ -93,12 +121,18 @@ AuditReport InvariantAudit::report() const {
     s.dma_inefficient_bytes = a.dma_inefficient_bytes;
     s.ls_peak = a.ls_peak;
     s.ls_over_budget = a.ls_over_budget;
+    s.tag_touch_before_wait = a.tag_touch_before_wait;
+    s.tag_reuse_in_flight = a.tag_reuse_in_flight;
+    s.tag_pending_at_exit = a.tag_pending_at_exit;
     r.dma_transfers += s.dma_transfers;
     r.dma_bytes += s.dma_bytes;
     r.dma_inefficient += s.dma_inefficient;
     r.dma_inefficient_bytes += s.dma_inefficient_bytes;
     if (s.ls_peak > r.ls_peak) r.ls_peak = s.ls_peak;
     r.ls_over_budget += s.ls_over_budget;
+    r.tag_touch_before_wait += s.tag_touch_before_wait;
+    r.tag_reuse_in_flight += s.tag_reuse_in_flight;
+    r.tag_pending_at_exit += s.tag_pending_at_exit;
     r.sites.push_back(std::move(s));
   }
   return r;
@@ -107,27 +141,31 @@ AuditReport InvariantAudit::report() const {
 std::string AuditReport::summary() const {
   std::string out;
   char line[256];
-  std::snprintf(line, sizeof(line), "%-22s %10s %12s %8s %10s %6s\n", "site",
-                "transfers", "bytes", "ineff", "ls_peak", "over");
+  std::snprintf(line, sizeof(line), "%-22s %10s %12s %8s %10s %6s %7s\n",
+                "site", "transfers", "bytes", "ineff", "ls_peak", "over",
+                "hazard");
   out += line;
   for (const auto& s : sites) {
     std::snprintf(line, sizeof(line),
-                  "%-22s %10llu %12llu %8llu %10llu %6llu\n", s.site.c_str(),
+                  "%-22s %10llu %12llu %8llu %10llu %6llu %7llu\n",
+                  s.site.c_str(),
                   static_cast<unsigned long long>(s.dma_transfers),
                   static_cast<unsigned long long>(s.dma_bytes),
                   static_cast<unsigned long long>(s.dma_inefficient),
                   static_cast<unsigned long long>(s.ls_peak),
-                  static_cast<unsigned long long>(s.ls_over_budget));
+                  static_cast<unsigned long long>(s.ls_over_budget),
+                  static_cast<unsigned long long>(s.tag_hazards()));
     out += line;
   }
   std::snprintf(line, sizeof(line),
                 "total: %llu transfers, %llu bytes, %llu inefficient, "
-                "ls peak %llu, %llu over budget — %s\n",
+                "ls peak %llu, %llu over budget, %llu tag hazards — %s\n",
                 static_cast<unsigned long long>(dma_transfers),
                 static_cast<unsigned long long>(dma_bytes),
                 static_cast<unsigned long long>(dma_inefficient),
                 static_cast<unsigned long long>(ls_peak),
                 static_cast<unsigned long long>(ls_over_budget),
+                static_cast<unsigned long long>(tag_hazards()),
                 clean() ? "CLEAN" : "VIOLATIONS");
   out += line;
   return out;

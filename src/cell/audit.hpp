@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "cell/dma.hpp"
+
 namespace cj2k::cell {
 
 struct AuditConfig {
@@ -38,6 +40,14 @@ struct AuditSiteReport {
   std::uint64_t dma_inefficient_bytes = 0;
   std::uint64_t ls_peak = 0;                ///< High-water LS bytes.
   std::uint64_t ls_over_budget = 0;         ///< Allocations past the budget.
+  // Tag-discipline hazards (DmaEngine async transfers; DESIGN.md §10).
+  std::uint64_t tag_touch_before_wait = 0;
+  std::uint64_t tag_reuse_in_flight = 0;
+  std::uint64_t tag_pending_at_exit = 0;
+
+  std::uint64_t tag_hazards() const {
+    return tag_touch_before_wait + tag_reuse_in_flight + tag_pending_at_exit;
+  }
 };
 
 struct AuditReport {
@@ -49,10 +59,20 @@ struct AuditReport {
   std::uint64_t ls_peak = 0;       ///< Max over all sites.
   std::uint64_t ls_budget = 0;     ///< The budget the run was held to.
   std::uint64_t ls_over_budget = 0;
+  std::uint64_t tag_touch_before_wait = 0;
+  std::uint64_t tag_reuse_in_flight = 0;
+  std::uint64_t tag_pending_at_exit = 0;
   std::vector<AuditSiteReport> sites;  ///< Sorted by site name.
 
-  /// True when the run upheld both invariants.
-  bool clean() const { return dma_inefficient == 0 && ls_over_budget == 0; }
+  std::uint64_t tag_hazards() const {
+    return tag_touch_before_wait + tag_reuse_in_flight + tag_pending_at_exit;
+  }
+
+  /// True when the run upheld all three invariants: efficient DMA, bounded
+  /// Local Store, and clean tag discipline.
+  bool clean() const {
+    return dma_inefficient == 0 && ls_over_budget == 0 && tag_hazards() == 0;
+  }
 
   /// Human-readable multi-line table (one row per site).
   std::string summary() const;
@@ -107,6 +127,11 @@ class InvariantAudit {
   /// usage level.  Throws AuditError in strict mode when over budget.
   void record_ls(std::size_t used_now, std::size_t data_capacity);
 
+  /// DmaEngine calls this on every tag-discipline hazard (touch before
+  /// wait, in-flight reuse, pending tags at kernel exit).  Throws
+  /// AuditError in strict mode.
+  void record_tag_hazard(TagHazard kind, const std::string& detail);
+
   const AuditConfig& config() const { return cfg_; }
 
   AuditReport report() const;
@@ -119,6 +144,9 @@ class InvariantAudit {
     std::uint64_t dma_inefficient_bytes = 0;
     std::uint64_t ls_peak = 0;
     std::uint64_t ls_over_budget = 0;
+    std::uint64_t tag_touch_before_wait = 0;
+    std::uint64_t tag_reuse_in_flight = 0;
+    std::uint64_t tag_pending_at_exit = 0;
   };
 
   AuditConfig cfg_;

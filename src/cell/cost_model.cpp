@@ -85,4 +85,13 @@ double CostModel::spe_dma_seconds(const OpCounters& c) const {
   return static_cast<double>(effective_dma_bytes(c)) / p_.spe_max_bw;
 }
 
+double CostModel::spe_dma_async_seconds(const OpCounters& c) const {
+  const std::uint64_t bytes = c.dma_bytes();
+  if (bytes == 0 || c.dma_bytes_tagged == 0) return 0.0;
+  const double frac = std::min(
+      1.0, static_cast<double>(c.dma_bytes_tagged) /
+               static_cast<double>(bytes));
+  return spe_dma_seconds(c) * frac;
+}
+
 }  // namespace cj2k::cell

@@ -136,6 +136,13 @@ class CostModel {
   /// (contention is applied at machine level).
   double spe_dma_seconds(const OpCounters& c) const;
 
+  /// The asynchronous (tag-grouped) share of spe_dma_seconds — the part a
+  /// double-buffered kernel can hide behind compute.  Synchronous get/put
+  /// traffic serializes with compute regardless of the overlap mode, so
+  /// overlap credit in Machine::compose is *earned* by issuing tagged
+  /// transfers, not granted by assumption.
+  double spe_dma_async_seconds(const OpCounters& c) const;
+
  private:
   CostParams p_;
 };

@@ -34,6 +34,12 @@ struct OpCounters {
   std::uint64_t dma_bytes_out = 0;
   std::uint64_t dma_transfers = 0;
   std::uint64_t dma_unaligned = 0;  ///< Not cache-line aligned/sized.
+  // Tag-grouped (asynchronous) subset of the traffic above: transfers a
+  // double-buffered kernel issued without blocking, i.e. the share the
+  // timing model may overlap with compute.  Synchronous get/put traffic is
+  // dma_bytes() - dma_bytes_tagged.
+  std::uint64_t dma_tagged_transfers = 0;
+  std::uint64_t dma_bytes_tagged = 0;
 
   void add(const OpCounters& o) {
     v_load += o.v_load;
@@ -53,6 +59,8 @@ struct OpCounters {
     dma_bytes_out += o.dma_bytes_out;
     dma_transfers += o.dma_transfers;
     dma_unaligned += o.dma_unaligned;
+    dma_tagged_transfers += o.dma_tagged_transfers;
+    dma_bytes_tagged += o.dma_bytes_tagged;
   }
 
   void reset() { *this = OpCounters{}; }

@@ -1,6 +1,9 @@
 #include "cell/dma.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "cell/audit.hpp"
 #include "common/align.hpp"
@@ -54,6 +57,124 @@ void DmaEngine::put(const void* ls_src, void* main_dst, std::size_t bytes) {
   ++c_->dma_transfers;
   if (!efficient) ++c_->dma_unaligned;
   if (audit_ != nullptr) audit_->record_dma(bytes, efficient);
+}
+
+void DmaEngine::issue_async(void* ls, std::size_t bytes, unsigned tag,
+                            bool is_get, bool fenced) {
+  // Hazard: the new transfer's Local Store range overlaps one still in
+  // flight.  A fenced issue on the *same* tag is the legal re-targeting
+  // idiom (ordered after the in-flight transfer); everything else is the
+  // classic double-buffering bug.
+  const auto lo = reinterpret_cast<std::uintptr_t>(ls);
+  const std::uintptr_t hi = lo + bytes;
+  for (const Pending& p : pending_) {
+    if (lo < p.hi && p.lo < hi && !(fenced && p.tag == tag)) {
+      report_hazard(TagHazard::kReuseInFlight,
+                    "tag " + std::to_string(tag) +
+                        " re-targets a Local Store range in flight on tag " +
+                        std::to_string(p.tag) + " without a same-tag fence");
+      break;
+    }
+  }
+  pending_.push_back({lo, hi, tag, is_get});
+  pending_mask_ |= 1u << tag;
+  issued_mask_ |= 1u << tag;
+  ++c_->dma_tagged_transfers;
+  c_->dma_bytes_tagged += bytes;
+}
+
+void DmaEngine::get_async(void* ls_dst, const void* main_src,
+                          std::size_t bytes, unsigned tag) {
+  if (tag >= kNumTags) throw CellHardwareError("DMA tag out of range");
+  get(ls_dst, main_src, bytes);
+  issue_async(ls_dst, bytes, tag, /*is_get=*/true, /*fenced=*/false);
+}
+
+void DmaEngine::put_async(const void* ls_src, void* main_dst,
+                          std::size_t bytes, unsigned tag) {
+  if (tag >= kNumTags) throw CellHardwareError("DMA tag out of range");
+  put(ls_src, main_dst, bytes);
+  issue_async(const_cast<void*>(ls_src), bytes, tag, /*is_get=*/false,
+              /*fenced=*/false);
+}
+
+void DmaEngine::getf_async(void* ls_dst, const void* main_src,
+                           std::size_t bytes, unsigned tag) {
+  if (tag >= kNumTags) throw CellHardwareError("DMA tag out of range");
+  get(ls_dst, main_src, bytes);
+  issue_async(ls_dst, bytes, tag, /*is_get=*/true, /*fenced=*/true);
+}
+
+void DmaEngine::putf_async(const void* ls_src, void* main_dst,
+                           std::size_t bytes, unsigned tag) {
+  if (tag >= kNumTags) throw CellHardwareError("DMA tag out of range");
+  put(ls_src, main_dst, bytes);
+  issue_async(const_cast<void*>(ls_src), bytes, tag, /*is_get=*/false,
+              /*fenced=*/true);
+}
+
+void DmaEngine::wait_tag(unsigned tag) {
+  if (tag >= kNumTags) throw CellHardwareError("DMA tag out of range");
+  wait_tag_mask(1u << tag);
+}
+
+void DmaEngine::wait_tag_mask(std::uint32_t mask) {
+  if (mask == 0) {
+    throw CellHardwareError("DMA tag wait on an empty mask");
+  }
+  if ((mask & issued_mask_) == 0) {
+    throw CellHardwareError(
+        "DMA tag wait on tags never issued (wait on nothing)");
+  }
+  pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                [mask](const Pending& p) {
+                                  return (mask & (1u << p.tag)) != 0;
+                                }),
+                 pending_.end());
+  pending_mask_ &= ~mask;
+}
+
+void DmaEngine::wait_all() {
+  pending_.clear();
+  pending_mask_ = 0;
+}
+
+void DmaEngine::touch(const void* ls_ptr, std::size_t bytes) {
+  const auto lo = reinterpret_cast<std::uintptr_t>(ls_ptr);
+  const std::uintptr_t hi = lo + bytes;
+  for (const Pending& p : pending_) {
+    if (lo < p.hi && p.lo < hi) {
+      report_hazard(TagHazard::kTouchBeforeWait,
+                    "buffer touched while its " +
+                        std::string(p.is_get ? "get" : "put") +
+                        " is in flight on tag " + std::to_string(p.tag));
+      return;
+    }
+  }
+}
+
+void DmaEngine::finish_kernel() {
+  if (pending_mask_ != 0) {
+    report_hazard(TagHazard::kPendingAtExit,
+                  "kernel exit with tags in flight (pending mask 0x" +
+                      [this] {
+                        char buf[16];
+                        std::snprintf(buf, sizeof(buf), "%x", pending_mask_);
+                        return std::string(buf);
+                      }() +
+                      ")");
+  }
+  reset_tags();
+}
+
+void DmaEngine::reset_tags() {
+  pending_.clear();
+  pending_mask_ = 0;
+  issued_mask_ = 0;
+}
+
+void DmaEngine::report_hazard(TagHazard kind, const std::string& detail) {
+  if (audit_ != nullptr) audit_->record_tag_hazard(kind, detail);
 }
 
 void DmaEngine::get_large(void* ls_dst, const void* main_src,

@@ -49,6 +49,10 @@ struct StageTiming {
   /// (serial-sum of the overlapped pieces minus the overlapped span).
   /// Zero for phase-ordered stages; `seconds` already has it subtracted.
   double overlap_saved = 0;
+  /// Seconds hidden *within* this stage by double-buffered tagged DMA
+  /// (what the stage would have cost with synchronous transfers, minus
+  /// `seconds`).  Zero when the stage issued no tagged transfers.
+  double dma_overlap_saved = 0;
   std::uint64_t dma_bytes = 0;
 
   StageTiming& operator+=(const StageTiming& o) {
@@ -58,6 +62,7 @@ struct StageTiming {
     ppe += o.ppe;
     seconds += o.seconds;
     overlap_saved += o.overlap_saved;
+    dma_overlap_saved += o.dma_overlap_saved;
     dma_bytes += o.dma_bytes;
     return *this;
   }
@@ -75,9 +80,12 @@ class Machine {
 
   /// Runs `spe_work(i, ctx)` for every SPE on host threads, plus an
   /// optional PPE-side worker, then composes the stage timing from the
-  /// counters (which are reset on entry).  With `overlap_dma` (double /
-  /// multi-level buffering, the default per the paper's scheme) compute and
-  /// DMA overlap; without it they serialize (the Muta baseline condition).
+  /// counters (which are reset on entry, along with each DmaEngine's tag
+  /// state; pending tags at kernel return are a pending-at-exit hazard).
+  /// With `overlap_dma` (the default) the *tagged* share of each SPE's DMA
+  /// overlaps with compute — overlap credit is earned by issuing
+  /// asynchronous transfers, synchronous traffic always serializes.
+  /// Without it everything serializes (the Muta baseline condition).
   StageTiming run_data_parallel(
       const std::string& name,
       const std::function<void(int, SpeContext&)>& spe_work,

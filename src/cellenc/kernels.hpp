@@ -23,6 +23,24 @@ void dma_get_row(cell::DmaEngine& dma, void* ls_dst, const void* main_src,
 void dma_put_row(cell::DmaEngine& dma, const void* ls_src, void* main_dst,
                  std::size_t elems);
 
+/// Tag-grouped asynchronous row transfers (double-buffering building
+/// blocks): every piece of the row — bulk <=16 KB transfers plus 4-byte
+/// tails — is issued on `tag` without waiting.  Completion is claimed with
+/// dma.wait_tag()/wait_tag_mask()/wait_all().  The fenced variants order
+/// the whole row after everything previously issued on the same tag (the
+/// mfc_getf/putf idiom), which is what lets a kernel re-target a Local
+/// Store buffer whose previous transfer is still in flight.
+void dma_get_row_tagged(cell::DmaEngine& dma, void* ls_dst,
+                        const void* main_src, std::size_t elems,
+                        unsigned tag);
+void dma_put_row_tagged(cell::DmaEngine& dma, const void* ls_src,
+                        void* main_dst, std::size_t elems, unsigned tag);
+void dma_getf_row_tagged(cell::DmaEngine& dma, void* ls_dst,
+                         const void* main_src, std::size_t elems,
+                         unsigned tag);
+void dma_putf_row_tagged(cell::DmaEngine& dma, const void* ls_src,
+                         void* main_dst, std::size_t elems, unsigned tag);
+
 /// Audit-driven row padding: widens a row transfer of 4-byte elements to a
 /// whole number of 128-byte cache lines whenever the plane's stride has
 /// room, so awkward widths (e.g. the 1586-wide Fig.5 workload) keep the

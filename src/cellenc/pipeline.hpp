@@ -70,6 +70,9 @@ struct PipelineResult {
   /// Seconds the overlapped tail hid versus its phase-ordered accounting
   /// (sum of StageTiming::overlap_saved; zero with overlap_lossy_tail off).
   double overlap_saved_seconds = 0;
+  /// Seconds the tag-grouped double-buffered DMA hid versus fully
+  /// synchronous transfers (sum of StageTiming::dma_overlap_saved).
+  double dma_overlap_saved_seconds = 0;
   /// Rate-allocation ledger of the run (iterations, per-iteration scan
   /// records); empty on lossless runs.
   jp2k::RateControlStats rate_stats;

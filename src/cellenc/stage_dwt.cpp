@@ -47,40 +47,74 @@ void spe_vertical53_merged(cell::SpeContext& ctx, Span2d<Sample> plane,
   const auto slot = [&](std::ptrdiff_t i) {
     return ring + static_cast<std::size_t>(mirror(i, n)) % K * cw;
   };
+  const auto tag_of = [&](std::ptrdiff_t r) {
+    return static_cast<unsigned>(r) % static_cast<unsigned>(K);
+  };
+  // Tag-per-slot ring: row r streams in on tag r%K and the finished row
+  // streams back out on the same tag, so one wait_tag_mask claims a slot's
+  // whole history.  Gets are fenced, which is what lets a slot be
+  // re-targeted while its previous occupant's put is still in flight.
+  // ensure() prefetches one row beyond what the lifting step consumes
+  // before claiming the rows it needs — the get of row f+2 rides under the
+  // lifting of rows f and f-1.
   std::ptrdiff_t loaded = -1;
-  const auto ensure = [&](std::ptrdiff_t upto) {
+  std::ptrdiff_t waited = -1;
+  const auto fetch = [&](std::ptrdiff_t upto) {
     upto = std::min(upto, n - 1);
     while (loaded < upto) {
       ++loaded;
-      dma_get_row(ctx.dma, ring + static_cast<std::size_t>(loaded) % K * cw,
-                  plane.row(static_cast<std::size_t>(loaded)) + x0, cw);
+      dma_getf_row_tagged(ctx.dma,
+                          ring + static_cast<std::size_t>(loaded) % K * cw,
+                          plane.row(static_cast<std::size_t>(loaded)) + x0,
+                          cw, tag_of(loaded));
     }
+  };
+  const auto ensure = [&](std::ptrdiff_t upto) {
+    fetch(upto + 1);
+    upto = std::min(upto, n - 1);
+    std::uint32_t mask = 0;
+    while (waited < upto) {
+      ++waited;
+      mask |= 1u << tag_of(waited);
+    }
+    if (mask != 0) ctx.dma.wait_tag_mask(mask);
   };
 
   const std::size_t nl = (hh + 1) / 2;
   for (std::ptrdiff_t f = 1; f < n + 2; f += 2) {
     ensure(f + 1);
     if (f < n) {
+      ctx.dma.touch(slot(f + 1), cw * sizeof(Sample));
+      ctx.dma.touch(slot(f), cw * sizeof(Sample));
       simd_predict53_row(ctx.simd, slot(f), slot(f - 1), slot(f + 1), cw);
     }
     if (f - 1 < n) {
+      ctx.dma.touch(slot(f - 1), cw * sizeof(Sample));
       simd_update53_row(ctx.simd, slot(f - 1), slot(f - 2), slot(f), cw);
     }
     if (f - 2 >= 1 && f - 2 < n) {  // park finalized high row
-      dma_put_row(ctx.dma, slot(f - 2),
-                  aux.row(static_cast<std::size_t>((f - 2) / 2)) + x0, cw);
+      dma_put_row_tagged(ctx.dma, slot(f - 2),
+                         aux.row(static_cast<std::size_t>((f - 2) / 2)) + x0,
+                         cw, tag_of(f - 2));
     }
     if (f - 1 >= 0 && f - 1 < n) {  // emit finalized low row
-      dma_put_row(ctx.dma, slot(f - 1),
-                  plane.row(static_cast<std::size_t>((f - 1) / 2)) + x0, cw);
+      dma_put_row_tagged(
+          ctx.dma, slot(f - 1),
+          plane.row(static_cast<std::size_t>((f - 1) / 2)) + x0, cw,
+          tag_of(f - 1));
     }
   }
-  // Copy parked high rows to the bottom half.
-  Sample* buf = ring;  // reuse ring storage
+  // Copy parked high rows to the bottom half: a compute-free fenced
+  // get->put chain on two ring slots.  The barrier first makes sure the
+  // aux rows being re-read have actually landed in main memory.
+  ctx.dma.wait_all();
+  Sample* cbuf[2] = {ring, ring + cw};
   for (std::size_t j = 0; nl + j < hh; ++j) {
-    dma_get_row(ctx.dma, buf, aux.row(j) + x0, cw);
-    dma_put_row(ctx.dma, buf, plane.row(nl + j) + x0, cw);
+    const unsigned t = static_cast<unsigned>(j & 1);
+    dma_getf_row_tagged(ctx.dma, cbuf[t], aux.row(j) + x0, cw, t);
+    dma_putf_row_tagged(ctx.dma, cbuf[t], plane.row(nl + j) + x0, cw, t);
   }
+  ctx.dma.wait_all();
   ctx.ls.reset();
 }
 
@@ -96,59 +130,74 @@ void spe_vertical53_multipass(cell::SpeContext& ctx, Span2d<Sample> plane,
   const auto slot = [&](std::ptrdiff_t i) {
     return ring + static_cast<std::size_t>(mirror(i, n)) % K * cw;
   };
-
+  const auto tag_of = [&](std::ptrdiff_t r) {
+    return static_cast<unsigned>(r) % static_cast<unsigned>(K);
+  };
+  // Tag-per-slot ring (see the merged kernel).  Row r keeps tag r%K across
+  // both sweeps, so a sweep's fenced re-fetch of row r is ordered after the
+  // previous sweep's put of the same row without an inter-pass barrier.
+  const auto sweep53 = [&](std::ptrdiff_t parity, const auto& lift_row) {
+    std::ptrdiff_t loaded = -1;
+    std::ptrdiff_t waited = -1;
+    const auto fetch = [&](std::ptrdiff_t upto) {
+      upto = std::min(upto, n - 1);
+      while (loaded < upto) {
+        ++loaded;
+        dma_getf_row_tagged(
+            ctx.dma, ring + static_cast<std::size_t>(loaded) % K * cw,
+            plane.row(static_cast<std::size_t>(loaded)) + x0, cw,
+            tag_of(loaded));
+      }
+    };
+    for (std::ptrdiff_t i = parity; i < n; i += 2) {
+      fetch(i + 2);
+      std::uint32_t mask = 0;
+      while (waited < std::min(i + 1, n - 1)) {
+        ++waited;
+        mask |= 1u << tag_of(waited);
+      }
+      if (mask != 0) ctx.dma.wait_tag_mask(mask);
+      ctx.dma.touch(slot(i + 1), cw * sizeof(Sample));
+      ctx.dma.touch(slot(i), cw * sizeof(Sample));
+      lift_row(i);
+      dma_put_row_tagged(ctx.dma, slot(i),
+                         plane.row(static_cast<std::size_t>(i)) + x0, cw,
+                         tag_of(i));
+    }
+  };
   // Pass 1: predict (write odd rows).
-  {
-    std::ptrdiff_t loaded = -1;
-    const auto ensure = [&](std::ptrdiff_t upto) {
-      upto = std::min(upto, n - 1);
-      while (loaded < upto) {
-        ++loaded;
-        dma_get_row(ctx.dma, ring + static_cast<std::size_t>(loaded) % K * cw,
-                    plane.row(static_cast<std::size_t>(loaded)) + x0, cw);
-      }
-    };
-    for (std::ptrdiff_t i = 1; i < n; i += 2) {
-      ensure(i + 1);
-      simd_predict53_row(ctx.simd, slot(i), slot(i - 1), slot(i + 1), cw);
-      dma_put_row(ctx.dma, slot(i), plane.row(static_cast<std::size_t>(i)) + x0,
-                  cw);
-    }
-  }
+  sweep53(1, [&](std::ptrdiff_t i) {
+    simd_predict53_row(ctx.simd, slot(i), slot(i - 1), slot(i + 1), cw);
+  });
   // Pass 2: update (write even rows).
+  sweep53(0, [&](std::ptrdiff_t i) {
+    simd_update53_row(ctx.simd, slot(i), slot(i - 1), slot(i + 1), cw);
+  });
+  // Pass 3: split — low rows compact in place, high rows via aux.  The
+  // compaction writes row i/2 after row i/2 was read, so each get is
+  // claimed before issuing the put that could otherwise overtake it on a
+  // different tag; the puts themselves stay asynchronous.
   {
-    std::ptrdiff_t loaded = -1;
-    const auto ensure = [&](std::ptrdiff_t upto) {
-      upto = std::min(upto, n - 1);
-      while (loaded < upto) {
-        ++loaded;
-        dma_get_row(ctx.dma, ring + static_cast<std::size_t>(loaded) % K * cw,
-                    plane.row(static_cast<std::size_t>(loaded)) + x0, cw);
-      }
-    };
-    for (std::ptrdiff_t i = 0; i < n; i += 2) {
-      ensure(i + 1);
-      simd_update53_row(ctx.simd, slot(i), slot(i - 1), slot(i + 1), cw);
-      dma_put_row(ctx.dma, slot(i), plane.row(static_cast<std::size_t>(i)) + x0,
-                  cw);
-    }
-  }
-  // Pass 3: split — low rows compact in place, high rows via aux.
-  {
-    Sample* buf = ring;
+    ctx.dma.wait_all();
+    Sample* buf[2] = {ring, ring + cw};
     const std::size_t nl = (hh + 1) / 2;
     for (std::size_t i = 0; i < hh; ++i) {
-      dma_get_row(ctx.dma, buf, plane.row(i) + x0, cw);
+      const unsigned t = static_cast<unsigned>(i & 1);
+      dma_getf_row_tagged(ctx.dma, buf[t], plane.row(i) + x0, cw, t);
+      ctx.dma.wait_tag(t);
       if (i % 2 == 0) {
-        dma_put_row(ctx.dma, buf, plane.row(i / 2) + x0, cw);
+        dma_put_row_tagged(ctx.dma, buf[t], plane.row(i / 2) + x0, cw, t);
       } else {
-        dma_put_row(ctx.dma, buf, aux.row(i / 2) + x0, cw);
+        dma_put_row_tagged(ctx.dma, buf[t], aux.row(i / 2) + x0, cw, t);
       }
     }
+    ctx.dma.wait_all();
     for (std::size_t j = 0; nl + j < hh; ++j) {
-      dma_get_row(ctx.dma, buf, aux.row(j) + x0, cw);
-      dma_put_row(ctx.dma, buf, plane.row(nl + j) + x0, cw);
+      const unsigned t = static_cast<unsigned>(j & 1);
+      dma_getf_row_tagged(ctx.dma, buf[t], aux.row(j) + x0, cw, t);
+      dma_putf_row_tagged(ctx.dma, buf[t], plane.row(nl + j) + x0, cw, t);
     }
+    ctx.dma.wait_all();
   }
   ctx.ls.reset();
 }
@@ -165,21 +214,43 @@ void spe_vertical97_merged(cell::SpeContext& ctx, Span2d<float> plane,
   const auto slot = [&](std::ptrdiff_t i) {
     return ring + static_cast<std::size_t>(mirror(i, n)) % K * cw;
   };
+  const auto tag_of = [&](std::ptrdiff_t r) {
+    return static_cast<unsigned>(r) % static_cast<unsigned>(K);
+  };
+  // Tag-per-slot ring with fenced gets and a one-row prefetch, as in the
+  // 5/3 merged kernel — the deeper K absorbs the four-stage lifting
+  // pipeline's longer row lifetime.
   std::ptrdiff_t loaded = -1;
-  const auto ensure = [&](std::ptrdiff_t upto) {
+  std::ptrdiff_t waited = -1;
+  const auto fetch = [&](std::ptrdiff_t upto) {
     upto = std::min(upto, n - 1);
     while (loaded < upto) {
       ++loaded;
-      dma_get_row(ctx.dma, ring + static_cast<std::size_t>(loaded) % K * cw,
-                  plane.row(static_cast<std::size_t>(loaded)) + x0, cw);
+      dma_getf_row_tagged(ctx.dma,
+                          ring + static_cast<std::size_t>(loaded) % K * cw,
+                          plane.row(static_cast<std::size_t>(loaded)) + x0,
+                          cw, tag_of(loaded));
     }
+  };
+  const auto ensure = [&](std::ptrdiff_t upto) {
+    fetch(upto + 1);
+    upto = std::min(upto, n - 1);
+    std::uint32_t mask = 0;
+    while (waited < upto) {
+      ++waited;
+      mask |= 1u << tag_of(waited);
+    }
+    if (mask != 0) ctx.dma.wait_tag_mask(mask);
   };
   const auto lift = [&](std::ptrdiff_t i, float c, std::ptrdiff_t parity) {
     if (i < parity || i >= n || ((i ^ parity) & 1)) return;
+    ctx.dma.touch(slot(i + 1), cw * sizeof(float));
+    ctx.dma.touch(slot(i), cw * sizeof(float));
     simd_lift97_row(ctx.simd, slot(i), slot(i - 1), slot(i + 1), c, cw);
   };
   const auto scale = [&](std::ptrdiff_t i) {
     if (i < 0 || i >= n) return;
+    ctx.dma.touch(slot(i), cw * sizeof(float));
     simd_scale_row(ctx.simd, slot(i),
                    (i & 1) ? jp2k::dwt97::kK : 1.0f / jp2k::dwt97::kK, cw);
   };
@@ -193,20 +264,28 @@ void spe_vertical97_merged(cell::SpeContext& ctx, Span2d<float> plane,
     lift(f - 3, jp2k::dwt97::kDelta, 0);
     scale(f - 4);
     if (f - 4 >= 1 && f - 4 < n && ((f - 4) & 1)) {
-      dma_put_row(ctx.dma, slot(f - 4),
-                  aux.row(static_cast<std::size_t>((f - 4) / 2)) + x0, cw);
+      dma_put_row_tagged(ctx.dma, slot(f - 4),
+                         aux.row(static_cast<std::size_t>((f - 4) / 2)) + x0,
+                         cw, tag_of(f - 4));
     }
     scale(f - 5);
     if (f - 5 >= 0 && f - 5 < n && !((f - 5) & 1)) {
-      dma_put_row(ctx.dma, slot(f - 5),
-                  plane.row(static_cast<std::size_t>((f - 5) / 2)) + x0, cw);
+      dma_put_row_tagged(
+          ctx.dma, slot(f - 5),
+          plane.row(static_cast<std::size_t>((f - 5) / 2)) + x0, cw,
+          tag_of(f - 5));
     }
   }
-  float* buf = ring;
+  // Compute-free fenced get->put chain for the parked high rows (see the
+  // 5/3 merged kernel).
+  ctx.dma.wait_all();
+  float* cbuf[2] = {ring, ring + cw};
   for (std::size_t j = 0; nl + j < hh; ++j) {
-    dma_get_row(ctx.dma, buf, aux.row(j) + x0, cw);
-    dma_put_row(ctx.dma, buf, plane.row(nl + j) + x0, cw);
+    const unsigned t = static_cast<unsigned>(j & 1);
+    dma_getf_row_tagged(ctx.dma, cbuf[t], aux.row(j) + x0, cw, t);
+    dma_putf_row_tagged(ctx.dma, cbuf[t], plane.row(nl + j) + x0, cw, t);
   }
+  ctx.dma.wait_all();
   ctx.ls.reset();
 }
 
@@ -221,53 +300,89 @@ void spe_vertical97_multipass(cell::SpeContext& ctx, Span2d<float> plane,
   const auto slot = [&](std::ptrdiff_t i) {
     return ring + static_cast<std::size_t>(mirror(i, n)) % K * cw;
   };
+  const auto tag_of = [&](std::ptrdiff_t r) {
+    return static_cast<unsigned>(r) % static_cast<unsigned>(K);
+  };
+  // Tag-per-slot ring; row r keeps tag r%K across sweeps, so each sweep's
+  // fenced re-fetch of a row is ordered after the previous sweep's put of
+  // that row without inter-sweep barriers.
   const auto sweep = [&](float c, std::ptrdiff_t parity) {
     std::ptrdiff_t loaded = -1;
-    const auto ensure = [&](std::ptrdiff_t upto) {
+    std::ptrdiff_t waited = -1;
+    const auto fetch = [&](std::ptrdiff_t upto) {
       upto = std::min(upto, n - 1);
       while (loaded < upto) {
         ++loaded;
-        dma_get_row(ctx.dma, ring + static_cast<std::size_t>(loaded) % K * cw,
-                    plane.row(static_cast<std::size_t>(loaded)) + x0, cw);
+        dma_getf_row_tagged(
+            ctx.dma, ring + static_cast<std::size_t>(loaded) % K * cw,
+            plane.row(static_cast<std::size_t>(loaded)) + x0, cw,
+            tag_of(loaded));
       }
     };
     for (std::ptrdiff_t i = parity; i < n; i += 2) {
-      ensure(i + 1);
+      fetch(i + 2);
+      std::uint32_t mask = 0;
+      while (waited < std::min(i + 1, n - 1)) {
+        ++waited;
+        mask |= 1u << tag_of(waited);
+      }
+      if (mask != 0) ctx.dma.wait_tag_mask(mask);
+      ctx.dma.touch(slot(i + 1), cw * sizeof(float));
+      ctx.dma.touch(slot(i), cw * sizeof(float));
       simd_lift97_row(ctx.simd, slot(i), slot(i - 1), slot(i + 1), c, cw);
-      dma_put_row(ctx.dma, slot(i), plane.row(static_cast<std::size_t>(i)) + x0,
-                  cw);
+      dma_put_row_tagged(ctx.dma, slot(i),
+                         plane.row(static_cast<std::size_t>(i)) + x0, cw,
+                         tag_of(i));
     }
   };
   sweep(jp2k::dwt97::kAlpha, 1);
   sweep(jp2k::dwt97::kBeta, 0);
   sweep(jp2k::dwt97::kGamma, 1);
   sweep(jp2k::dwt97::kDelta, 0);
-  // Scaling sweep.
+  // Scaling sweep: ping/pong on tags 0/1.  The sweeps above put on tag
+  // r%K, which no longer matches this sweep's tag map, so a barrier keeps
+  // the re-reads ordered after those writes.
   {
-    float* buf = ring;
+    ctx.dma.wait_all();
+    float* buf[2] = {ring, ring + cw};
+    dma_getf_row_tagged(ctx.dma, buf[0], plane.row(0) + x0, cw, 0);
     for (std::size_t i = 0; i < hh; ++i) {
-      dma_get_row(ctx.dma, buf, plane.row(i) + x0, cw);
-      simd_scale_row(ctx.simd, buf,
+      const unsigned cur = static_cast<unsigned>(i & 1);
+      const unsigned nxt = cur ^ 1u;
+      if (i + 1 < hh) {
+        dma_getf_row_tagged(ctx.dma, buf[nxt], plane.row(i + 1) + x0, cw,
+                            nxt);
+      }
+      ctx.dma.wait_tag(cur);
+      ctx.dma.touch(buf[cur], cw * sizeof(float));
+      simd_scale_row(ctx.simd, buf[cur],
                      (i & 1) ? jp2k::dwt97::kK : 1.0f / jp2k::dwt97::kK, cw);
-      dma_put_row(ctx.dma, buf, plane.row(i) + x0, cw);
+      dma_put_row_tagged(ctx.dma, buf[cur], plane.row(i) + x0, cw, cur);
     }
+    ctx.dma.wait_all();
   }
-  // Split sweep.
+  // Split sweep: in-place compaction (see the 5/3 multipass kernel's
+  // pass 3 for why each get is claimed before its put is issued).
   {
-    float* buf = ring;
+    float* buf[2] = {ring, ring + cw};
     const std::size_t nl = (hh + 1) / 2;
     for (std::size_t i = 0; i < hh; ++i) {
-      dma_get_row(ctx.dma, buf, plane.row(i) + x0, cw);
+      const unsigned t = static_cast<unsigned>(i & 1);
+      dma_getf_row_tagged(ctx.dma, buf[t], plane.row(i) + x0, cw, t);
+      ctx.dma.wait_tag(t);
       if (i % 2 == 0) {
-        dma_put_row(ctx.dma, buf, plane.row(i / 2) + x0, cw);
+        dma_put_row_tagged(ctx.dma, buf[t], plane.row(i / 2) + x0, cw, t);
       } else {
-        dma_put_row(ctx.dma, buf, aux.row(i / 2) + x0, cw);
+        dma_put_row_tagged(ctx.dma, buf[t], aux.row(i / 2) + x0, cw, t);
       }
     }
+    ctx.dma.wait_all();
     for (std::size_t j = 0; nl + j < hh; ++j) {
-      dma_get_row(ctx.dma, buf, aux.row(j) + x0, cw);
-      dma_put_row(ctx.dma, buf, plane.row(nl + j) + x0, cw);
+      const unsigned t = static_cast<unsigned>(j & 1);
+      dma_getf_row_tagged(ctx.dma, buf[t], aux.row(j) + x0, cw, t);
+      dma_putf_row_tagged(ctx.dma, buf[t], plane.row(nl + j) + x0, cw, t);
     }
+    ctx.dma.wait_all();
   }
   ctx.ls.reset();
 }
@@ -284,23 +399,44 @@ void spe_vertical97_fixed_merged(cell::SpeContext& ctx, Span2d<Sample> plane,
   const auto slot = [&](std::ptrdiff_t i) {
     return ring + static_cast<std::size_t>(mirror(i, n)) % K * cw;
   };
+  const auto tag_of = [&](std::ptrdiff_t r) {
+    return static_cast<unsigned>(r) % static_cast<unsigned>(K);
+  };
+  // Tag-per-slot ring with fenced gets and a one-row prefetch (see the
+  // float merged kernel).
   std::ptrdiff_t loaded = -1;
-  const auto ensure = [&](std::ptrdiff_t upto) {
+  std::ptrdiff_t waited = -1;
+  const auto fetch = [&](std::ptrdiff_t upto) {
     upto = std::min(upto, n - 1);
     while (loaded < upto) {
       ++loaded;
-      dma_get_row(ctx.dma, ring + static_cast<std::size_t>(loaded) % K * cw,
-                  plane.row(static_cast<std::size_t>(loaded)) + x0, cw);
+      dma_getf_row_tagged(ctx.dma,
+                          ring + static_cast<std::size_t>(loaded) % K * cw,
+                          plane.row(static_cast<std::size_t>(loaded)) + x0,
+                          cw, tag_of(loaded));
     }
+  };
+  const auto ensure = [&](std::ptrdiff_t upto) {
+    fetch(upto + 1);
+    upto = std::min(upto, n - 1);
+    std::uint32_t mask = 0;
+    while (waited < upto) {
+      ++waited;
+      mask |= 1u << tag_of(waited);
+    }
+    if (mask != 0) ctx.dma.wait_tag_mask(mask);
   };
   const auto lift = [&](std::ptrdiff_t i, Sample c_q13,
                         std::ptrdiff_t parity) {
     if (i < parity || i >= n || ((i ^ parity) & 1)) return;
+    ctx.dma.touch(slot(i + 1), cw * sizeof(Sample));
+    ctx.dma.touch(slot(i), cw * sizeof(Sample));
     simd_lift97_fixed_row(ctx.simd, slot(i), slot(i - 1), slot(i + 1), c_q13,
                           cw);
   };
   const auto scale = [&](std::ptrdiff_t i) {
     if (i < 0 || i >= n) return;
+    ctx.dma.touch(slot(i), cw * sizeof(Sample));
     simd_scale_fixed_row(
         ctx.simd, slot(i),
         (i & 1) ? jp2k::dwt97::kFxK : jp2k::dwt97::kFxInvK, cw);
@@ -315,20 +451,27 @@ void spe_vertical97_fixed_merged(cell::SpeContext& ctx, Span2d<Sample> plane,
     lift(f - 3, jp2k::dwt97::kFxDelta, 0);
     scale(f - 4);
     if (f - 4 >= 1 && f - 4 < n && ((f - 4) & 1)) {
-      dma_put_row(ctx.dma, slot(f - 4),
-                  aux.row(static_cast<std::size_t>((f - 4) / 2)) + x0, cw);
+      dma_put_row_tagged(ctx.dma, slot(f - 4),
+                         aux.row(static_cast<std::size_t>((f - 4) / 2)) + x0,
+                         cw, tag_of(f - 4));
     }
     scale(f - 5);
     if (f - 5 >= 0 && f - 5 < n && !((f - 5) & 1)) {
-      dma_put_row(ctx.dma, slot(f - 5),
-                  plane.row(static_cast<std::size_t>((f - 5) / 2)) + x0, cw);
+      dma_put_row_tagged(
+          ctx.dma, slot(f - 5),
+          plane.row(static_cast<std::size_t>((f - 5) / 2)) + x0, cw,
+          tag_of(f - 5));
     }
   }
-  Sample* buf = ring;
+  // Compute-free fenced get->put chain for the parked high rows.
+  ctx.dma.wait_all();
+  Sample* cbuf[2] = {ring, ring + cw};
   for (std::size_t j = 0; nl + j < hh; ++j) {
-    dma_get_row(ctx.dma, buf, aux.row(j) + x0, cw);
-    dma_put_row(ctx.dma, buf, plane.row(nl + j) + x0, cw);
+    const unsigned t = static_cast<unsigned>(j & 1);
+    dma_getf_row_tagged(ctx.dma, cbuf[t], aux.row(j) + x0, cw, t);
+    dma_putf_row_tagged(ctx.dma, cbuf[t], plane.row(nl + j) + x0, cw, t);
   }
+  ctx.dma.wait_all();
   ctx.ls.reset();
 }
 
@@ -540,22 +683,36 @@ cell::StageTiming stage_dwt53(cell::Machine& m, Span2d<Sample> plane,
         // untouched, and written back, so neighbouring coefficients in the
         // stride round-trip bit-exactly.
         const std::size_t tw = padded_row_elems(ww, plane.stride());
-        Sample* lin = ctx.ls.alloc<Sample>(pad);
+        // Ping/pong: lin is transformed in place, so the prefetch of row
+        // y+1 into the other parity *must* be fenced — that buffer's
+        // write-back from row y-1 may still be in flight on the same tag.
+        Sample* lin[2] = {ctx.ls.alloc<Sample>(pad),
+                          ctx.ls.alloc<Sample>(pad)};
         Sample* even = ctx.ls.alloc<Sample>(pad / 2 + 4);
         Sample* odd = ctx.ls.alloc<Sample>(pad / 2 + 4);
         const std::size_t nl = (ww + 1) / 2;
+        dma_getf_row_tagged(ctx.dma, lin[0], plane.row(start), tw, 0);
         for (std::size_t y = start; y < start + count; ++y) {
-          dma_get_row(ctx.dma, lin, plane.row(y), tw);
-          spe_horizontal53_row(ctx.simd, lin, even, odd, ww);
+          const unsigned cur = static_cast<unsigned>((y - start) & 1);
+          const unsigned nxt = cur ^ 1u;
+          if (y + 1 < start + count) {
+            dma_getf_row_tagged(ctx.dma, lin[nxt], plane.row(y + 1), tw,
+                                nxt);
+          }
+          ctx.dma.wait_tag(cur);
+          ctx.dma.touch(lin[cur], tw * sizeof(Sample));
+          spe_horizontal53_row(ctx.simd, lin[cur], even, odd, ww);
           // Reassemble L|H contiguously so the row goes back in one
           // aligned DMA (writing the H half alone would start at an
           // arbitrary offset and violate the MFC alignment rules).
-          ls_copy(ctx.simd, lin, even, nl * sizeof(Sample));
+          ls_copy(ctx.simd, lin[cur], even, nl * sizeof(Sample));
           if (ww > nl) {
-            ls_copy(ctx.simd, lin + nl, odd, (ww - nl) * sizeof(Sample));
+            ls_copy(ctx.simd, lin[cur] + nl, odd,
+                    (ww - nl) * sizeof(Sample));
           }
-          dma_put_row(ctx.dma, lin, plane.row(y), tw);
+          dma_put_row_tagged(ctx.dma, lin[cur], plane.row(y), tw, cur);
         }
+        ctx.dma.wait_all();
         ctx.ls.reset();
       };
       total += m.run_data_parallel("dwt53-horizontal", hwork, nullptr);
@@ -626,21 +783,31 @@ cell::StageTiming stage_dwt97(cell::Machine& m, Span2d<float> plane,
         if (static_cast<std::size_t>(i) >= rows.size()) return;
         const auto [start, count] = rows[static_cast<std::size_t>(i)];
         const std::size_t pad = round_up(ww, 32);
-        // Whole-cache-line transfers (see the 5/3 kernel above).
+        // Whole-cache-line transfers, fenced ping/pong (see the 5/3
+        // kernel above).
         const std::size_t tw = padded_row_elems(ww, plane.stride());
-        float* lin = ctx.ls.alloc<float>(pad);
+        float* lin[2] = {ctx.ls.alloc<float>(pad), ctx.ls.alloc<float>(pad)};
         float* even = ctx.ls.alloc<float>(pad / 2 + 4);
         float* odd = ctx.ls.alloc<float>(pad / 2 + 4);
         const std::size_t nl = (ww + 1) / 2;
+        dma_getf_row_tagged(ctx.dma, lin[0], plane.row(start), tw, 0);
         for (std::size_t y = start; y < start + count; ++y) {
-          dma_get_row(ctx.dma, lin, plane.row(y), tw);
-          spe_horizontal97_row(ctx.simd, lin, even, odd, ww);
-          ls_copy(ctx.simd, lin, even, nl * sizeof(float));
-          if (ww > nl) {
-            ls_copy(ctx.simd, lin + nl, odd, (ww - nl) * sizeof(float));
+          const unsigned cur = static_cast<unsigned>((y - start) & 1);
+          const unsigned nxt = cur ^ 1u;
+          if (y + 1 < start + count) {
+            dma_getf_row_tagged(ctx.dma, lin[nxt], plane.row(y + 1), tw,
+                                nxt);
           }
-          dma_put_row(ctx.dma, lin, plane.row(y), tw);
+          ctx.dma.wait_tag(cur);
+          ctx.dma.touch(lin[cur], tw * sizeof(float));
+          spe_horizontal97_row(ctx.simd, lin[cur], even, odd, ww);
+          ls_copy(ctx.simd, lin[cur], even, nl * sizeof(float));
+          if (ww > nl) {
+            ls_copy(ctx.simd, lin[cur] + nl, odd, (ww - nl) * sizeof(float));
+          }
+          dma_put_row_tagged(ctx.dma, lin[cur], plane.row(y), tw, cur);
         }
+        ctx.dma.wait_all();
         ctx.ls.reset();
       };
       total += m.run_data_parallel("dwt97-horizontal", hwork, nullptr);
@@ -711,21 +878,33 @@ cell::StageTiming stage_dwt97_fixed(cell::Machine& m, Span2d<Sample> plane,
         if (static_cast<std::size_t>(i) >= rows.size()) return;
         const auto [start, count] = rows[static_cast<std::size_t>(i)];
         const std::size_t pad = round_up(ww, 32);
-        // Whole-cache-line transfers (see the 5/3 kernel above).
+        // Whole-cache-line transfers, fenced ping/pong (see the 5/3
+        // kernel above).
         const std::size_t tw = padded_row_elems(ww, plane.stride());
-        Sample* lin = ctx.ls.alloc<Sample>(pad);
+        Sample* lin[2] = {ctx.ls.alloc<Sample>(pad),
+                          ctx.ls.alloc<Sample>(pad)};
         Sample* even = ctx.ls.alloc<Sample>(pad / 2 + 4);
         Sample* odd = ctx.ls.alloc<Sample>(pad / 2 + 4);
         const std::size_t nl = (ww + 1) / 2;
+        dma_getf_row_tagged(ctx.dma, lin[0], plane.row(start), tw, 0);
         for (std::size_t y = start; y < start + count; ++y) {
-          dma_get_row(ctx.dma, lin, plane.row(y), tw);
-          spe_horizontal97_fixed_row(ctx.simd, lin, even, odd, ww);
-          ls_copy(ctx.simd, lin, even, nl * sizeof(Sample));
-          if (ww > nl) {
-            ls_copy(ctx.simd, lin + nl, odd, (ww - nl) * sizeof(Sample));
+          const unsigned cur = static_cast<unsigned>((y - start) & 1);
+          const unsigned nxt = cur ^ 1u;
+          if (y + 1 < start + count) {
+            dma_getf_row_tagged(ctx.dma, lin[nxt], plane.row(y + 1), tw,
+                                nxt);
           }
-          dma_put_row(ctx.dma, lin, plane.row(y), tw);
+          ctx.dma.wait_tag(cur);
+          ctx.dma.touch(lin[cur], tw * sizeof(Sample));
+          spe_horizontal97_fixed_row(ctx.simd, lin[cur], even, odd, ww);
+          ls_copy(ctx.simd, lin[cur], even, nl * sizeof(Sample));
+          if (ww > nl) {
+            ls_copy(ctx.simd, lin[cur] + nl, odd,
+                    (ww - nl) * sizeof(Sample));
+          }
+          dma_put_row_tagged(ctx.dma, lin[cur], plane.row(y), tw, cur);
         }
+        ctx.dma.wait_all();
         ctx.ls.reset();
       };
       total += m.run_data_parallel("dwt97fx-horizontal", hwork, nullptr);

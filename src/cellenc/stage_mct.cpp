@@ -30,32 +30,74 @@ cell::StageTiming stage_mct_lossless(cell::Machine& m,
     if (static_cast<std::size_t>(i) >= plan.spe_chunks.size()) return;
     const auto& ch = plan.spe_chunks[static_cast<std::size_t>(i)];
     const std::size_t cw = ch.width;
-    // Constant Local Store footprint: one row per component.
-    Sample* lr = ctx.ls.alloc<Sample>(cw);
-    Sample* lg = color ? ctx.ls.alloc<Sample>(cw) : nullptr;
-    Sample* lb = color ? ctx.ls.alloc<Sample>(cw) : nullptr;
-    for (std::size_t y = 0; y < h; ++y) {
-      if (color) {
-        dma_get_row(ctx.dma, lr, planes[0].row(y) + ch.x0, cw);
-        dma_get_row(ctx.dma, lg, planes[1].row(y) + ch.x0, cw);
-        dma_get_row(ctx.dma, lb, planes[2].row(y) + ch.x0, cw);
-        simd_shift_rct_row(ctx.simd, lr, lg, lb, cw, depth);
-        dma_put_row(ctx.dma, lr, planes[0].row(y) + ch.x0, cw);
-        dma_put_row(ctx.dma, lg, planes[1].row(y) + ch.x0, cw);
-        dma_put_row(ctx.dma, lb, planes[2].row(y) + ch.x0, cw);
-        for (std::size_t c = 3; c < planes.size(); ++c) {
-          dma_get_row(ctx.dma, lr, planes[c].row(y) + ch.x0, cw);
-          simd_shift_row(ctx.simd, lr, cw, depth);
-          dma_put_row(ctx.dma, lr, planes[c].row(y) + ch.x0, cw);
+    // Constant Local Store footprint: a ping/pong row pair per component.
+    // The transform is in place (same row is get target and put source), so
+    // the prefetch of row y+1 is fenced: it re-targets a buffer whose
+    // write-back from row y-1 may still be in flight on the same tag.
+    if (color) {
+      Sample* lr[2] = {ctx.ls.alloc<Sample>(cw), ctx.ls.alloc<Sample>(cw)};
+      Sample* lg[2] = {ctx.ls.alloc<Sample>(cw), ctx.ls.alloc<Sample>(cw)};
+      Sample* lb[2] = {ctx.ls.alloc<Sample>(cw), ctx.ls.alloc<Sample>(cw)};
+      Sample* lx =
+          planes.size() > 3 ? ctx.ls.alloc<Sample>(cw) : nullptr;
+      dma_getf_row_tagged(ctx.dma, lr[0], planes[0].row(0) + ch.x0, cw, 0);
+      dma_getf_row_tagged(ctx.dma, lg[0], planes[1].row(0) + ch.x0, cw, 0);
+      dma_getf_row_tagged(ctx.dma, lb[0], planes[2].row(0) + ch.x0, cw, 0);
+      for (std::size_t y = 0; y < h; ++y) {
+        const unsigned cur = static_cast<unsigned>(y & 1);
+        const unsigned nxt = cur ^ 1u;
+        if (y + 1 < h) {
+          dma_getf_row_tagged(ctx.dma, lr[nxt], planes[0].row(y + 1) + ch.x0,
+                              cw, nxt);
+          dma_getf_row_tagged(ctx.dma, lg[nxt], planes[1].row(y + 1) + ch.x0,
+                              cw, nxt);
+          dma_getf_row_tagged(ctx.dma, lb[nxt], planes[2].row(y + 1) + ch.x0,
+                              cw, nxt);
         }
-      } else {
-        for (auto& plane : planes) {
-          dma_get_row(ctx.dma, lr, plane.row(y) + ch.x0, cw);
-          simd_shift_row(ctx.simd, lr, cw, depth);
-          dma_put_row(ctx.dma, lr, plane.row(y) + ch.x0, cw);
+        ctx.dma.wait_tag(cur);
+        ctx.dma.touch(lr[cur], cw * sizeof(Sample));
+        ctx.dma.touch(lg[cur], cw * sizeof(Sample));
+        ctx.dma.touch(lb[cur], cw * sizeof(Sample));
+        simd_shift_rct_row(ctx.simd, lr[cur], lg[cur], lb[cur], cw, depth);
+        dma_put_row_tagged(ctx.dma, lr[cur], planes[0].row(y) + ch.x0, cw,
+                           cur);
+        dma_put_row_tagged(ctx.dma, lg[cur], planes[1].row(y) + ch.x0, cw,
+                           cur);
+        dma_put_row_tagged(ctx.dma, lb[cur], planes[2].row(y) + ch.x0, cw,
+                           cur);
+        // Extra components ride a third tag as a get->wait->compute->put
+        // pipeline: the put stays in flight into the next iteration, where
+        // the fenced get re-targets the buffer behind it.
+        for (std::size_t c = 3; c < planes.size(); ++c) {
+          dma_getf_row_tagged(ctx.dma, lx, planes[c].row(y) + ch.x0, cw, 2);
+          ctx.dma.wait_tag(2);
+          ctx.dma.touch(lx, cw * sizeof(Sample));
+          simd_shift_row(ctx.simd, lx, cw, depth);
+          dma_put_row_tagged(ctx.dma, lx, planes[c].row(y) + ch.x0, cw, 2);
         }
       }
+    } else {
+      // Flatten (row, component) into one stream so the ping/pong pipeline
+      // stays full across the component seam.
+      Sample* lr[2] = {ctx.ls.alloc<Sample>(cw), ctx.ls.alloc<Sample>(cw)};
+      const std::size_t nitems = h * planes.size();
+      const auto src = [&](std::size_t k) {
+        return planes[k % planes.size()].row(k / planes.size()) + ch.x0;
+      };
+      dma_getf_row_tagged(ctx.dma, lr[0], src(0), cw, 0);
+      for (std::size_t k = 0; k < nitems; ++k) {
+        const unsigned cur = static_cast<unsigned>(k & 1);
+        const unsigned nxt = cur ^ 1u;
+        if (k + 1 < nitems) {
+          dma_getf_row_tagged(ctx.dma, lr[nxt], src(k + 1), cw, nxt);
+        }
+        ctx.dma.wait_tag(cur);
+        ctx.dma.touch(lr[cur], cw * sizeof(Sample));
+        simd_shift_row(ctx.simd, lr[cur], cw, depth);
+        dma_put_row_tagged(ctx.dma, lr[cur], src(k), cw, cur);
+      }
     }
+    ctx.dma.wait_all();
     ctx.ls.reset();
   };
 
@@ -100,34 +142,82 @@ cell::StageTiming stage_mct_lossy(cell::Machine& m,
     if (static_cast<std::size_t>(i) >= plan.spe_chunks.size()) return;
     const auto& ch = plan.spe_chunks[static_cast<std::size_t>(i)];
     const std::size_t cw = ch.width;
-    Sample* lr = ctx.ls.alloc<Sample>(cw);
-    Sample* lg = ctx.ls.alloc<Sample>(cw);
-    Sample* lb = ctx.ls.alloc<Sample>(cw);
-    float* fy = ctx.ls.alloc<float>(cw);
-    float* fcb = ctx.ls.alloc<float>(cw);
-    float* fcr = ctx.ls.alloc<float>(cw);
-    for (std::size_t y = 0; y < h; ++y) {
-      if (color) {
-        dma_get_row(ctx.dma, lr, planes[0].row(y) + ch.x0, cw);
-        dma_get_row(ctx.dma, lg, planes[1].row(y) + ch.x0, cw);
-        dma_get_row(ctx.dma, lb, planes[2].row(y) + ch.x0, cw);
-        simd_shift_ict_row(ctx.simd, lr, lg, lb, fy, fcb, fcr, cw, depth);
-        dma_put_row(ctx.dma, fy, &fplanes[0][y * stride + ch.x0], cw);
-        dma_put_row(ctx.dma, fcb, &fplanes[1][y * stride + ch.x0], cw);
-        dma_put_row(ctx.dma, fcr, &fplanes[2][y * stride + ch.x0], cw);
-        for (std::size_t c = 3; c < ncomp; ++c) {
-          dma_get_row(ctx.dma, lr, planes[c].row(y) + ch.x0, cw);
-          simd_shift_to_float_row(ctx.simd, lr, fy, cw, depth);
-          dma_put_row(ctx.dma, fy, &fplanes[c][y * stride + ch.x0], cw);
+    // Ping/pong on tags 0/1.  Unlike the lossless kernel the inputs (l*)
+    // and outputs (f*) are distinct buffers, so the prefetched gets never
+    // re-target a buffer with a put in flight and can stay unfenced.
+    if (color) {
+      Sample* lr[2] = {ctx.ls.alloc<Sample>(cw), ctx.ls.alloc<Sample>(cw)};
+      Sample* lg[2] = {ctx.ls.alloc<Sample>(cw), ctx.ls.alloc<Sample>(cw)};
+      Sample* lb[2] = {ctx.ls.alloc<Sample>(cw), ctx.ls.alloc<Sample>(cw)};
+      float* fy[2] = {ctx.ls.alloc<float>(cw), ctx.ls.alloc<float>(cw)};
+      float* fcb[2] = {ctx.ls.alloc<float>(cw), ctx.ls.alloc<float>(cw)};
+      float* fcr[2] = {ctx.ls.alloc<float>(cw), ctx.ls.alloc<float>(cw)};
+      Sample* lx = ncomp > 3 ? ctx.ls.alloc<Sample>(cw) : nullptr;
+      float* fx = ncomp > 3 ? ctx.ls.alloc<float>(cw) : nullptr;
+      dma_get_row_tagged(ctx.dma, lr[0], planes[0].row(0) + ch.x0, cw, 0);
+      dma_get_row_tagged(ctx.dma, lg[0], planes[1].row(0) + ch.x0, cw, 0);
+      dma_get_row_tagged(ctx.dma, lb[0], planes[2].row(0) + ch.x0, cw, 0);
+      for (std::size_t y = 0; y < h; ++y) {
+        const unsigned cur = static_cast<unsigned>(y & 1);
+        const unsigned nxt = cur ^ 1u;
+        if (y + 1 < h) {
+          dma_get_row_tagged(ctx.dma, lr[nxt], planes[0].row(y + 1) + ch.x0,
+                             cw, nxt);
+          dma_get_row_tagged(ctx.dma, lg[nxt], planes[1].row(y + 1) + ch.x0,
+                             cw, nxt);
+          dma_get_row_tagged(ctx.dma, lb[nxt], planes[2].row(y + 1) + ch.x0,
+                             cw, nxt);
         }
-      } else {
-        for (std::size_t c = 0; c < ncomp; ++c) {
-          dma_get_row(ctx.dma, lr, planes[c].row(y) + ch.x0, cw);
-          simd_shift_to_float_row(ctx.simd, lr, fy, cw, depth);
-          dma_put_row(ctx.dma, fy, &fplanes[c][y * stride + ch.x0], cw);
+        ctx.dma.wait_tag(cur);
+        ctx.dma.touch(lr[cur], cw * sizeof(Sample));
+        ctx.dma.touch(lg[cur], cw * sizeof(Sample));
+        ctx.dma.touch(lb[cur], cw * sizeof(Sample));
+        ctx.dma.touch(fy[cur], cw * sizeof(float));
+        ctx.dma.touch(fcb[cur], cw * sizeof(float));
+        ctx.dma.touch(fcr[cur], cw * sizeof(float));
+        simd_shift_ict_row(ctx.simd, lr[cur], lg[cur], lb[cur], fy[cur],
+                           fcb[cur], fcr[cur], cw, depth);
+        dma_put_row_tagged(ctx.dma, fy[cur], &fplanes[0][y * stride + ch.x0],
+                           cw, cur);
+        dma_put_row_tagged(ctx.dma, fcb[cur],
+                           &fplanes[1][y * stride + ch.x0], cw, cur);
+        dma_put_row_tagged(ctx.dma, fcr[cur],
+                           &fplanes[2][y * stride + ch.x0], cw, cur);
+        for (std::size_t c = 3; c < ncomp; ++c) {
+          dma_get_row_tagged(ctx.dma, lx, planes[c].row(y) + ch.x0, cw, 2);
+          ctx.dma.wait_tag(2);
+          ctx.dma.touch(lx, cw * sizeof(Sample));
+          ctx.dma.touch(fx, cw * sizeof(float));
+          simd_shift_to_float_row(ctx.simd, lx, fx, cw, depth);
+          dma_put_row_tagged(ctx.dma, fx, &fplanes[c][y * stride + ch.x0],
+                             cw, 2);
         }
       }
+    } else {
+      Sample* lr[2] = {ctx.ls.alloc<Sample>(cw), ctx.ls.alloc<Sample>(cw)};
+      float* fy[2] = {ctx.ls.alloc<float>(cw), ctx.ls.alloc<float>(cw)};
+      const std::size_t nitems = h * ncomp;
+      const auto src = [&](std::size_t k) {
+        return planes[k % ncomp].row(k / ncomp) + ch.x0;
+      };
+      const auto dst = [&](std::size_t k) {
+        return &fplanes[k % ncomp][(k / ncomp) * stride + ch.x0];
+      };
+      dma_get_row_tagged(ctx.dma, lr[0], src(0), cw, 0);
+      for (std::size_t k = 0; k < nitems; ++k) {
+        const unsigned cur = static_cast<unsigned>(k & 1);
+        const unsigned nxt = cur ^ 1u;
+        if (k + 1 < nitems) {
+          dma_get_row_tagged(ctx.dma, lr[nxt], src(k + 1), cw, nxt);
+        }
+        ctx.dma.wait_tag(cur);
+        ctx.dma.touch(lr[cur], cw * sizeof(Sample));
+        ctx.dma.touch(fy[cur], cw * sizeof(float));
+        simd_shift_to_float_row(ctx.simd, lr[cur], fy[cur], cw, depth);
+        dma_put_row_tagged(ctx.dma, fy[cur], dst(k), cw, cur);
+      }
     }
+    ctx.dma.wait_all();
     ctx.ls.reset();
   };
 
@@ -181,35 +271,80 @@ cell::StageTiming stage_mct_lossy_fixed(cell::Machine& m,
     if (static_cast<std::size_t>(i) >= plan.spe_chunks.size()) return;
     const auto& ch = plan.spe_chunks[static_cast<std::size_t>(i)];
     const std::size_t cw = ch.width;
-    Sample* lr = ctx.ls.alloc<Sample>(cw);
-    Sample* lg = ctx.ls.alloc<Sample>(cw);
-    Sample* lb = ctx.ls.alloc<Sample>(cw);
-    Sample* fy = ctx.ls.alloc<Sample>(cw);
-    Sample* fcb = ctx.ls.alloc<Sample>(cw);
-    Sample* fcr = ctx.ls.alloc<Sample>(cw);
-    for (std::size_t y = 0; y < h; ++y) {
-      if (color) {
-        dma_get_row(ctx.dma, lr, planes[0].row(y) + ch.x0, cw);
-        dma_get_row(ctx.dma, lg, planes[1].row(y) + ch.x0, cw);
-        dma_get_row(ctx.dma, lb, planes[2].row(y) + ch.x0, cw);
-        simd_shift_ict_fixed_row(ctx.simd, lr, lg, lb, fy, fcb, fcr, cw,
-                                 depth);
-        dma_put_row(ctx.dma, fy, fxplanes[0].row(y) + ch.x0, cw);
-        dma_put_row(ctx.dma, fcb, fxplanes[1].row(y) + ch.x0, cw);
-        dma_put_row(ctx.dma, fcr, fxplanes[2].row(y) + ch.x0, cw);
-        for (std::size_t c = 3; c < ncomp; ++c) {
-          dma_get_row(ctx.dma, lr, planes[c].row(y) + ch.x0, cw);
-          simd_shift_to_fixed_row(ctx.simd, lr, fy, cw, depth);
-          dma_put_row(ctx.dma, fy, fxplanes[c].row(y) + ch.x0, cw);
+    // Ping/pong on tags 0/1 with distinct in/out buffers — unfenced tagged
+    // gets, as in the float lossy kernel.
+    if (color) {
+      Sample* lr[2] = {ctx.ls.alloc<Sample>(cw), ctx.ls.alloc<Sample>(cw)};
+      Sample* lg[2] = {ctx.ls.alloc<Sample>(cw), ctx.ls.alloc<Sample>(cw)};
+      Sample* lb[2] = {ctx.ls.alloc<Sample>(cw), ctx.ls.alloc<Sample>(cw)};
+      Sample* fy[2] = {ctx.ls.alloc<Sample>(cw), ctx.ls.alloc<Sample>(cw)};
+      Sample* fcb[2] = {ctx.ls.alloc<Sample>(cw), ctx.ls.alloc<Sample>(cw)};
+      Sample* fcr[2] = {ctx.ls.alloc<Sample>(cw), ctx.ls.alloc<Sample>(cw)};
+      Sample* lx = ncomp > 3 ? ctx.ls.alloc<Sample>(cw) : nullptr;
+      Sample* fx = ncomp > 3 ? ctx.ls.alloc<Sample>(cw) : nullptr;
+      dma_get_row_tagged(ctx.dma, lr[0], planes[0].row(0) + ch.x0, cw, 0);
+      dma_get_row_tagged(ctx.dma, lg[0], planes[1].row(0) + ch.x0, cw, 0);
+      dma_get_row_tagged(ctx.dma, lb[0], planes[2].row(0) + ch.x0, cw, 0);
+      for (std::size_t y = 0; y < h; ++y) {
+        const unsigned cur = static_cast<unsigned>(y & 1);
+        const unsigned nxt = cur ^ 1u;
+        if (y + 1 < h) {
+          dma_get_row_tagged(ctx.dma, lr[nxt], planes[0].row(y + 1) + ch.x0,
+                             cw, nxt);
+          dma_get_row_tagged(ctx.dma, lg[nxt], planes[1].row(y + 1) + ch.x0,
+                             cw, nxt);
+          dma_get_row_tagged(ctx.dma, lb[nxt], planes[2].row(y + 1) + ch.x0,
+                             cw, nxt);
         }
-      } else {
-        for (std::size_t c = 0; c < ncomp; ++c) {
-          dma_get_row(ctx.dma, lr, planes[c].row(y) + ch.x0, cw);
-          simd_shift_to_fixed_row(ctx.simd, lr, fy, cw, depth);
-          dma_put_row(ctx.dma, fy, fxplanes[c].row(y) + ch.x0, cw);
+        ctx.dma.wait_tag(cur);
+        ctx.dma.touch(lr[cur], cw * sizeof(Sample));
+        ctx.dma.touch(lg[cur], cw * sizeof(Sample));
+        ctx.dma.touch(lb[cur], cw * sizeof(Sample));
+        ctx.dma.touch(fy[cur], cw * sizeof(Sample));
+        ctx.dma.touch(fcb[cur], cw * sizeof(Sample));
+        ctx.dma.touch(fcr[cur], cw * sizeof(Sample));
+        simd_shift_ict_fixed_row(ctx.simd, lr[cur], lg[cur], lb[cur],
+                                 fy[cur], fcb[cur], fcr[cur], cw, depth);
+        dma_put_row_tagged(ctx.dma, fy[cur], fxplanes[0].row(y) + ch.x0, cw,
+                           cur);
+        dma_put_row_tagged(ctx.dma, fcb[cur], fxplanes[1].row(y) + ch.x0,
+                           cw, cur);
+        dma_put_row_tagged(ctx.dma, fcr[cur], fxplanes[2].row(y) + ch.x0,
+                           cw, cur);
+        for (std::size_t c = 3; c < ncomp; ++c) {
+          dma_get_row_tagged(ctx.dma, lx, planes[c].row(y) + ch.x0, cw, 2);
+          ctx.dma.wait_tag(2);
+          ctx.dma.touch(lx, cw * sizeof(Sample));
+          ctx.dma.touch(fx, cw * sizeof(Sample));
+          simd_shift_to_fixed_row(ctx.simd, lx, fx, cw, depth);
+          dma_put_row_tagged(ctx.dma, fx, fxplanes[c].row(y) + ch.x0, cw, 2);
         }
       }
+    } else {
+      Sample* lr[2] = {ctx.ls.alloc<Sample>(cw), ctx.ls.alloc<Sample>(cw)};
+      Sample* fy[2] = {ctx.ls.alloc<Sample>(cw), ctx.ls.alloc<Sample>(cw)};
+      const std::size_t nitems = h * ncomp;
+      const auto src = [&](std::size_t k) {
+        return planes[k % ncomp].row(k / ncomp) + ch.x0;
+      };
+      const auto dst = [&](std::size_t k) {
+        return fxplanes[k % ncomp].row(k / ncomp) + ch.x0;
+      };
+      dma_get_row_tagged(ctx.dma, lr[0], src(0), cw, 0);
+      for (std::size_t k = 0; k < nitems; ++k) {
+        const unsigned cur = static_cast<unsigned>(k & 1);
+        const unsigned nxt = cur ^ 1u;
+        if (k + 1 < nitems) {
+          dma_get_row_tagged(ctx.dma, lr[nxt], src(k + 1), cw, nxt);
+        }
+        ctx.dma.wait_tag(cur);
+        ctx.dma.touch(lr[cur], cw * sizeof(Sample));
+        ctx.dma.touch(fy[cur], cw * sizeof(Sample));
+        simd_shift_to_fixed_row(ctx.simd, lr[cur], fy[cur], cw, depth);
+        dma_put_row_tagged(ctx.dma, fy[cur], dst(k), cw, cur);
+      }
     }
+    ctx.dma.wait_all();
     ctx.ls.reset();
   };
 

@@ -62,17 +62,33 @@ cell::StageTiming stage_quant(cell::Machine& m, Span2d<const float> fplane,
     // stride padding (this stage is the plane's only writer).
     const std::size_t tw =
         padded_row_elems(w, std::min(fplane.stride(), qplane.stride()));
-    float* fin = ctx.ls.alloc<float>(pad);
-    Sample* qout = ctx.ls.alloc<Sample>(pad);
-    for (std::size_t x = w; x < tw; ++x) qout[x] = 0;
+    // Ping/pong double buffering: row y computes on parity y&1 while row
+    // y+1 streams into the other parity.  Gets and puts of one parity
+    // share its tag, so one wait_tag claims the prefetched input and
+    // retires the two-rows-ago output together; the prefetch is fenced so
+    // each tag group stays an ordered stream (get after the retiring put),
+    // the same idiom that makes in-place buffers legal elsewhere.
+    float* fin[2] = {ctx.ls.alloc<float>(pad), ctx.ls.alloc<float>(pad)};
+    Sample* qout[2] = {ctx.ls.alloc<Sample>(pad), ctx.ls.alloc<Sample>(pad)};
+    for (std::size_t x = w; x < tw; ++x) qout[0][x] = 0;
+    for (std::size_t x = w; x < tw; ++x) qout[1][x] = 0;
+    dma_getf_row_tagged(ctx.dma, fin[0], fplane.row(start), tw, 0);
     for (std::size_t y = start; y < start + count; ++y) {
-      dma_get_row(ctx.dma, fin, fplane.row(y), tw);
-      for (const auto& seg : segments_for_row(tc, y)) {
-        simd_quant_row(ctx.simd, fin + seg.x0, qout + seg.x0, seg.width,
-                       seg.inv_step);
+      const unsigned cur = static_cast<unsigned>((y - start) & 1);
+      const unsigned nxt = cur ^ 1u;
+      if (y + 1 < start + count) {
+        dma_getf_row_tagged(ctx.dma, fin[nxt], fplane.row(y + 1), tw, nxt);
       }
-      dma_put_row(ctx.dma, qout, qplane.row(y), tw);
+      ctx.dma.wait_tag(cur);
+      ctx.dma.touch(fin[cur], tw * sizeof(float));
+      ctx.dma.touch(qout[cur], tw * sizeof(Sample));
+      for (const auto& seg : segments_for_row(tc, y)) {
+        simd_quant_row(ctx.simd, fin[cur] + seg.x0, qout[cur] + seg.x0,
+                       seg.width, seg.inv_step);
+      }
+      dma_put_row_tagged(ctx.dma, qout[cur], qplane.row(y), tw, cur);
     }
+    ctx.dma.wait_all();
     ctx.ls.reset();
   };
 
@@ -107,22 +123,33 @@ cell::StageTiming stage_quant_fixed(cell::Machine& m,
     }
     const auto [start, count] = rows[static_cast<std::size_t>(i)];
     const std::size_t pad = round_up(w, 32);
-    // Whole-cache-line transfers (see stage_quant above).
+    // Whole-cache-line transfers, ping/pong double buffering (see
+    // stage_quant above).
     const std::size_t tw =
         padded_row_elems(w, std::min(fxplane.stride(), qplane.stride()));
-    Sample* fin = ctx.ls.alloc<Sample>(pad);
-    Sample* qout = ctx.ls.alloc<Sample>(pad);
-    for (std::size_t x = w; x < tw; ++x) qout[x] = 0;
+    Sample* fin[2] = {ctx.ls.alloc<Sample>(pad), ctx.ls.alloc<Sample>(pad)};
+    Sample* qout[2] = {ctx.ls.alloc<Sample>(pad), ctx.ls.alloc<Sample>(pad)};
+    for (std::size_t x = w; x < tw; ++x) qout[0][x] = 0;
+    for (std::size_t x = w; x < tw; ++x) qout[1][x] = 0;
+    dma_getf_row_tagged(ctx.dma, fin[0], fxplane.row(start), tw, 0);
     for (std::size_t y = start; y < start + count; ++y) {
-      dma_get_row(ctx.dma, fin, fxplane.row(y), tw);
+      const unsigned cur = static_cast<unsigned>((y - start) & 1);
+      const unsigned nxt = cur ^ 1u;
+      if (y + 1 < start + count) {
+        dma_getf_row_tagged(ctx.dma, fin[nxt], fxplane.row(y + 1), tw, nxt);
+      }
+      ctx.dma.wait_tag(cur);
+      ctx.dma.touch(fin[cur], tw * sizeof(Sample));
+      ctx.dma.touch(qout[cur], tw * sizeof(Sample));
       for (const auto& seg : segments_for_row(tc, y)) {
         const auto inv = static_cast<std::int64_t>(
             (65536.0 / seg.step) + 0.5);
-        simd_quant_fixed_row(ctx.simd, fin + seg.x0, qout + seg.x0,
+        simd_quant_fixed_row(ctx.simd, fin[cur] + seg.x0, qout[cur] + seg.x0,
                              seg.width, inv);
       }
-      dma_put_row(ctx.dma, qout, qplane.row(y), tw);
+      dma_put_row_tagged(ctx.dma, qout[cur], qplane.row(y), tw, cur);
     }
+    ctx.dma.wait_all();
     ctx.ls.reset();
   };
 

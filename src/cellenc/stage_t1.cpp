@@ -185,8 +185,13 @@ T1StageResult stage_t1(cell::Machine& m, jp2k::Tile& tile,
       static_cast<double>(dma_bytes) / m.total_mem_bw();
   res.timing.spe_compute = chosen_makespan;
   // Computation dominates Tier-1 (high compute-to-communication ratio,
-  // paper §3.2); DMA overlaps under double buffering.
+  // paper §3.2); DMA overlaps under double buffering — the work queue's
+  // block fetches are tag-grouped gets prefetched behind coding, so the
+  // stage costs max() rather than the serial sum, and the difference is
+  // the overlap credit.
   res.timing.seconds = std::max(chosen_makespan, res.timing.dma_aggregate);
+  res.timing.dma_overlap_saved =
+      std::min(chosen_makespan, res.timing.dma_aggregate);
   return res;
 }
 

@@ -248,6 +248,7 @@ PipelineResult encode_tiled(cell::Machine& machine, const Image& img,
   for (const auto& s : res.stages) {
     res.dma_bytes += s.dma_bytes;
     res.overlap_saved_seconds += s.overlap_saved;
+    res.dma_overlap_saved_seconds += s.dma_overlap_saved;
   }
   if (audit) {
     res.audit = audit->report();

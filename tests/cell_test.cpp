@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "cell/audit.hpp"
 #include "cell/cost_model.hpp"
 #include "cell/dma.hpp"
 #include "cell/local_store.hpp"
@@ -246,6 +247,124 @@ TEST(Dma, MovesRealData) {
   EXPECT_EQ(main_buf[10], -1);
 }
 
+TEST(DmaTags, AsyncTransfersMoveDataAndCount) {
+  OpCounters c;
+  DmaEngine dma(c);
+  AlignedBuffer<std::int32_t> main_buf(64);
+  LocalStore ls;
+  auto* lsb = ls.alloc<std::int32_t>(64);
+  for (int i = 0; i < 64; ++i) main_buf[static_cast<std::size_t>(i)] = i;
+  dma.get_async(lsb, main_buf.data(), 256, 3);
+  EXPECT_EQ(dma.pending_mask(), 1u << 3);
+  EXPECT_EQ(dma.issued_mask(), 1u << 3);
+  dma.wait_tag(3);
+  EXPECT_EQ(dma.pending_mask(), 0u);
+  EXPECT_EQ(lsb[17], 17);
+  EXPECT_EQ(c.dma_tagged_transfers, 1u);
+  EXPECT_EQ(c.dma_bytes_tagged, 256u);
+  EXPECT_EQ(c.dma_transfers, 1u);  // tagged traffic is still DMA traffic
+  dma.put_async(lsb, main_buf.data() + 32, 128, 7);
+  dma.wait_tag_mask(1u << 7);
+  EXPECT_EQ(main_buf[40], 8);
+  EXPECT_EQ(c.dma_bytes_tagged, 384u);
+}
+
+TEST(DmaTags, HardMisuseThrows) {
+  OpCounters c;
+  DmaEngine dma(c);
+  AlignedBuffer<std::int32_t> main_buf(64);
+  LocalStore ls;
+  auto* lsb = ls.alloc<std::int32_t>(64);
+  // Tag out of the MFC's 32-group range.
+  EXPECT_THROW(dma.get_async(lsb, main_buf.data(), 256, DmaEngine::kNumTags),
+               CellHardwareError);
+  EXPECT_THROW(dma.put_async(lsb, main_buf.data(), 256, 99),
+               CellHardwareError);
+  // Waiting on an empty mask, or on tags never issued (wait on nothing).
+  EXPECT_THROW(dma.wait_tag_mask(0), CellHardwareError);
+  EXPECT_THROW(dma.wait_tag(5), CellHardwareError);
+  dma.get_async(lsb, main_buf.data(), 256, 2);
+  EXPECT_THROW(dma.wait_tag(4), CellHardwareError);
+  EXPECT_NO_THROW(dma.wait_tag(2));
+  // Re-waiting an already-drained but once-issued tag is benign (the MFC
+  // just reports the group complete).
+  EXPECT_NO_THROW(dma.wait_tag(2));
+  // wait_all with nothing in flight is the legal no-op epilogue.
+  EXPECT_NO_THROW(dma.wait_all());
+}
+
+TEST(DmaTags, HazardsAreReportedToTheAudit) {
+  OpCounters c;
+  DmaEngine dma(c);
+  AuditConfig cfg;
+  cfg.enabled = true;
+  InvariantAudit audit(cfg);
+  dma.attach_audit(&audit);
+  AlignedBuffer<std::int32_t> main_buf(256);
+  LocalStore ls;
+  auto* lsb = ls.alloc<std::int32_t>(256);
+
+  // Touching a buffer whose get has not been waited.
+  dma.get_async(lsb, main_buf.data(), 256, 0);
+  dma.touch(lsb, 256);
+  EXPECT_EQ(audit.report().tag_touch_before_wait, 1u);
+  dma.wait_tag(0);
+  dma.touch(lsb, 256);  // clean after the wait
+  EXPECT_EQ(audit.report().tag_touch_before_wait, 1u);
+
+  // Re-targeting a buffer with a transfer in flight, without a fence.
+  dma.put_async(lsb, main_buf.data(), 256, 1);
+  dma.get_async(lsb, main_buf.data() + 64, 256, 2);
+  EXPECT_EQ(audit.report().tag_reuse_in_flight, 1u);
+  dma.wait_tag_mask((1u << 1) | (1u << 2));
+
+  // The fenced flavour of the same re-target on the same tag is legal.
+  dma.put_async(lsb + 64, main_buf.data(), 256, 4);
+  dma.getf_async(lsb + 64, main_buf.data() + 128, 256, 4);
+  EXPECT_EQ(audit.report().tag_reuse_in_flight, 1u);
+  dma.wait_tag(4);
+
+  // Returning from a kernel with tags still in flight.
+  dma.get_async(lsb, main_buf.data(), 256, 6);
+  dma.finish_kernel();
+  EXPECT_EQ(audit.report().tag_pending_at_exit, 1u);
+  EXPECT_EQ(dma.pending_mask(), 0u);  // finish_kernel resets tag state
+  EXPECT_EQ(audit.report().tag_hazards(), 3u);
+  EXPECT_FALSE(audit.report().clean());
+}
+
+TEST(DmaTags, StrictAuditThrowsOnHazard) {
+  OpCounters c;
+  DmaEngine dma(c);
+  AuditConfig cfg;
+  cfg.enabled = true;
+  cfg.strict = true;
+  InvariantAudit audit(cfg);
+  dma.attach_audit(&audit);
+  AlignedBuffer<std::int32_t> main_buf(64);
+  LocalStore ls;
+  auto* lsb = ls.alloc<std::int32_t>(64);
+  dma.get_async(lsb, main_buf.data(), 256, 0);
+  EXPECT_THROW(dma.touch(lsb, 256), AuditError);
+}
+
+TEST(DmaTags, FinishKernelWithNothingPendingIsClean) {
+  OpCounters c;
+  DmaEngine dma(c);
+  AuditConfig cfg;
+  cfg.enabled = true;
+  InvariantAudit audit(cfg);
+  dma.attach_audit(&audit);
+  AlignedBuffer<std::int32_t> main_buf(64);
+  LocalStore ls;
+  auto* lsb = ls.alloc<std::int32_t>(64);
+  dma.get_async(lsb, main_buf.data(), 256, 0);
+  dma.wait_all();
+  dma.finish_kernel();
+  EXPECT_EQ(audit.report().tag_hazards(), 0u);
+  EXPECT_TRUE(audit.report().clean());
+}
+
 TEST(Simd, CountsAndComputes) {
   OpCounters c;
   Simd s(c);
@@ -365,9 +484,51 @@ TEST(Machine, NoOverlapSerializesComputeAndDma) {
   spe[0].v_add = 1u << 24;
   spe[0].dma_bytes_in = 1u << 28;
   spe[0].dma_transfers = 1;
+  // Overlap is earned: only tagged (asynchronous) traffic hides behind
+  // compute.
+  spe[0].dma_tagged_transfers = 1;
+  spe[0].dma_bytes_tagged = 1u << 28;
   const auto overlapped = m.compose("a", spe, {}, true);
   const auto serial = m.compose("b", spe, {}, false);
   EXPECT_GT(serial.seconds, overlapped.seconds);
+  EXPECT_DOUBLE_EQ(overlapped.dma_overlap_saved,
+                   serial.seconds - overlapped.seconds);
+}
+
+TEST(Machine, UntaggedTrafficEarnsNoOverlap) {
+  MachineConfig cfg;
+  cfg.num_spes = 1;
+  Machine m(cfg);
+  std::vector<OpCounters> spe(1);
+  spe[0].v_add = 1u << 24;
+  spe[0].dma_bytes_in = 1u << 28;
+  spe[0].dma_transfers = 1;  // synchronous: stalls the SPE either way
+  const auto overlapped = m.compose("a", spe, {}, true);
+  const auto serial = m.compose("b", spe, {}, false);
+  EXPECT_DOUBLE_EQ(serial.seconds, overlapped.seconds);
+  EXPECT_DOUBLE_EQ(overlapped.dma_overlap_saved, 0.0);
+}
+
+TEST(Machine, PartiallyTaggedTrafficEarnsPartialOverlap) {
+  MachineConfig cfg;
+  cfg.num_spes = 1;
+  Machine m(cfg);
+  std::vector<OpCounters> all_tagged(1), half_tagged(1);
+  // Compute strictly dominates the transfer time, so the fully tagged
+  // stage hides all of it, the half-tagged stage pays the sync half, and
+  // the serial composition pays everything.
+  all_tagged[0].v_add = half_tagged[0].v_add = 1u << 27;
+  all_tagged[0].dma_bytes_in = half_tagged[0].dma_bytes_in = 1u << 28;
+  all_tagged[0].dma_transfers = half_tagged[0].dma_transfers = 2;
+  all_tagged[0].dma_tagged_transfers = 2;
+  all_tagged[0].dma_bytes_tagged = 1u << 28;
+  half_tagged[0].dma_tagged_transfers = 1;
+  half_tagged[0].dma_bytes_tagged = 1u << 27;
+  const auto full = m.compose("a", all_tagged, {}, true);
+  const auto half = m.compose("b", half_tagged, {}, true);
+  const auto none = m.compose("c", all_tagged, {}, false);
+  EXPECT_LT(full.seconds, half.seconds);
+  EXPECT_LT(half.seconds, none.seconds);
 }
 
 TEST(Machine, WorkerExceptionsPropagate) {

@@ -1,12 +1,15 @@
-// cellcheck tier 3 tests: each lint rule on inline snippets, the
+// cellcheck tier 3+4 tests: each lint rule on inline snippets, the
 // comment/string stripper, false-positive guards for the repo's real
-// idioms, and the gate the acceptance criteria pin: src/ lints clean.
+// idioms, a seeded-bad fixture corpus for every flow rule, and the gates
+// the acceptance criteria pin: src/, bench/ and tools/ all check clean
+// under both tiers.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <string>
 #include <vector>
 
+#include "cellcheck/flow.hpp"
 #include "cellcheck/lint.hpp"
 
 namespace cj2k::cellcheck {
@@ -25,6 +28,12 @@ bool has_rule(const std::vector<Violation>& vs, const std::string& rule) {
 
 LintOptions spe_all() {
   LintOptions o;
+  o.treat_all_as_spe = true;
+  return o;
+}
+
+FlowOptions flow_all() {
+  FlowOptions o;
   o.treat_all_as_spe = true;
   return o;
 }
@@ -174,6 +183,260 @@ TEST(LintRegions, CommentedCodeDoesNotTrip) {
   EXPECT_TRUE(lint_source("t.cpp", src, {}).empty());
 }
 
+TEST(LintRules, FlagsSuffixedDmaSizeLiterals) {
+  // 0x80u / 4096UL used to slip through: the suffix sits between two word
+  // characters, so the old literal regex's trailing \b never matched.
+  EXPECT_TRUE(has_rule(
+      lint_source("t.cpp", "dma.get(dst, src, 0x80u);\n", {}),
+      "dma-literal-size"));
+  EXPECT_TRUE(has_rule(
+      lint_source("t.cpp", "dma.put(src, dst, 4096UL);\n", {}),
+      "dma-literal-size"));
+  EXPECT_TRUE(has_rule(
+      lint_source("t.cpp", "dma.get_large(d, s, 0X4000uLL);\n", {}),
+      "dma-literal-size"));
+}
+
+TEST(LintRules, AsyncAndTaggedCallsCheckTheSizeArgumentNotTheTag) {
+  // dma.get_async(buf, addr, size, tag): the size is argument 2, and the
+  // trailing tag literal must not be mistaken for a transfer size.
+  EXPECT_TRUE(has_rule(
+      lint_source("t.cpp", "dma.get_async(d, s, 256, tag);\n", {}),
+      "dma-literal-size"));
+  EXPECT_TRUE(
+      lint_source("t.cpp", "dma.get_async(d, s, n * sizeof(float), 31);\n", {})
+          .empty());
+  EXPECT_TRUE(
+      lint_source("t.cpp", "dma.putf_async(d, s, bytes, 17);\n", {}).empty());
+  // dma_put_row_tagged(dma, buf, addr, elems, tag): size is argument 3.
+  EXPECT_TRUE(
+      lint_source("t.cpp", "dma_put_row_tagged(dma, b, a, elems, 31);\n", {})
+          .empty());
+  EXPECT_TRUE(has_rule(
+      lint_source("t.cpp", "dma_getf_row_tagged(dma, b, a, 512, tag);\n", {}),
+      "dma-literal-size"));
+}
+
+TEST(LintRules, DmaEngineMaxTransferIsAnAllowedSize) {
+  EXPECT_TRUE(
+      lint_source("t.cpp",
+                  "dma.get_large(d, s, cell::DmaEngine::kMaxTransfer);\n", {})
+          .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Tier-4 flow rules: one seeded-bad fixture per rule, plus clean realistic
+// shapes that must NOT trip (the false-positive guards).
+
+TEST(FlowRules, UseWhileInFlightIsTagUnwaited) {
+  const std::string src =
+      "dma.get_async(buf, src, n, 0);\n"
+      "consume(buf);\n"
+      "dma.wait_tag(0);\n";
+  const auto vs = flow_source("t.cpp", src, flow_all());
+  ASSERT_EQ(vs.size(), 1u) << format_violations(vs);
+  EXPECT_EQ(vs[0].rule, "dma-tag-unwaited");
+  EXPECT_EQ(vs[0].line, 2u);
+}
+
+TEST(FlowRules, TouchAfterWaitIsClean) {
+  const std::string src =
+      "dma.get_async(buf, src, n, 0);\n"
+      "dma.wait_tag(0);\n"
+      "dma.touch(buf, n);\n"
+      "consume(buf);\n";
+  EXPECT_TRUE(flow_source("t.cpp", src, flow_all()).empty());
+}
+
+TEST(FlowRules, PendingTagAtExitIsTagUnwaited) {
+  const std::string src = "dma.put_async(buf, dst, n, 4);\n";
+  const auto vs = flow_source("t.cpp", src, flow_all());
+  ASSERT_EQ(vs.size(), 1u) << format_violations(vs);
+  EXPECT_EQ(vs[0].rule, "dma-tag-unwaited");
+  EXPECT_NE(vs[0].message.find("exit"), std::string::npos);
+}
+
+TEST(FlowRules, UnfencedBufferRetargetIsReuseInFlight) {
+  const std::string src =
+      "dma.get_async(buf, a, n, 0);\n"
+      "dma.get_async(buf, b, n, 1);\n"
+      "dma.wait_all();\n";
+  const auto vs = flow_source("t.cpp", src, flow_all());
+  ASSERT_EQ(vs.size(), 1u) << format_violations(vs);
+  EXPECT_EQ(vs[0].rule, "dma-tag-reuse-in-flight");
+  EXPECT_EQ(vs[0].line, 2u);
+}
+
+TEST(FlowRules, FencedSameTagRetargetIsLegal) {
+  // The MFC fence orders a getf/putf after prior commands on the SAME tag,
+  // so re-targeting an in-flight buffer this way is the one legal shape.
+  const std::string src =
+      "dma.getf_async(buf, a, n, 0);\n"
+      "dma.getf_async(buf, b, n, 0);\n"
+      "dma.wait_tag(0);\n"
+      "consume(buf);\n";
+  EXPECT_TRUE(flow_source("t.cpp", src, flow_all()).empty());
+}
+
+TEST(FlowRules, FencedCrossTagRetargetStillFlagged) {
+  // A fence does not order across tag groups — same-buffer reuse on a
+  // different tag is a hazard even when fenced.
+  const std::string src =
+      "dma.getf_async(buf, a, n, 0);\n"
+      "dma.getf_async(buf, b, n, 1);\n"
+      "dma.wait_all();\n";
+  EXPECT_TRUE(has_rule(flow_source("t.cpp", src, flow_all()),
+                       "dma-tag-reuse-in-flight"));
+}
+
+TEST(FlowRules, WaitOnNeverIssuedTagIsWaitUnissued) {
+  const auto vs = flow_source("t.cpp", "dma.wait_tag(5);\n", flow_all());
+  ASSERT_EQ(vs.size(), 1u) << format_violations(vs);
+  EXPECT_EQ(vs[0].rule, "dma-wait-unissued");
+}
+
+TEST(FlowRules, EmptyWaitMaskIsWaitUnissued) {
+  EXPECT_TRUE(has_rule(
+      flow_source("t.cpp", "dma.wait_tag_mask(0);\n", flow_all()),
+      "dma-wait-unissued"));
+}
+
+TEST(FlowRules, MaskCoveringIssuedTagIsClean) {
+  const std::string src =
+      "dma.get_async(buf, a, n, 3);\n"
+      "dma.wait_tag_mask(1u << 3);\n"
+      "consume(buf);\n";
+  EXPECT_TRUE(flow_source("t.cpp", src, flow_all()).empty());
+}
+
+TEST(FlowRules, SingleTagDoubleBufferIsImbalance) {
+  // Both parities of ping[] issued on tag 0: every wait drains both, so
+  // the ping/pong serializes exactly like a single buffer.
+  const std::string src =
+      "for (int i = 0; i < 8; ++i) {\n"
+      "  const unsigned t = i & 1;\n"
+      "  dma.get_async(ping[t], src, n, 0);\n"
+      "  dma.wait_tag(0);\n"
+      "  dma.touch(ping[t], n);\n"
+      "}\n"
+      "dma.wait_all();\n";
+  const auto vs = flow_source("t.cpp", src, flow_all());
+  ASSERT_EQ(vs.size(), 1u) << format_violations(vs);
+  EXPECT_EQ(vs[0].rule, "dma-double-buffer-imbalance");
+}
+
+TEST(FlowRules, PerParityTagsAreBalanced) {
+  const std::string src =
+      "for (int i = 0; i < 8; ++i) {\n"
+      "  const unsigned t = i & 1;\n"
+      "  dma.get_async(ping[t], src, n, t);\n"
+      "  dma.wait_tag(t);\n"
+      "  dma.touch(ping[t], n);\n"
+      "}\n"
+      "dma.wait_all();\n";
+  EXPECT_TRUE(flow_source("t.cpp", src, flow_all()).empty());
+}
+
+TEST(FlowRules, RealisticFencedPingPongKernelIsClean) {
+  // The stage-kernel dialect end to end: fenced prologue prefetch, parity
+  // variables through a loop, conditional next-row prefetch, wait-touch-
+  // transform-put, drain, Local Store reset.
+  const std::string src =
+      "void kernel(cell::SpeContext& ctx) {\n"
+      "  Sample* lin[2] = {ctx.ls.alloc<Sample>(pad),"
+      " ctx.ls.alloc<Sample>(pad)};\n"
+      "  dma_getf_row_tagged(ctx.dma, lin[0], plane.row(0), tw, 0);\n"
+      "  for (std::size_t y = 0; y < count; ++y) {\n"
+      "    const unsigned cur = y & 1;\n"
+      "    const unsigned nxt = cur ^ 1;\n"
+      "    if (y + 1 < count) {\n"
+      "      dma_getf_row_tagged(ctx.dma, lin[nxt], plane.row(y + 1), tw,"
+      " nxt);\n"
+      "    }\n"
+      "    ctx.dma.wait_tag(cur);\n"
+      "    ctx.dma.touch(lin[cur], tw * sizeof(Sample));\n"
+      "    transform(lin[cur], tw);\n"
+      "    dma_put_row_tagged(ctx.dma, lin[cur], plane.row(y), tw, cur);\n"
+      "  }\n"
+      "  ctx.dma.wait_all();\n"
+      "  ctx.ls.reset();\n"
+      "}\n";
+  const auto vs = flow_source("t.cpp", src);  // region detection, not --spe-all
+  EXPECT_TRUE(vs.empty()) << format_violations(vs);
+}
+
+TEST(FlowRules, SymbolicTagParameterIsJudgedLeniently) {
+  // kernels.cpp's row helpers issue on a caller-supplied tag and return
+  // without waiting — the caller owns the wait.  Symbolic pending state
+  // must never be reported at exit.
+  const std::string src =
+      "void helper(cell::DmaEngine& dma, unsigned tag) {\n"
+      "  dma.get_async(buf, src, n, tag);\n"
+      "}\n";
+  EXPECT_TRUE(flow_source("t.cpp", src).empty());
+}
+
+TEST(FlowRules, ConditionalIssueCountsAsPendingAtTheJoin) {
+  // Union-at-join: a transfer issued on only one branch is still pending
+  // after the if, so touching the buffer without a wait is flagged.
+  const std::string src =
+      "if (prefetch) {\n"
+      "  dma.get_async(buf, src, n, 0);\n"
+      "}\n"
+      "consume(buf);\n"
+      "dma.wait_all();\n";
+  EXPECT_TRUE(has_rule(flow_source("t.cpp", src, flow_all()),
+                       "dma-tag-unwaited"));
+}
+
+TEST(FlowRules, LsAllocOverBudgetIsFlagged) {
+  const std::string src =
+      "void kernel(cell::SpeContext& ctx) {\n"
+      "  float* big = ctx.ls.alloc<float>(40000);\n"
+      "  float* more = ctx.ls.alloc<float>(16000);\n"
+      "}\n";
+  const auto vs = flow_source("t.cpp", src);
+  ASSERT_EQ(vs.size(), 1u) << format_violations(vs);
+  EXPECT_EQ(vs[0].rule, "ls-static-budget");
+  EXPECT_NE(vs[0].message.find("224000"), std::string::npos);
+}
+
+TEST(FlowRules, LsBudgetEdgeIsExact) {
+  // 53248 floats == 212992 bytes == the budget, exactly: still legal.
+  EXPECT_EQ(kStaticLsBudgetBytes, 212992u);
+  EXPECT_TRUE(
+      flow_source("t.cpp", "float* p = ls.alloc<float>(53248);\n", flow_all())
+          .empty());
+  EXPECT_TRUE(has_rule(
+      flow_source("t.cpp", "float* p = ls.alloc<float>(53249);\n", flow_all()),
+      "ls-static-budget"));
+}
+
+TEST(FlowRules, LsResetReturnsTheBudget) {
+  const std::string src =
+      "float* a = ls.alloc<float>(40000);\n"
+      "ls.reset();\n"
+      "float* b = ls.alloc<float>(40000);\n";
+  EXPECT_TRUE(flow_source("t.cpp", src, flow_all()).empty());
+}
+
+TEST(FlowSummaries, CountIssuesAndWaitsPerRegion) {
+  const std::string src =
+      "void kernel(cell::DmaEngine& dma) {\n"
+      "  dma.get_async(buf, src, n, 0);\n"
+      "  dma.wait_tag(0);\n"
+      "  dma.touch(buf, n);\n"
+      "}\n";
+  std::vector<RegionTagSummary> sums;
+  const auto vs = flow_source("t.cpp", src, {}, &sums);
+  EXPECT_TRUE(vs.empty()) << format_violations(vs);
+  ASSERT_EQ(sums.size(), 1u);
+  EXPECT_EQ(sums[0].issues, 1u);
+  EXPECT_EQ(sums[0].resolved_issues, 1u);
+  EXPECT_EQ(sums[0].waits, 1u);
+  EXPECT_EQ(sums[0].violations, 0u);
+}
+
 TEST(LintFormat, ReportLinesAreFileLineRuleMessage) {
   const auto vs = lint_source("dir/file.cpp", "dma.get(a, b, 128);\n", {});
   ASSERT_EQ(vs.size(), 1u);
@@ -195,6 +458,36 @@ TEST(LintGate, SrcTreeHasSpeRegionsToCheck) {
   // an empty clean result above is meaningful.
   const auto vs = lint_tree(CJ2K_SOURCE_DIR "/src", spe_all());
   EXPECT_FALSE(vs.empty());
+}
+
+TEST(LintGate, BenchAndToolsTreesAreClean) {
+  for (const char* tree : {CJ2K_SOURCE_DIR "/bench", CJ2K_SOURCE_DIR
+                           "/tools"}) {
+    const auto vs = lint_tree(tree, {});
+    EXPECT_TRUE(vs.empty()) << tree << ":\n" << format_violations(vs);
+  }
+}
+
+TEST(FlowGate, SrcBenchAndToolsTreesAreFlowClean) {
+  for (const char* tree :
+       {CJ2K_SOURCE_DIR "/src", CJ2K_SOURCE_DIR "/bench",
+        CJ2K_SOURCE_DIR "/tools"}) {
+    const auto vs = flow_tree(tree, {});
+    EXPECT_TRUE(vs.empty()) << tree << ":\n" << format_violations(vs);
+  }
+}
+
+TEST(FlowGate, SrcTreeHasTaggedKernelsToCheck) {
+  // The flow gate above is only meaningful if the analyzer actually sees
+  // the stage kernels' tagged traffic: demand a healthy population of SPE
+  // regions that both issue async DMA on resolved tags and wait on them.
+  std::vector<RegionTagSummary> sums;
+  flow_tree(CJ2K_SOURCE_DIR "/src", {}, &sums);
+  std::size_t tagged = 0;
+  for (const auto& s : sums) {
+    if (s.resolved_issues > 0 && s.waits > 0) ++tagged;
+  }
+  EXPECT_GE(tagged, 8u);
 }
 
 }  // namespace

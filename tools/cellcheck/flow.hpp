@@ -1,0 +1,103 @@
+// cellcheck tier 4: a flow-aware static analyzer for DMA-tag discipline.
+//
+// Where the tier-3 lint (lint.hpp) pattern-matches single lines, this pass
+// builds a per-kernel event sequence — asynchronous DMA issues, tag waits,
+// Local Store buffer uses — inside every SPE region and pushes an abstract
+// tag state through it: which tags have transfers in flight, which Local
+// Store buffers those transfers target, and which tags have ever been
+// issued on.  Loops are unrolled twice so ping/pong parity variables
+// (`cur = y & 1`, `nxt = cur ^ 1`) take both values; branch bodies are
+// walked unconditionally, which makes the state at a join the union of the
+// paths (a conditionally-issued transfer counts as pending — the safe
+// direction for every rule below).  It is the static mirror of the runtime
+// tag model in src/cell/dma.cpp (cellcheck tier 2), rule for hazard:
+//
+//   dma-tag-unwaited          — a buffer is used (dma.touch or a plain
+//                               appearance in a statement) while its
+//                               transfer is still in flight, or the kernel
+//                               exits with a resolved tag still pending.
+//                               Runtime mirror: TagHazard::kTouchBeforeWait
+//                               and ::kPendingAtExit.
+//   dma-tag-reuse-in-flight   — an issue re-targets a buffer whose previous
+//                               transfer is in flight, and the new issue is
+//                               not a same-tag fenced (getf/putf) command —
+//                               the only re-targeting the MFC orders.
+//                               Runtime mirror: TagHazard::kReuseInFlight.
+//   dma-wait-unissued         — wait_tag/wait_tag_mask on a tag (or mask)
+//                               no transfer was ever issued on, or an empty
+//                               mask.  Runtime mirror: the
+//                               CellHardwareError thrown by DmaEngine.
+//   dma-double-buffer-imbalance — two or more elements of one buffer array
+//                               are DMA-issued but every issue lands on the
+//                               same tag: waiting on that tag drains both
+//                               parities, so the "double buffer" serializes
+//                               exactly like a single one.
+//   ls-static-budget          — the kernel's statically-resolvable
+//                               LocalStore::alloc total exceeds the 256 KB
+//                               Local Store minus the 48 KB code/stack
+//                               reserve (the runtime LocalStore would throw
+//                               before the first DMA ever moved).
+//
+// Tags and buffers the pass cannot resolve (function-call results, ring
+// indices like `tag_of(row)`) are tracked symbolically and judged
+// leniently: a symbolic issue satisfies later waits, a symbolic wait
+// clears everything, symbolic pending state is never reported at exit.
+// That keeps the pass sound-for-reporting (no false positives on the
+// repo's ring-buffered kernels) while staying precise on the literal-tag
+// and parity-tag dialect the stage kernels are written in.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cellcheck/lint.hpp"
+
+namespace cj2k::cellcheck {
+
+/// Data bytes a kernel may statically allocate from the Local Store:
+/// LocalStore::kCapacity (256 KB) minus the default code/stack reserve
+/// (48 KB).  Kept in sync with src/cell/local_store.hpp by
+/// tests/lint_test.cpp.
+constexpr std::size_t kStaticLsBudgetBytes = 256 * 1024 - 48 * 1024;
+
+struct FlowOptions {
+  /// Treat the whole input as one SPE region (used by rule unit tests).
+  bool treat_all_as_spe = false;
+};
+
+/// Per-region summary of the static tag model — what the differential test
+/// (tests/dma_diff_test.cpp) couples to the runtime audit trace.
+struct RegionTagSummary {
+  std::string file;
+  std::size_t first_line = 0;
+  std::size_t last_line = 0;
+  std::size_t issues = 0;          ///< Asynchronous DMA issues seen.
+  std::size_t resolved_issues = 0; ///< Issues whose tag resolved to 0..31.
+  std::size_t waits = 0;           ///< wait_tag / wait_tag_mask / wait_all.
+  std::size_t violations = 0;      ///< Flow violations charged to the region.
+};
+
+/// Analyzes one translation unit given as text.  `path` is used only for
+/// reporting.  When `summaries` is non-null, one RegionTagSummary per SPE
+/// region is appended.
+std::vector<Violation> flow_source(const std::string& path,
+                                   const std::string& text,
+                                   const FlowOptions& opt = {},
+                                   std::vector<RegionTagSummary>* summaries =
+                                       nullptr);
+
+/// Reads and analyzes one file.  Throws std::runtime_error on I/O failure.
+std::vector<Violation> flow_file(const std::string& path,
+                                 const FlowOptions& opt = {},
+                                 std::vector<RegionTagSummary>* summaries =
+                                     nullptr);
+
+/// Recursively analyzes every source file under `root` (same walk as
+/// lint_tree).
+std::vector<Violation> flow_tree(const std::string& root,
+                                 const FlowOptions& opt = {},
+                                 std::vector<RegionTagSummary>* summaries =
+                                     nullptr);
+
+}  // namespace cj2k::cellcheck

@@ -16,9 +16,19 @@ namespace {
 /// function/lambda as SPE-resident (the repo's kernel calling convention).
 const std::regex kSpeMarker(R"((SpeContext|Simd|DmaEngine)\s*&)");
 
-/// DMA transfer calls whose final argument is the size in bytes/elements.
+/// DMA transfer calls carrying a size-in-bytes/elements argument.  The
+/// asynchronous engine calls and the tagged row helpers take the tag
+/// *after* the size, so the checked argument index depends on the name.
 const std::regex kDmaCall(
-    R"(\bdma\.(get|put|get_large|put_large)\s*\(|\bdma_(get|put)_row\s*\()");
+    R"(\bdma\.(get|put|get_large|put_large|get_async|put_async|getf_async|putf_async)\s*\(|\bdma_(get|put|getf|putf)_row(_tagged)?\s*\()");
+
+/// Index of the size argument for a DMA call matched by kDmaCall, or
+/// npos for "last argument".
+std::size_t dma_size_arg_index(const std::string& call_name) {
+  if (call_name.find("_async") != std::string::npos) return 2;
+  if (call_name.find("_row_tagged") != std::string::npos) return 3;
+  return std::string::npos;
+}
 
 struct Rule {
   std::regex pattern;
@@ -131,10 +141,10 @@ std::vector<std::string> split_lines(const std::string& text) {
   return lines;
 }
 
-/// Splits a top-level argument list (text after an opening paren) into
-/// arguments; returns false when the call does not close within `text`.
-bool split_args(const std::string& text, std::size_t open_pos,
-                std::vector<std::string>& args, std::size_t& end_pos) {
+}  // namespace
+
+bool split_call_args(const std::string& text, std::size_t open_pos,
+                     std::vector<std::string>& args, std::size_t& end_pos) {
   int depth = 1;
   std::string cur;
   for (std::size_t i = open_pos + 1; i < text.size(); ++i) {
@@ -158,16 +168,22 @@ bool split_args(const std::string& text, std::size_t open_pos,
   return false;
 }
 
+namespace {
+
 /// True when the DMA size expression is acceptable: no bare integer literal
 /// >= 16, or every literal is accompanied by a named constant / sizeof the
-/// size is derived from.
+/// size is derived from.  The literal matcher accepts integer suffixes
+/// (0x80u, 4096UL): a suffix sits between two word characters, so a
+/// trailing \b alone never matches the suffixed form — the original
+/// false-negative this regex closes.
 bool dma_size_expression_ok(const std::string& expr) {
-  static const std::regex kDerived(R"(\bk[A-Z]\w*|\bsizeof\b)");
+  static const std::regex kDerived(
+      R"(\bk[A-Z]\w*|\bsizeof\b|\bDmaEngine\s*::\s*kMaxTransfer\b)");
   if (std::regex_search(expr, kDerived)) return true;
-  static const std::regex kLiteral(R"(\b(0[xX][0-9a-fA-F]+|\d+)\b)");
+  static const std::regex kLiteral(R"(\b(0[xX][0-9a-fA-F]+|\d+)[uUlL]*\b)");
   for (auto it = std::sregex_iterator(expr.begin(), expr.end(), kLiteral);
        it != std::sregex_iterator(); ++it) {
-    const unsigned long long v = std::stoull(it->str(), nullptr, 0);
+    const unsigned long long v = std::stoull(it->str(1), nullptr, 0);
     if (v >= 16) return false;
   }
   return true;
@@ -175,23 +191,21 @@ bool dma_size_expression_ok(const std::string& expr) {
 
 }  // namespace
 
-std::vector<Violation> lint_source(const std::string& path,
-                                   const std::string& text,
-                                   const LintOptions& opt) {
-  std::vector<Violation> out;
-  const std::string stripped = strip_comments_and_strings(text);
-  const auto lines = split_lines(stripped);
+std::vector<SpeRegion> find_spe_regions(const std::string& stripped_text) {
+  const auto lines = split_lines(stripped_text);
 
   // Region scanner state: brace depth, pending SPE-signature latch, and a
-  // stack of depths at which SPE regions opened.
+  // stack of depths at which SPE regions opened.  A line belongs to a
+  // region when the stack is non-empty at the line's start.
   int depth = 0;
   bool pending = false;
   int pending_paren = 0;
   std::vector<int> region_depths;
 
+  std::vector<SpeRegion> out;
+  bool was_in = false;
   for (std::size_t li = 0; li < lines.size(); ++li) {
     const std::string& line = lines[li];
-    const std::size_t lineno = li + 1;
 
     // A new SPE-kernel signature?  std::function<...SpeContext&...> is a
     // type naming the convention, not a kernel definition.
@@ -201,42 +215,13 @@ std::vector<Violation> lint_source(const std::string& path,
       pending_paren = 0;
     }
 
-    const bool in_spe = opt.treat_all_as_spe || !region_depths.empty();
-
-    if (in_spe) {
-      for (const Rule& r : kSpeRules) {
-        if (std::regex_search(line, r.pattern)) {
-          out.push_back({path, lineno, r.name, r.message});
-        }
-      }
+    const bool in_spe = !region_depths.empty();
+    if (in_spe && !was_in) {
+      out.push_back({li + 1, li + 1});
+    } else if (in_spe) {
+      out.back().last_line = li + 1;
     }
-
-    // DMA size rule (applies everywhere).  Join continuation lines so a
-    // call split across lines still yields its full argument list.
-    for (auto it = std::sregex_iterator(line.begin(), line.end(), kDmaCall);
-         it != std::sregex_iterator(); ++it) {
-      std::string call_text = line;
-      std::size_t open_pos = static_cast<std::size_t>(it->position()) +
-                             it->str().size() - 1;
-      std::vector<std::string> args;
-      std::size_t end_pos = 0;
-      std::size_t extra = 0;
-      while (!split_args(call_text, open_pos, args, end_pos) && extra < 8 &&
-             li + 1 + extra < lines.size()) {
-        call_text += ' ';
-        call_text += lines[li + 1 + extra];
-        ++extra;
-        args.clear();
-      }
-      if (args.empty()) continue;  // unterminated; give up quietly
-      if (!dma_size_expression_ok(args.back())) {
-        out.push_back(
-            {path, lineno, "dma-literal-size",
-             "DMA size '" + args.back() +
-                 "' uses a bare literal; derive it from kCacheLineBytes / "
-                 "kQuadWordBytes or sizeof"});
-      }
-    }
+    was_in = in_spe;
 
     // Advance the brace/paren scanner.
     for (const char c : line) {
@@ -272,6 +257,68 @@ std::vector<Violation> lint_source(const std::string& path,
   return out;
 }
 
+std::vector<Violation> lint_source(const std::string& path,
+                                   const std::string& text,
+                                   const LintOptions& opt) {
+  std::vector<Violation> out;
+  const std::string stripped = strip_comments_and_strings(text);
+  const auto lines = split_lines(stripped);
+  const auto regions = find_spe_regions(stripped);
+
+  auto in_region = [&](std::size_t lineno) {
+    for (const SpeRegion& r : regions) {
+      if (lineno >= r.first_line && lineno <= r.last_line) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& line = lines[li];
+    const std::size_t lineno = li + 1;
+
+    if (opt.treat_all_as_spe || in_region(lineno)) {
+      for (const Rule& r : kSpeRules) {
+        if (std::regex_search(line, r.pattern)) {
+          out.push_back({path, lineno, r.name, r.message});
+        }
+      }
+    }
+
+    // DMA size rule (applies everywhere).  Join continuation lines so a
+    // call split across lines still yields its full argument list.
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kDmaCall);
+         it != std::sregex_iterator(); ++it) {
+      std::string call_text = line;
+      std::size_t open_pos = static_cast<std::size_t>(it->position()) +
+                             it->str().size() - 1;
+      std::vector<std::string> args;
+      std::size_t end_pos = 0;
+      std::size_t extra = 0;
+      while (!split_call_args(call_text, open_pos, args, end_pos) &&
+             extra < 8 && li + 1 + extra < lines.size()) {
+        call_text += ' ';
+        call_text += lines[li + 1 + extra];
+        ++extra;
+        args.clear();
+      }
+      if (args.empty()) continue;  // unterminated; give up quietly
+      const std::size_t size_idx = dma_size_arg_index(it->str());
+      const std::string& size_arg =
+          size_idx != std::string::npos && size_idx < args.size()
+              ? args[size_idx]
+              : args.back();
+      if (!dma_size_expression_ok(size_arg)) {
+        out.push_back(
+            {path, lineno, "dma-literal-size",
+             "DMA size '" + size_arg +
+                 "' uses a bare literal; derive it from kCacheLineBytes / "
+                 "kQuadWordBytes or sizeof"});
+      }
+    }
+  }
+  return out;
+}
+
 std::vector<Violation> lint_file(const std::string& path,
                                  const LintOptions& opt) {
   std::ifstream in(path, std::ios::binary);
@@ -281,8 +328,7 @@ std::vector<Violation> lint_file(const std::string& path,
   return lint_source(path, ss.str(), opt);
 }
 
-std::vector<Violation> lint_tree(const std::string& root,
-                                 const LintOptions& opt) {
+std::vector<std::string> list_tree_sources(const std::string& root) {
   namespace fs = std::filesystem;
   std::vector<std::string> files;
   for (auto it = fs::recursive_directory_iterator(root);
@@ -299,8 +345,13 @@ std::vector<Violation> lint_tree(const std::string& root,
     }
   }
   std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<Violation> lint_tree(const std::string& root,
+                                 const LintOptions& opt) {
   std::vector<Violation> out;
-  for (const auto& f : files) {
+  for (const auto& f : list_tree_sources(root)) {
     auto vs = lint_file(f, opt);
     out.insert(out.end(), vs.begin(), vs.end());
   }

@@ -23,10 +23,18 @@
 //
 //   dma-literal-size  — a DMA call whose size argument is a bare integer
 //                       literal >= 16 not derived from a named constant
-//                       (kCacheLineBytes, kQuadWordBytes, ...) or sizeof:
-//                       such sizes silently stop matching when the line
-//                       geometry changes.  Literals 1/2/4/8 (the MFC's
-//                       naturally-aligned small transfers) are allowed.
+//                       (kCacheLineBytes, kQuadWordBytes, DmaEngine::
+//                       kMaxTransfer, ...) or sizeof: such sizes silently
+//                       stop matching when the line geometry changes.
+//                       Literals 1/2/4/8 (the MFC's naturally-aligned small
+//                       transfers) are allowed.  The size argument is the
+//                       last one for synchronous calls, the third for the
+//                       *_async engine calls and the fourth for the
+//                       dma_*_row_tagged helpers (the tag comes after it).
+//                       Integer suffixes (0x80u, 4096UL) count as literals.
+//
+// The flow-aware tag-discipline pass (cellcheck tier 4) lives in flow.hpp
+// and reuses the SPE-region scanner exposed below.
 #pragma once
 
 #include <cstddef>
@@ -69,5 +77,29 @@ std::string format_violations(const std::vector<Violation>& vs);
 /// Strips //- and /**/-comments and string/char literal contents (newlines
 /// preserved).  Exposed for tests.
 std::string strip_comments_and_strings(const std::string& text);
+
+// --- Shared infrastructure (used by the tier-4 flow pass, flow.hpp) ---------
+
+/// One outermost SPE-kernel region: the 1-based, inclusive line range over
+/// which the SPE programming model applies (the line opening the region's
+/// `{` is excluded, the line of the closing `}` included — matching the
+/// per-line semantics the tier-3 rules always had).
+struct SpeRegion {
+  std::size_t first_line = 0;
+  std::size_t last_line = 0;
+};
+
+/// Scans comment/string-stripped source text for SPE-kernel regions (any
+/// function or lambda taking `SpeContext&` / `Simd&` / `DmaEngine&`).
+std::vector<SpeRegion> find_spe_regions(const std::string& stripped_text);
+
+/// Splits a top-level argument list (text after the `(` at `open_pos`) into
+/// arguments; returns false when the call does not close within `text`.
+bool split_call_args(const std::string& text, std::size_t open_pos,
+                     std::vector<std::string>& args, std::size_t& end_pos);
+
+/// The .cpp/.hpp/.h files under `root` (skipping build*/ directories),
+/// sorted by path for deterministic output.
+std::vector<std::string> list_tree_sources(const std::string& root);
 
 }  // namespace cj2k::cellcheck

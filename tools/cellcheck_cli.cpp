@@ -1,32 +1,113 @@
-// cellcheck — the Cell-model lint pass (cellcheck tier 3) as a CLI.
+// cellcheck — the Cell-model static checks (cellcheck tiers 3+4) as a CLI.
 //
-//   cellcheck [--spe-all] PATH...
+//   cellcheck [--spe-all] [--json] [--rules r1,r2,...] PATH...
 //
 // Each PATH is a file or a directory (directories are walked recursively
-// for .cpp/.hpp/.h, skipping build*/).  Prints one line per violation and
-// exits non-zero when any are found, so it slots into CI and ctest.
-// --spe-all treats every input as SPE-kernel code (useful when linting a
-// kernel file on its own).
+// for .cpp/.hpp/.h, skipping build*/).  Both passes run on every input:
+// the tier-3 lexical lint (lint.hpp) and the tier-4 flow-aware DMA-tag
+// analyzer (flow.hpp).  Prints one line per violation and exits non-zero
+// when any are found, so it slots into CI and ctest.
+//
+// Flags:
+//   --spe-all     treat every input as SPE-kernel code (useful when
+//                 checking a kernel file on its own)
+//   --json        emit one JSON object {"violations":[...],"count":N}
+//                 instead of text (the CI artifact format)
+//   --rules a,b   report only the named rules (filter applied to the
+//                 merged tier-3 + tier-4 result)
+//
+// Exit codes (documented in README.md): 0 = clean, 1 = violations found,
+// 2 = usage or I/O error.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <filesystem>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "cellcheck/flow.hpp"
 #include "cellcheck/lint.hpp"
+
+namespace {
+
+std::set<std::string> parse_rule_list(const std::string& csv) {
+  std::set<std::string> out;
+  std::string cur;
+  for (const char c : csv) {
+    if (c == ',') {
+      if (!cur.empty()) out.insert(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.insert(cur);
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace cj2k::cellcheck;
-  LintOptions opt;
+  LintOptions lint_opt;
+  FlowOptions flow_opt;
+  bool json = false;
+  std::set<std::string> rules;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--spe-all") == 0) {
-      opt.treat_all_as_spe = true;
+      lint_opt.treat_all_as_spe = true;
+      flow_opt.treat_all_as_spe = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--rules") == 0 && i + 1 < argc) {
+      rules = parse_rule_list(argv[++i]);
+      if (rules.empty()) {
+        std::fprintf(stderr, "cellcheck: --rules needs a non-empty list\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
-      std::printf("usage: cellcheck [--spe-all] PATH...\n");
+      std::printf(
+          "usage: cellcheck [--spe-all] [--json] [--rules r1,r2,...] "
+          "PATH...\n"
+          "exit codes: 0 clean, 1 violations, 2 usage/IO error\n");
       return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "cellcheck: unknown flag %s (try --help)\n",
+                   argv[i]);
+      return 2;
     } else {
       paths.emplace_back(argv[i]);
     }
@@ -39,8 +120,10 @@ int main(int argc, char** argv) {
   std::vector<Violation> all;
   try {
     for (const auto& p : paths) {
-      const auto vs = std::filesystem::is_directory(p) ? lint_tree(p, opt)
-                                                       : lint_file(p, opt);
+      const bool dir = std::filesystem::is_directory(p);
+      auto vs = dir ? lint_tree(p, lint_opt) : lint_file(p, lint_opt);
+      all.insert(all.end(), vs.begin(), vs.end());
+      vs = dir ? flow_tree(p, flow_opt) : flow_file(p, flow_opt);
       all.insert(all.end(), vs.begin(), vs.end());
     }
   } catch (const std::exception& e) {
@@ -48,9 +131,35 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (!all.empty()) {
-    std::fputs(format_violations(all).c_str(), stdout);
+  if (!rules.empty()) {
+    all.erase(std::remove_if(all.begin(), all.end(),
+                             [&](const Violation& v) {
+                               return rules.count(v.rule) == 0;
+                             }),
+              all.end());
   }
-  std::printf("cellcheck: %zu violation(s)\n", all.size());
+  std::sort(all.begin(), all.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+
+  if (json) {
+    std::printf("{\"violations\":[");
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const Violation& v = all[i];
+      std::printf("%s{\"file\":\"%s\",\"line\":%zu,\"rule\":\"%s\","
+                  "\"message\":\"%s\"}",
+                  i ? "," : "", json_escape(v.file).c_str(), v.line,
+                  v.rule.c_str(), json_escape(v.message).c_str());
+    }
+    std::printf("],\"count\":%zu}\n", all.size());
+  } else {
+    if (!all.empty()) {
+      std::fputs(format_violations(all).c_str(), stdout);
+    }
+    std::printf("cellcheck: %zu violation(s)\n", all.size());
+  }
   return all.empty() ? 0 : 1;
 }
