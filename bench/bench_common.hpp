@@ -102,6 +102,12 @@ inline void emit_json(const char* bench, const std::string& label,
                   static_cast<unsigned long long>(res->audit.tag_hazards()),
                   res->audit.clean() ? "true" : "false");
     }
+    // Derived metrics (DESIGN.md §11): the unified registry — per-stage
+    // occupancy and stall attribution keyed by dotted names.  Scrapers that
+    // predate the key ignore it (bench_trend passes it through verbatim).
+    if (!res->metrics.empty()) {
+      std::printf(",\"derived\":%s", res->metrics.to_json().c_str());
+    }
   }
   std::printf("}\n");
 }

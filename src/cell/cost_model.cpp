@@ -94,4 +94,18 @@ double CostModel::spe_dma_async_seconds(const OpCounters& c) const {
   return spe_dma_seconds(c) * frac;
 }
 
+double CostModel::spe_busy_seconds(const OpCounters& c,
+                                   bool overlap_dma) const {
+  const double compute = spe_seconds(c);
+  const double dma = spe_dma_seconds(c);
+  if (!overlap_dma) return compute + dma;
+  const double dma_async = spe_dma_async_seconds(c);
+  return std::max(compute, dma_async) + (dma - dma_async);
+}
+
+double CostModel::spe_dma_exposed_seconds(const OpCounters& c,
+                                          bool overlap_dma) const {
+  return spe_busy_seconds(c, overlap_dma) - spe_seconds(c);
+}
+
 }  // namespace cj2k::cell

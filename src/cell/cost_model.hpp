@@ -143,6 +143,18 @@ class CostModel {
   /// transfers, not granted by assumption.
   double spe_dma_async_seconds(const OpCounters& c) const;
 
+  /// One SPE's busy time for a stage: compute plus the DMA latency the
+  /// kernel could not hide.  With `overlap_dma` the tagged share runs
+  /// behind compute (max), the synchronous remainder serializes; without
+  /// it everything serializes.  This is the per-SPE term Machine::compose
+  /// maxes over, and the span length the trace draws for the SPE.
+  double spe_busy_seconds(const OpCounters& c, bool overlap_dma) const;
+
+  /// The exposed (non-hidden) DMA share of spe_busy_seconds:
+  /// spe_busy_seconds - spe_seconds.  Feeds the dma-wait bucket of the
+  /// stall attribution and the hidden-vs-exposed split in the trace.
+  double spe_dma_exposed_seconds(const OpCounters& c, bool overlap_dma) const;
+
  private:
   CostParams p_;
 };

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "cell/audit.hpp"
+#include "cell/trace.hpp"
 #include "common/align.hpp"
 #include "common/error.hpp"
 
@@ -39,7 +40,8 @@ void DmaEngine::validate(const void* a, const void* b, std::size_t bytes,
               is_multiple_of(bytes, kCacheLineBytes);
 }
 
-void DmaEngine::get(void* ls_dst, const void* main_src, std::size_t bytes) {
+void DmaEngine::get_impl(void* ls_dst, const void* main_src,
+                         std::size_t bytes) {
   bool efficient = false;
   validate(ls_dst, main_src, bytes, efficient);
   std::memcpy(ls_dst, main_src, bytes);
@@ -49,7 +51,8 @@ void DmaEngine::get(void* ls_dst, const void* main_src, std::size_t bytes) {
   if (audit_ != nullptr) audit_->record_dma(bytes, efficient);
 }
 
-void DmaEngine::put(const void* ls_src, void* main_dst, std::size_t bytes) {
+void DmaEngine::put_impl(const void* ls_src, void* main_dst,
+                         std::size_t bytes) {
   bool efficient = false;
   validate(ls_src, main_dst, bytes, efficient);
   std::memcpy(main_dst, ls_src, bytes);
@@ -57,6 +60,16 @@ void DmaEngine::put(const void* ls_src, void* main_dst, std::size_t bytes) {
   ++c_->dma_transfers;
   if (!efficient) ++c_->dma_unaligned;
   if (audit_ != nullptr) audit_->record_dma(bytes, efficient);
+}
+
+void DmaEngine::get(void* ls_dst, const void* main_src, std::size_t bytes) {
+  get_impl(ls_dst, main_src, bytes);
+  if (trace_ != nullptr) trace_->on_sync(bytes, /*is_get=*/true);
+}
+
+void DmaEngine::put(const void* ls_src, void* main_dst, std::size_t bytes) {
+  put_impl(ls_src, main_dst, bytes);
+  if (trace_ != nullptr) trace_->on_sync(bytes, /*is_get=*/false);
 }
 
 void DmaEngine::issue_async(void* ls, std::size_t bytes, unsigned tag,
@@ -81,19 +94,20 @@ void DmaEngine::issue_async(void* ls, std::size_t bytes, unsigned tag,
   issued_mask_ |= 1u << tag;
   ++c_->dma_tagged_transfers;
   c_->dma_bytes_tagged += bytes;
+  if (trace_ != nullptr) trace_->on_issue(tag, bytes, is_get, fenced);
 }
 
 void DmaEngine::get_async(void* ls_dst, const void* main_src,
                           std::size_t bytes, unsigned tag) {
   if (tag >= kNumTags) throw CellHardwareError("DMA tag out of range");
-  get(ls_dst, main_src, bytes);
+  get_impl(ls_dst, main_src, bytes);
   issue_async(ls_dst, bytes, tag, /*is_get=*/true, /*fenced=*/false);
 }
 
 void DmaEngine::put_async(const void* ls_src, void* main_dst,
                           std::size_t bytes, unsigned tag) {
   if (tag >= kNumTags) throw CellHardwareError("DMA tag out of range");
-  put(ls_src, main_dst, bytes);
+  put_impl(ls_src, main_dst, bytes);
   issue_async(const_cast<void*>(ls_src), bytes, tag, /*is_get=*/false,
               /*fenced=*/false);
 }
@@ -101,14 +115,14 @@ void DmaEngine::put_async(const void* ls_src, void* main_dst,
 void DmaEngine::getf_async(void* ls_dst, const void* main_src,
                            std::size_t bytes, unsigned tag) {
   if (tag >= kNumTags) throw CellHardwareError("DMA tag out of range");
-  get(ls_dst, main_src, bytes);
+  get_impl(ls_dst, main_src, bytes);
   issue_async(ls_dst, bytes, tag, /*is_get=*/true, /*fenced=*/true);
 }
 
 void DmaEngine::putf_async(const void* ls_src, void* main_dst,
                            std::size_t bytes, unsigned tag) {
   if (tag >= kNumTags) throw CellHardwareError("DMA tag out of range");
-  put(ls_src, main_dst, bytes);
+  put_impl(ls_src, main_dst, bytes);
   issue_async(const_cast<void*>(ls_src), bytes, tag, /*is_get=*/false,
               /*fenced=*/true);
 }
@@ -126,17 +140,21 @@ void DmaEngine::wait_tag_mask(std::uint32_t mask) {
     throw CellHardwareError(
         "DMA tag wait on tags never issued (wait on nothing)");
   }
+  retire_tags(mask, __builtin_popcount(mask) == 1 ? "wait_tag"
+                                                  : "wait_tag_mask");
+}
+
+void DmaEngine::wait_all() { retire_tags(~0u, "wait_all"); }
+
+void DmaEngine::retire_tags(std::uint32_t mask, const char* wait_kind) {
+  const std::uint32_t retired = pending_mask_ & mask;
   pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
                                 [mask](const Pending& p) {
                                   return (mask & (1u << p.tag)) != 0;
                                 }),
                  pending_.end());
   pending_mask_ &= ~mask;
-}
-
-void DmaEngine::wait_all() {
-  pending_.clear();
-  pending_mask_ = 0;
+  if (trace_ != nullptr && retired != 0) trace_->on_wait(retired, wait_kind);
 }
 
 void DmaEngine::touch(const void* ls_ptr, std::size_t bytes) {
@@ -168,6 +186,7 @@ void DmaEngine::finish_kernel() {
 }
 
 void DmaEngine::reset_tags() {
+  if (trace_ != nullptr) trace_->on_reset();
   pending_.clear();
   pending_mask_ = 0;
   issued_mask_ = 0;

@@ -33,6 +33,7 @@
 namespace cj2k::cell {
 
 class InvariantAudit;
+class DmaTraceLog;
 
 /// Tag-discipline hazard classes the DmaEngine reports to the audit.  Each
 /// maps 1:1 onto a cellcheck tier-4 static rule (DESIGN.md §10).
@@ -120,6 +121,12 @@ class DmaEngine {
   /// (cellcheck tier 2); nullptr detaches.
   void attach_audit(InvariantAudit* audit) { audit_ = audit; }
 
+  /// Attaches a trace staging log (DESIGN.md §11): accepted transfers and
+  /// tag waits are recorded at tag-group granularity for the machine to
+  /// time-stamp after the stage composes.  nullptr (the default) detaches;
+  /// recording never touches the op counters, so timing is unaffected.
+  void attach_trace(DmaTraceLog* log) { trace_ = log; }
+
  private:
   /// One in-flight transfer's Local Store range.
   struct Pending {
@@ -131,11 +138,17 @@ class DmaEngine {
 
   void validate(const void* a, const void* b, std::size_t bytes,
                 bool& efficient) const;
+  /// Transfer bodies shared by the sync and async entry points (the sync
+  /// entry points additionally record a kSync trace op).
+  void get_impl(void* ls_dst, const void* main_src, std::size_t bytes);
+  void put_impl(const void* ls_src, void* main_dst, std::size_t bytes);
   void issue_async(void* ls, std::size_t bytes, unsigned tag, bool is_get,
                    bool fenced);
+  void retire_tags(std::uint32_t mask, const char* wait_kind);
   void report_hazard(TagHazard kind, const std::string& detail);
   OpCounters* c_;
   InvariantAudit* audit_ = nullptr;
+  DmaTraceLog* trace_ = nullptr;
   std::vector<Pending> pending_;
   std::uint32_t pending_mask_ = 0;
   std::uint32_t issued_mask_ = 0;

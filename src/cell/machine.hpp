@@ -21,6 +21,8 @@
 
 namespace cj2k::cell {
 
+class TraceRecorder;
+
 /// One SPE's private state.
 struct SpeContext {
   SpeContext() : dma(counters), simd(counters) {}
@@ -35,6 +37,34 @@ struct MachineConfig {
   int num_ppe_threads = 1;  ///< PPE hardware threads doing stage work.
   int chips = 1;            ///< QS20 blade = 2 (bandwidth scales).
   CostParams cost;          ///< Clock and per-op costs.
+};
+
+/// Where a stage's composed `seconds` went, pool-averaged so the
+/// components always sum to `seconds` (DESIGN.md §11).  `busy` is the
+/// productive share; the other four buckets are the stall-attribution
+/// taxonomy: exposed DMA latency / bandwidth ceiling (`dma_wait`), worker
+/// idle with nothing to dequeue — including static-split load imbalance —
+/// (`queue_empty`), waiting on serial PPE-side work (`ppe_serial`), and a
+/// consumer blocked on the completion channel (`channel_stall`).
+struct StallBreakdown {
+  double busy = 0;
+  double dma_wait = 0;
+  double queue_empty = 0;
+  double ppe_serial = 0;
+  double channel_stall = 0;
+
+  double sum() const {
+    return busy + dma_wait + queue_empty + ppe_serial + channel_stall;
+  }
+
+  StallBreakdown& operator+=(const StallBreakdown& o) {
+    busy += o.busy;
+    dma_wait += o.dma_wait;
+    queue_empty += o.queue_empty;
+    ppe_serial += o.ppe_serial;
+    channel_stall += o.channel_stall;
+    return *this;
+  }
 };
 
 /// Simulated timing of one pipeline stage.
@@ -54,6 +84,9 @@ struct StageTiming {
   /// `seconds`).  Zero when the stage issued no tagged transfers.
   double dma_overlap_saved = 0;
   std::uint64_t dma_bytes = 0;
+  /// Stall attribution; components sum to `seconds` (always filled — the
+  /// breakdown is a handful of divisions, not a tracing feature).
+  StallBreakdown stall;
 
   StageTiming& operator+=(const StageTiming& o) {
     spe_compute += o.spe_compute;
@@ -64,6 +97,7 @@ struct StageTiming {
     overlap_saved += o.overlap_saved;
     dma_overlap_saved += o.dma_overlap_saved;
     dma_bytes += o.dma_bytes;
+    stall += o.stall;
     return *this;
   }
 };
@@ -109,10 +143,25 @@ class Machine {
   /// Pass nullptr to detach.
   void attach_audit(InvariantAudit* audit);
 
+  /// Attaches a trace recorder (DESIGN.md §11): every run_data_parallel
+  /// stage then emits per-SPE kernel spans with the hidden-vs-exposed DMA
+  /// split, tag-group issue→wait flow events, idle/stall spans, and a PPE
+  /// span, all on the recorder's virtual clock.  Pass nullptr to detach
+  /// (the zero-overhead default).  Timing composition never reads the
+  /// recorder, so simulated seconds are identical with tracing on or off.
+  void attach_trace(TraceRecorder* trace);
+  TraceRecorder* trace() const { return trace_; }
+
  private:
+  void emit_stage_trace(const StageTiming& t,
+                        const std::vector<OpCounters>& spe_counters,
+                        const OpCounters& ppe_counters, bool overlap_dma,
+                        bool had_ppe_work);
+
   MachineConfig cfg_;
   CostModel model_;
   std::vector<std::unique_ptr<SpeContext>> spes_;
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace cj2k::cell

@@ -1,0 +1,31 @@
+#include "cell/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cj2k::cell {
+
+double MetricsRegistry::get(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{";
+  char buf[64];
+  bool first = true;
+  for (const auto& [key, value] : values_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += key;  // Keys are dotted identifiers; nothing to escape.
+    out += "\":";
+    const double v = std::isfinite(value) ? value : 0.0;
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    out += buf;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace cj2k::cell

@@ -1,0 +1,39 @@
+// Unified metrics registry (DESIGN.md §11).
+//
+// One flat, deterministically ordered name -> value map that the derived
+// metrics pass folds pipeline results into (per-stage occupancy, stall
+// attribution, critical-path share, DMA/overlap accounting).  BENCH_JSON,
+// PipelineResult consumers, and the CLI trace summary all read from this
+// registry instead of ad-hoc counter plumbing; keys are dotted paths
+// ("stage.dwt.stall.dma_wait") so the JSON stays flat and greppable.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace cj2k::cell {
+
+class MetricsRegistry {
+ public:
+  void set(const std::string& key, double value) { values_[key] = value; }
+  void inc(const std::string& key, double delta = 1.0) {
+    values_[key] += delta;
+  }
+
+  double get(const std::string& key, double fallback = 0.0) const;
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+  bool empty() const { return values_.empty(); }
+  std::size_t size() const { return values_.size(); }
+
+  const std::map<std::string, double>& all() const { return values_; }
+
+  /// {"a.b":1.5,...} — keys sorted (std::map order), values printed with
+  /// %.9g and non-finite values clamped to 0 so the output is always
+  /// valid JSON and byte-deterministic for equal contents.
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+}  // namespace cj2k::cell

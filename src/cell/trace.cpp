@@ -1,0 +1,345 @@
+#include "cell/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "cell/metrics.hpp"
+
+namespace cj2k::cell {
+
+// ---------------------------------------------------------------------------
+// TraceRing
+
+void TraceRing::push(TraceEvent e) {
+  if (capacity_ == 0) {
+    ++dropped_;
+    return;
+  }
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(e));
+    return;
+  }
+  events_[head_] = std::move(e);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceRing::ordered() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(head_ + i) % events_.size()]);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DmaTraceLog
+
+void DmaTraceLog::on_issue(unsigned tag, std::size_t bytes, bool is_get,
+                           bool fenced) {
+  open_sync_ = -1;
+  if (tag >= kNumTags) return;  // Engine rejects these; nothing to record.
+  const std::int32_t open = open_[tag];
+  if (open >= 0) {
+    Op& op = ops_[static_cast<std::size_t>(open)];
+    op.transfers += 1;
+    op.bytes += bytes;
+    op.fenced = op.fenced || fenced;
+    return;
+  }
+  Op op;
+  op.kind = Op::Kind::kIssueGroup;
+  op.tag = tag;
+  op.is_get = is_get;
+  op.fenced = fenced;
+  op.transfers = 1;
+  op.bytes = bytes;
+  open_[tag] = static_cast<std::int32_t>(ops_.size());
+  ops_.push_back(std::move(op));
+}
+
+void DmaTraceLog::on_sync(std::size_t bytes, bool is_get) {
+  // Coalesce back-to-back synchronous transfers into one run so strided
+  // row loops stay one record, not one per row.
+  if (open_sync_ >= 0 &&
+      ops_[static_cast<std::size_t>(open_sync_)].is_get == is_get) {
+    Op& op = ops_[static_cast<std::size_t>(open_sync_)];
+    op.transfers += 1;
+    op.bytes += bytes;
+    return;
+  }
+  Op op;
+  op.kind = Op::Kind::kSync;
+  op.is_get = is_get;
+  op.transfers = 1;
+  op.bytes = bytes;
+  open_sync_ = static_cast<std::int32_t>(ops_.size());
+  ops_.push_back(std::move(op));
+}
+
+void DmaTraceLog::on_wait(std::uint32_t retired_mask, const char* kind) {
+  open_sync_ = -1;
+  Op op;
+  op.kind = Op::Kind::kWait;
+  op.wait_kind = kind;
+  for (unsigned tag = 0; tag < kNumTags; ++tag) {
+    if (!(retired_mask & (1u << tag))) continue;
+    if (open_[tag] < 0) continue;  // Wait on an already-complete tag.
+    op.retired.push_back(static_cast<std::uint32_t>(open_[tag]));
+    op.bytes += ops_[static_cast<std::size_t>(open_[tag])].bytes;
+    op.transfers += ops_[static_cast<std::size_t>(open_[tag])].transfers;
+    open_[tag] = -1;
+  }
+  if (op.retired.empty()) return;  // No in-flight group completed: no event.
+  ops_.push_back(std::move(op));
+}
+
+void DmaTraceLog::on_reset() {
+  std::uint32_t live = 0;
+  for (unsigned tag = 0; tag < kNumTags; ++tag) {
+    if (open_[tag] >= 0) live |= 1u << tag;
+  }
+  if (live != 0) on_wait(live, "exit");
+}
+
+void DmaTraceLog::clear() {
+  ops_.clear();
+  open_.fill(-1);
+  open_sync_ = -1;
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+
+TraceRecorder::TraceRecorder(int num_spes, int num_ppe_threads,
+                             std::size_t ring_capacity)
+    : num_spes_(num_spes),
+      // The control PPE always has a track: serial sections run on it even
+      // in configurations with no PPE worker threads.
+      num_ppe_tracks_(std::max(1, num_ppe_threads)) {
+  rings_.reserve(static_cast<std::size_t>(num_tracks()));
+  for (int t = 0; t < num_tracks(); ++t) rings_.emplace_back(ring_capacity);
+  dma_logs_.resize(static_cast<std::size_t>(std::max(0, num_spes)));
+}
+
+void TraceRecorder::emit_span(int track, std::string name, const char* cat,
+                              double ts, double dur, std::string args) {
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kSpan;
+  e.track = static_cast<std::uint16_t>(track);
+  e.cat = cat;
+  e.name = std::move(name);
+  e.ts = ts;
+  e.dur = dur;
+  e.args = std::move(args);
+  rings_[static_cast<std::size_t>(track)].push(std::move(e));
+}
+
+void TraceRecorder::emit_instant(int track, std::string name, const char* cat,
+                                 double ts, std::string args) {
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kInstant;
+  e.track = static_cast<std::uint16_t>(track);
+  e.cat = cat;
+  e.name = std::move(name);
+  e.ts = ts;
+  e.args = std::move(args);
+  rings_[static_cast<std::size_t>(track)].push(std::move(e));
+}
+
+void TraceRecorder::emit_flow_begin(int track, const char* name,
+                                    const char* cat, double ts,
+                                    std::uint64_t id) {
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kFlowBegin;
+  e.track = static_cast<std::uint16_t>(track);
+  e.cat = cat;
+  e.name = name;
+  e.ts = ts;
+  e.flow_id = id;
+  rings_[static_cast<std::size_t>(track)].push(std::move(e));
+}
+
+void TraceRecorder::emit_flow_end(int track, const char* name, const char* cat,
+                                  double ts, std::uint64_t id) {
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kFlowEnd;
+  e.track = static_cast<std::uint16_t>(track);
+  e.cat = cat;
+  e.name = name;
+  e.ts = ts;
+  e.flow_id = id;
+  rings_[static_cast<std::size_t>(track)].push(std::move(e));
+}
+
+std::uint64_t TraceRecorder::flow_id(int spe, std::uint32_t op_index) const {
+  // Per-SPE sequence, no shared counter: ids are identical run to run no
+  // matter how the host threads interleave.
+  return (static_cast<std::uint64_t>(spe + 1) << 40) | op_index;
+}
+
+void TraceRecorder::flush_dma_log(int spe, double t0, double busy) {
+  DmaTraceLog& log = dma_log(spe);
+  const std::vector<DmaTraceLog::Op>& ops = log.ops();
+  if (ops.empty()) return;
+  const int track = spe_track(spe);
+  const double step = busy / static_cast<double>(ops.size() + 1);
+  char buf[160];
+  for (std::size_t k = 0; k < ops.size(); ++k) {
+    const DmaTraceLog::Op& op = ops[k];
+    // Program order is real; the offsets are the documented deterministic
+    // reconstruction (the counter model keeps no intra-stage timestamps).
+    const double ts = t0 + step * static_cast<double>(k + 1);
+    switch (op.kind) {
+      case DmaTraceLog::Op::Kind::kIssueGroup: {
+        emit_flow_begin(track, "dma-tag", "dma", ts,
+                        flow_id(spe, static_cast<std::uint32_t>(k)));
+        std::snprintf(buf, sizeof buf, "tag %u", op.tag);
+        std::string name = op.is_get ? "dma issue get " : "dma issue put ";
+        name += buf;
+        std::snprintf(buf, sizeof buf,
+                      "\"tag\":%u,\"transfers\":%u,\"bytes\":%llu,"
+                      "\"fenced\":%s",
+                      op.tag, op.transfers,
+                      static_cast<unsigned long long>(op.bytes),
+                      op.fenced ? "true" : "false");
+        emit_instant(track, std::move(name), "dma", ts, buf);
+        break;
+      }
+      case DmaTraceLog::Op::Kind::kSync: {
+        std::snprintf(buf, sizeof buf, "\"transfers\":%u,\"bytes\":%llu",
+                      op.transfers,
+                      static_cast<unsigned long long>(op.bytes));
+        emit_instant(track,
+                     op.is_get ? "dma sync get" : "dma sync put", "dma", ts,
+                     buf);
+        break;
+      }
+      case DmaTraceLog::Op::Kind::kWait: {
+        for (std::uint32_t idx : op.retired) {
+          emit_flow_end(track, "dma-tag", "dma", ts, flow_id(spe, idx));
+        }
+        std::snprintf(buf, sizeof buf,
+                      "\"retired_groups\":%zu,\"transfers\":%u,\"bytes\":%llu",
+                      op.retired.size(), op.transfers,
+                      static_cast<unsigned long long>(op.bytes));
+        std::string name = "dma ";
+        name += op.wait_kind ? op.wait_kind : "wait";
+        emit_instant(track, std::move(name), "dma", ts, buf);
+        break;
+      }
+    }
+  }
+  log.clear();
+}
+
+std::uint64_t TraceRecorder::total_events() const {
+  std::uint64_t n = 0;
+  for (const TraceRing& r : rings_) n += r.size();
+  return n;
+}
+
+std::uint64_t TraceRecorder::dropped_events() const {
+  std::uint64_t n = 0;
+  for (const TraceRing& r : rings_) n += r.dropped();
+  return n;
+}
+
+std::string trace_json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string track_name(const TraceRecorder& rec, int track) {
+  if (track == rec.driver_track()) return "pipeline";
+  char buf[32];
+  if (track <= rec.num_spes()) {
+    std::snprintf(buf, sizeof buf, "SPE %d", track - 1);
+  } else {
+    std::snprintf(buf, sizeof buf, "PPE %d", track - 1 - rec.num_spes());
+  }
+  return buf;
+}
+
+}  // namespace
+
+void TraceRecorder::write_chrome_json(std::ostream& os,
+                                      const MetricsRegistry* metrics) const {
+  os << "{\"displayTimeUnit\":\"ms\",\n";
+  if (metrics != nullptr) {
+    os << "\"cj2k_metrics\":" << metrics->to_json() << ",\n";
+  }
+  os << "\"cj2k_dropped_events\":" << dropped_events() << ",\n";
+  os << "\"traceEvents\":[\n";
+  char buf[128];
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  // Track metadata: names + stable top-to-bottom sort (driver, SPEs, PPEs).
+  for (int t = 0; t < num_tracks(); ++t) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << t
+       << ",\"ts\":0,\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << track_name(*this, t) << "\"}}";
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << t
+       << ",\"ts\":0,\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":"
+       << t << "}}";
+  }
+  // Events, track by track (each ring is already in record order; Chrome
+  // and Perfetto sort by ts, so cross-track interleaving is irrelevant,
+  // and a fixed emission order keeps the file byte-deterministic).
+  for (int t = 0; t < num_tracks(); ++t) {
+    for (const TraceEvent& e : rings_[static_cast<std::size_t>(t)].ordered()) {
+      sep();
+      // Simulated seconds -> trace microseconds.
+      std::snprintf(buf, sizeof buf, "\"ts\":%.4f", e.ts * 1e6);
+      os << "{\"pid\":0,\"tid\":" << t << ',' << buf << ",\"name\":\""
+         << trace_json_escape(e.name) << "\",\"cat\":\"" << e.cat << "\"";
+      switch (e.phase) {
+        case TraceEvent::Phase::kSpan:
+          std::snprintf(buf, sizeof buf, ",\"ph\":\"X\",\"dur\":%.4f",
+                        e.dur * 1e6);
+          os << buf;
+          break;
+        case TraceEvent::Phase::kInstant:
+          os << ",\"ph\":\"i\",\"s\":\"t\"";
+          break;
+        case TraceEvent::Phase::kFlowBegin:
+          os << ",\"ph\":\"s\",\"id\":" << e.flow_id;
+          break;
+        case TraceEvent::Phase::kFlowEnd:
+          os << ",\"ph\":\"f\",\"bp\":\"e\",\"id\":" << e.flow_id;
+          break;
+      }
+      if (!e.args.empty()) os << ",\"args\":{" << e.args << '}';
+      os << '}';
+    }
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace cj2k::cell

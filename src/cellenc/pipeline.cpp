@@ -112,6 +112,68 @@ class ScopedAudit {
   std::optional<cell::InvariantAudit> audit_;
 };
 
+/// Attaches a TraceRecorder to the machine for the encode's lifetime and
+/// detaches on every exit path; the recorder itself outlives the scope (it
+/// is handed to PipelineResult::trace as a shared_ptr).
+class ScopedTrace {
+ public:
+  ScopedTrace(cell::Machine& m, const cell::TraceConfig& cfg) : m_(m) {
+    if (cfg.enabled) {
+      rec_ = std::make_shared<cell::TraceRecorder>(
+          m.num_spes(), m.num_ppe_threads(), cfg.ring_capacity);
+      m_.attach_trace(rec_.get());
+    }
+  }
+  ~ScopedTrace() {
+    if (rec_) m_.attach_trace(nullptr);
+  }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+  std::shared_ptr<cell::TraceRecorder> recorder() const { return rec_; }
+
+ private:
+  cell::Machine& m_;
+  std::shared_ptr<cell::TraceRecorder> rec_;
+};
+
+/// Fold the run's per-stage timings and totals into the unified metrics
+/// registry (DESIGN.md §11).  Occupancy is stall.busy / seconds; the
+/// critical-path share is against the stage-time sum (== simulated seconds
+/// on single-tile runs; on tiled runs the pipelined makespan is smaller,
+/// and both are published).
+void fill_metrics(PipelineResult& res) {
+  cell::MetricsRegistry& mr = res.metrics;
+  double stage_sum = 0.0;
+  for (const auto& s : res.stages) stage_sum += s.seconds;
+  mr.set("sim.seconds", res.simulated_seconds);
+  mr.set("sim.stage_sum_seconds", stage_sum);
+  mr.set("sim.overlap_saved_seconds", res.overlap_saved_seconds);
+  mr.set("sim.dma_overlap_saved_seconds", res.dma_overlap_saved_seconds);
+  mr.set("dma.bytes", static_cast<double>(res.dma_bytes));
+  mr.set("t1.symbols", static_cast<double>(res.t1_symbols));
+  mr.set("tiles", static_cast<double>(res.tiles));
+  mr.set("tile_groups", static_cast<double>(res.tile_groups));
+  for (const auto& s : res.stages) {
+    const std::string p = "stage." + s.name + ".";
+    mr.set(p + "seconds", s.seconds);
+    mr.set(p + "dma_bytes", static_cast<double>(s.dma_bytes));
+    mr.set(p + "occupancy", s.seconds > 0 ? s.stall.busy / s.seconds : 0.0);
+    mr.set(p + "critical_path_share",
+           stage_sum > 0 ? s.seconds / stage_sum : 0.0);
+    mr.set(p + "stall.busy", s.stall.busy);
+    mr.set(p + "stall.dma_wait", s.stall.dma_wait);
+    mr.set(p + "stall.queue_empty", s.stall.queue_empty);
+    mr.set(p + "stall.ppe_serial", s.stall.ppe_serial);
+    mr.set(p + "stall.channel_stall", s.stall.channel_stall);
+  }
+  if (res.trace) {
+    mr.set("trace.events", static_cast<double>(res.trace->total_events()));
+    mr.set("trace.dropped",
+           static_cast<double>(res.trace->dropped_events()));
+  }
+}
+
 }  // namespace
 
 TileFrontResult encode_tile_front(cell::Machine& machine, const Image& img,
@@ -275,6 +337,7 @@ PipelineResult CellEncoder::encode(const Image& img,
       img.width(), img.height(), params.tiles_x, params.tiles_y);
   if (grid.num_tiles() > 1) {
     PipelineResult res = encode_tiled(machine_, img, params, opt, grid);
+    fill_metrics(res);
     res.wall_seconds = wall.seconds();
     return res;
   }
@@ -283,6 +346,7 @@ PipelineResult CellEncoder::encode(const Image& img,
   const auto& cp = machine_.model().params();
 
   ScopedAudit audit(machine_, opt.audit);
+  ScopedTrace trace(machine_, opt.trace);
 
   // HT never takes the lossy tail: no truncation points means no PCRD rate
   // stage at all (the stage_rate fast path promised by the HT backend).
@@ -321,12 +385,25 @@ PipelineResult CellEncoder::encode(const Image& img,
     jp2k::EncodeStats fstats;
     res.codestream = jp2k::finish_tile(tile, img, params, &fstats);
 
+    cell::TraceRecorder* rec = machine_.trace();
+    auto serial_stage = [&](cell::StageTiming& t, const char* span) {
+      t.seconds = t.ppe;
+      t.stall.ppe_serial = t.seconds;  // The whole stage is PPE-serial.
+      if (rec != nullptr && t.seconds > 0) {
+        const double t0 = rec->clock();
+        rec->emit_span(rec->ppe_track(0), span, "ppe", t0, t.seconds);
+        rec->emit_span(rec->driver_track(), t.name.c_str(), "stage", t0,
+                       t.seconds);
+        rec->advance_clock(t.seconds);
+      }
+    };
+
     if (lossy_tail) {
       cell::StageTiming rate_t;
       rate_t.name = "rate";
       rate_t.ppe = static_cast<double>(fstats.rate.passes_considered) *
                    cp.ppe_rate_cycles_per_pass / cp.clock_hz;
-      rate_t.seconds = rate_t.ppe;
+      serial_stage(rate_t, "rate (ppe serial)");
       res.stages.push_back(rate_t);
       res.serial_rate_seconds = rate_t.seconds;
     }
@@ -335,7 +412,7 @@ PipelineResult CellEncoder::encode(const Image& img,
     t2_t.name = "t2";
     t2_t.ppe = static_cast<double>(res.codestream.size()) *
                cp.ppe_t2_cycles_per_byte / cp.clock_hz;
-    t2_t.seconds = t2_t.ppe;
+    serial_stage(t2_t, "t2 (ppe serial)");
     res.stages.push_back(t2_t);
     res.serial_t2_seconds = t2_t.seconds;
   }
@@ -347,6 +424,8 @@ PipelineResult CellEncoder::encode(const Image& img,
     res.dma_bytes += s.dma_bytes;
   }
   res.audit = audit.report();
+  res.trace = trace.recorder();
+  fill_metrics(res);
   res.wall_seconds = wall.seconds();
   return res;
 }

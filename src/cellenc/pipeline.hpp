@@ -8,10 +8,13 @@
 // pipeline adds is the simulated Cell timing per stage.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cell/machine.hpp"
+#include "cell/metrics.hpp"
+#include "cell/trace.hpp"
 #include "cellenc/stage_dwt.hpp"
 #include "cellenc/stage_t1.hpp"
 #include "image/image.hpp"
@@ -44,6 +47,11 @@ struct PipelineOptions {
   /// empty means index order).  The codestream is byte-identical for any
   /// permutation — assembly and rate allocation use tile-index order.
   std::vector<std::size_t> tile_order;
+  /// Event-level tracing (DESIGN.md §11): when enabled, the run records
+  /// spans/instants/DMA flows into PipelineResult::trace for Chrome-JSON
+  /// export.  Off (the default) records nothing and costs nothing; the
+  /// codestream and simulated seconds are identical either way.
+  cell::TraceConfig trace;
 };
 
 struct PipelineResult {
@@ -82,6 +90,14 @@ struct PipelineResult {
 
   /// Invariant-audit ledger (enabled == false unless the run asked for it).
   cell::AuditReport audit;
+
+  /// Derived metrics (DESIGN.md §11): per-stage occupancy, stall
+  /// attribution, critical-path share, DMA/overlap accounting.  Always
+  /// filled — BENCH_JSON and the CLI read from here.
+  cell::MetricsRegistry metrics;
+
+  /// The event trace; null unless PipelineOptions::trace.enabled.
+  std::shared_ptr<cell::TraceRecorder> trace;
 };
 
 class CellEncoder {

@@ -1,9 +1,11 @@
 #include "cellenc/stage_rate.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_map>
 #include <utility>
 
+#include "cell/trace.hpp"
 #include "common/error.hpp"
 #include "decomp/work_queue.hpp"
 #include "jp2k/encoder.hpp"
@@ -179,6 +181,21 @@ LossyTailResult stage_rate_tail_tiles(cell::Machine& m,
   const double merge_sec =
       static_cast<double>(nsegs) * cp.ppe_merge_cycles_per_seg / hz;
 
+  cell::TraceRecorder* trc = m.trace();
+  const int nspes = m.num_spes();
+  auto worker_track = [&](int w) {
+    return w < nspes ? trc->spe_track(w) : trc->ppe_track(w - nspes);
+  };
+  char targs[112];
+  const double rate_t0 = trc != nullptr ? trc->clock() : 0.0;
+  double cursor = rate_t0 + merge_sec;
+  if (trc != nullptr && merge_sec > 0.0) {
+    std::snprintf(targs, sizeof targs, "\"segments\":%llu",
+                  static_cast<unsigned long long>(nsegs));
+    trc->emit_span(trc->ppe_track(0), "rate: k-way merge", "rate", rate_t0,
+                   merge_sec, targs);
+  }
+
   // Per-iteration rate model, charged with what each iteration actually
   // did: the scan walks `segments_consumed` segments after the per-block
   // reset, and the sizing pass codes that iteration's (not the final)
@@ -191,13 +208,15 @@ LossyTailResult stage_rate_tail_tiles(cell::Machine& m,
   double scan_ppe = 0;       // Serial scan time, summed over iterations.
   double sizing_phase = 0;   // Phase-ordered sizing makespans.
   double span_overlap = 0;   // Overlapped per-iteration spans.
+  double sizing_busy_sum = 0;  // Replayed worker seconds, for attribution.
   for (std::size_t i = 0; i < iter_part_bytes.size(); ++i) {
     const auto& rec = res.stats.scan_iterations[i];
     const double scan_finish =
         reset_sec + static_cast<double>(rec.segments_consumed) * seg_sec;
     scan_ppe += scan_finish;
     const auto& bytes = iter_part_bytes[i];
-    sizing_phase += decomp::schedule_virtual(bytes, t2_speed).makespan;
+    const auto phase_sched = decomp::schedule_virtual(bytes, t2_speed);
+    sizing_phase += phase_sched.makespan;
     std::vector<double> release(bytes.size());
     for (std::size_t p = 0; p < bytes.size(); ++p) {
       const std::size_t gate =
@@ -207,6 +226,33 @@ LossyTailResult stage_rate_tail_tiles(cell::Machine& m,
     const auto sched =
         decomp::schedule_virtual_released(bytes, t2_speed, release);
     span_overlap += std::max(scan_finish, sched.makespan);
+
+    const auto& mode_sched = opts.overlap ? sched : phase_sched;
+    for (double wt : mode_sched.worker_time) sizing_busy_sum += wt;
+    if (trc != nullptr) {
+      std::snprintf(targs, sizeof targs,
+                    "\"iteration\":%zu,\"segments_consumed\":%llu", i,
+                    static_cast<unsigned long long>(rec.segments_consumed));
+      trc->emit_span(trc->ppe_track(0), "rate: lambda scan", "rate", cursor,
+                     scan_finish, targs);
+      // Overlapped, sizing jobs start as the scan releases their gates;
+      // phase-ordered they wait for the whole scan.
+      const double sizing_base =
+          opts.overlap ? cursor : cursor + scan_finish;
+      for (std::size_t p = 0; p < bytes.size(); ++p) {
+        if (bytes[p] <= 0.0) continue;
+        const int w = mode_sched.assignment[p];
+        const double dur =
+            bytes[p] * t2_speed[static_cast<std::size_t>(w)];
+        std::snprintf(targs, sizeof targs, "\"part\":%zu,\"bytes\":%.0f", p,
+                      bytes[p]);
+        trc->emit_span(worker_track(w), "rate: sizing part", "rate",
+                       sizing_base + mode_sched.item_finish[p] - dur, dur,
+                       targs);
+      }
+      cursor += opts.overlap ? std::max(scan_finish, sched.makespan)
+                             : scan_finish + phase_sched.makespan;
+    }
   }
 
   res.rate_timing.name = "rate";
@@ -222,6 +268,32 @@ LossyTailResult stage_rate_tail_tiles(cell::Machine& m,
         rate_phase_sec - res.rate_timing.seconds;
   } else {
     res.rate_timing.seconds = rate_phase_sec;
+  }
+
+  // Stall attribution (DESIGN.md §11): busy is the pool-averaged sizing
+  // work; the rest of the stage is the serial merge/scan residue
+  // (ppe-serial) plus, phase-ordered, the sizing pool's own imbalance.
+  const double npool = static_cast<double>(t2_speed.size());
+  res.rate_timing.stall.busy = sizing_busy_sum / npool;
+  if (opts.overlap) {
+    res.rate_timing.stall.ppe_serial =
+        res.rate_timing.seconds - res.rate_timing.stall.busy;
+  } else {
+    res.rate_timing.stall.ppe_serial = merge_sec + scan_ppe;
+    res.rate_timing.stall.queue_empty =
+        sizing_phase - res.rate_timing.stall.busy;
+  }
+
+  if (trc != nullptr) {
+    std::snprintf(targs, sizeof targs,
+                  "\"iterations\":%zu,\"segments\":%llu,"
+                  "\"overlap_saved_s\":%.9g",
+                  iter_part_bytes.size(),
+                  static_cast<unsigned long long>(nsegs),
+                  res.rate_timing.overlap_saved);
+    trc->emit_span(trc->driver_track(), "rate", "stage", rate_t0,
+                   res.rate_timing.seconds, targs);
+    trc->advance_clock(res.rate_timing.seconds);
   }
 
   // --- Final-assembly model.  Coding finish times per precinct stream feed
@@ -303,6 +375,87 @@ LossyTailResult stage_rate_tail_tiles(cell::Machine& m,
     res.t2_timing.ppe =
         static_cast<double>(res.codestream.size()) * stitch_byte_sec;
     res.t2_timing.seconds = t2_phase_sec;
+  }
+
+  // Stall attribution.  Overlapped, the stage timeline is the streaming
+  // consumer's: its stitch/framing work is ppe-serial, its waits on
+  // unfinished precinct streams split into busy (the pool average was
+  // productive under the wait) and channel-stall (truly blocked), and any
+  // bandwidth excess is dma-wait.  Phase-ordered, the coding phase splits
+  // into busy / imbalance / bandwidth and the stitch is ppe-serial.
+  double coding_busy_sum = 0.0;
+  for (double wt : coding.worker_time) coding_busy_sum += wt;
+  const double coding_busy_avg = coding_busy_sum / npool;
+  if (opts.overlap) {
+    const double pool_busy = reuse_parts ? 0.0 : coding_busy_avg;
+    res.t2_timing.stall.busy = std::min(handoff.stall, pool_busy);
+    res.t2_timing.stall.channel_stall =
+        handoff.stall - res.t2_timing.stall.busy;
+    res.t2_timing.stall.ppe_serial =
+        handoff.busy + handoff_overhead + framing_sec;
+    res.t2_timing.stall.dma_wait =
+        std::max(0.0, res.t2_timing.dma_aggregate - handoff.makespan);
+  } else {
+    res.t2_timing.stall.busy = coding_busy_avg;
+    res.t2_timing.stall.queue_empty = coding.makespan - coding_busy_avg;
+    res.t2_timing.stall.dma_wait =
+        std::max(0.0, res.t2_timing.dma_aggregate - coding.makespan);
+    res.t2_timing.stall.ppe_serial =
+        static_cast<double>(res.codestream.size()) * stitch_byte_sec;
+  }
+
+  if (trc != nullptr) {
+    const double t2_t0 = trc->clock();
+    if (!reuse_parts) {
+      for (std::size_t p = 0; p < final_part_bytes.size(); ++p) {
+        if (final_part_bytes[p] <= 0.0) continue;
+        const int w = coding.assignment[p];
+        const double dur =
+            final_part_bytes[p] * t2_speed[static_cast<std::size_t>(w)];
+        std::snprintf(targs, sizeof targs, "\"part\":%zu,\"bytes\":%.0f", p,
+                      final_part_bytes[p]);
+        trc->emit_span(worker_track(w), "t2: code precinct", "t2",
+                       t2_t0 + coding.item_finish[p] - dur, dur, targs);
+      }
+    }
+    if (opts.overlap) {
+      // The consumer's timeline: packet appends with channel-stall gaps.
+      double prev = 0.0;
+      for (std::size_t k = 0; k < handoff.finish.size(); ++k) {
+        const double start = handoff.finish[k] - pkt_cost[k];
+        if (start - prev > 1e-12) {
+          trc->emit_span(trc->ppe_track(0), "stall: channel", "stall",
+                         t2_t0 + prev, start - prev);
+        }
+        if (pkt_cost[k] > 1e-15) {
+          std::snprintf(targs, sizeof targs, "\"packet\":%zu", k);
+          trc->emit_span(trc->ppe_track(0), "t2: stitch packet", "t2",
+                         t2_t0 + start, pkt_cost[k], targs);
+        }
+        prev = handoff.finish[k];
+      }
+      const double tail = handoff_overhead + framing_sec;
+      if (tail > 0.0) {
+        trc->emit_span(trc->ppe_track(0), "t2: handoff + framing", "t2",
+                       t2_t0 + res.t2_timing.seconds - tail, tail);
+      }
+    } else {
+      const double phase1 =
+          std::max(coding.makespan, res.t2_timing.dma_aggregate);
+      const double stitch_all =
+          static_cast<double>(res.codestream.size()) * stitch_byte_sec;
+      trc->emit_span(trc->ppe_track(0), "t2: stitch + framing", "t2",
+                     t2_t0 + phase1, stitch_all);
+    }
+    std::snprintf(targs, sizeof targs,
+                  "\"packets\":%zu,\"bytes\":%zu,\"reused_parts\":%s,"
+                  "\"overlap_saved_s\":%.9g",
+                  pkt_cost.size(), res.codestream.size(),
+                  reuse_parts ? "true" : "false",
+                  res.t2_timing.overlap_saved);
+    trc->emit_span(trc->driver_track(), "t2", "stage", t2_t0,
+                   res.t2_timing.seconds, targs);
+    trc->advance_clock(res.t2_timing.seconds);
   }
 
   // The paper-faithful serial charges, for the Fig.-5 comparison.

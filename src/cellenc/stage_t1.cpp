@@ -1,9 +1,11 @@
 #include "cellenc/stage_t1.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <mutex>
 #include <thread>
 
+#include "cell/trace.hpp"
 #include "common/error.hpp"
 #include "decomp/work_queue.hpp"
 #include "jp2k/ht_block.hpp"
@@ -163,11 +165,12 @@ T1StageResult stage_t1(cell::Machine& m, jp2k::Tile& tile,
   res.queue_makespan = queue_sched.makespan;
   res.static_makespan = static_sched.makespan;
 
-  double chosen_makespan = dist == T1Distribution::kWorkQueue
-                               ? queue_sched.makespan
-                               : static_sched.makespan;
+  decomp::Schedule chosen =
+      dist == T1Distribution::kWorkQueue ? queue_sched : static_sched;
+  bool fused_tails = false;
+  double chosen_makespan = chosen.makespan;
   if (hulls) {
-    const auto fused =
+    auto fused =
         dist == T1Distribution::kWorkQueue
             ? decomp::schedule_virtual_fused(cost, speed, hull_cost,
                                              hull_speed)
@@ -177,6 +180,8 @@ T1StageResult stage_t1(cell::Machine& m, jp2k::Tile& tile,
     res.hull_serial_seconds = static_cast<double>(total_passes) *
                               cp.ppe_rate_hull_cycles_per_pass / cp.clock_hz;
     chosen_makespan = fused.makespan;
+    chosen = std::move(fused);
+    fused_tails = true;
   }
 
   res.timing.name = "tier1";
@@ -192,6 +197,60 @@ T1StageResult stage_t1(cell::Machine& m, jp2k::Tile& tile,
   res.timing.seconds = std::max(chosen_makespan, res.timing.dma_aggregate);
   res.timing.dma_overlap_saved =
       std::min(chosen_makespan, res.timing.dma_aggregate);
+
+  // Stall attribution (DESIGN.md §11): busy is the pool-averaged replayed
+  // worker time; idle up to the makespan is a drained queue (the FIFO
+  // replay has no mid-stream gaps — workers go idle only when the queue
+  // runs out), idle beyond it is the aggregate-bandwidth ceiling.
+  const double nworkers = static_cast<double>(speed.size());
+  double busy_sum = 0.0;
+  for (double wt : chosen.worker_time) busy_sum += wt;
+  res.timing.stall.busy = busy_sum / nworkers;
+  res.timing.stall.queue_empty = chosen_makespan - res.timing.stall.busy;
+  res.timing.stall.dma_wait = res.timing.seconds - chosen_makespan;
+
+  if (cell::TraceRecorder* rec = m.trace()) {
+    const double t0 = rec->clock();
+    const int nspes = m.num_spes();
+    const double bw_tail = res.timing.seconds - chosen_makespan;
+    auto worker_track = [&](int w) {
+      return w < nspes ? rec->spe_track(w) : rec->ppe_track(w - nspes);
+    };
+    char args[128];
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      const int w = chosen.assignment[i];
+      const std::size_t wi = static_cast<std::size_t>(w);
+      double dur = cost[i] * speed[wi];
+      if (fused_tails) dur += hull_cost[i] * hull_speed[wi];
+      std::snprintf(args, sizeof args,
+                    "\"block\":%zu,\"symbols\":%.0f,\"passes\":%.0f", i,
+                    cost[i], hull_cost[i]);
+      rec->emit_span(worker_track(w),
+                     fused_tails ? "t1 block + hull" : "t1 block", "t1",
+                     t0 + chosen.item_finish[i] - dur, dur, args);
+    }
+    for (std::size_t w = 0; w < chosen.worker_time.size(); ++w) {
+      const int track = worker_track(static_cast<int>(w));
+      const double gap = chosen_makespan - chosen.worker_time[w];
+      if (gap > 1e-12) {
+        rec->emit_span(track, "stall: queue-empty", "stall",
+                       t0 + chosen.worker_time[w], gap);
+      }
+      if (bw_tail > 1e-12) {
+        rec->emit_span(track, "stall: dma-wait", "stall",
+                       t0 + chosen_makespan, bw_tail);
+      }
+    }
+    std::snprintf(args, sizeof args,
+                  "\"blocks\":%zu,\"symbols\":%llu,\"queue_makespan_s\":%.9g,"
+                  "\"static_makespan_s\":%.9g",
+                  blocks.size(),
+                  static_cast<unsigned long long>(res.total_symbols),
+                  res.queue_makespan, res.static_makespan);
+    rec->emit_span(rec->driver_track(), "tier1", "stage", t0,
+                   res.timing.seconds, args);
+    rec->advance_clock(res.timing.seconds);
+  }
   return res;
 }
 

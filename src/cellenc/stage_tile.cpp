@@ -1,10 +1,13 @@
 #include "cellenc/stage_tile.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <memory>
 #include <numeric>
 #include <optional>
 #include <utility>
 
+#include "cell/trace.hpp"
 #include "cellenc/stage_rate.hpp"
 #include "common/error.hpp"
 #include "decomp/chunk.hpp"
@@ -83,6 +86,19 @@ PipelineResult encode_tiled(cell::Machine& machine, const Image& img,
     gmachine.attach_audit(&*audit);
   }
 
+  // Tiled tracing: one recorder sized for the FULL pool serves both the
+  // group machine (fronts, SPE indices < spes_per_group) and the full
+  // machine (distributed tail).  The SPE/PPE tracks replay the fronts
+  // host-sequentially (the order counters are composed in); the driver
+  // track additionally shows the pipelined tile-wave schedule, whose
+  // makespan — not the track sum — is simulated_seconds.
+  std::shared_ptr<cell::TraceRecorder> trec;
+  if (opt.trace.enabled) {
+    trec = std::make_shared<cell::TraceRecorder>(
+        cfg.num_spes, cfg.num_ppe_threads, opt.trace.ring_capacity);
+    gmachine.attach_trace(trec.get());
+  }
+
   // --- Host processing order (testing hook; output is independent of it).
   std::vector<std::size_t> order = opt.tile_order;
   if (order.empty()) {
@@ -131,6 +147,12 @@ PipelineResult encode_tiled(cell::Machine& machine, const Image& img,
     res.t1_symbols += fronts[k].t1_symbols;
     res.hull_extra_seconds += fronts[k].hull_extra_seconds;
     res.hull_serial_seconds += fronts[k].hull_serial_seconds;
+    if (trec) {
+      char args[48];
+      std::snprintf(args, sizeof args, "\"tile\":%zu", k);
+      trec->emit_instant(trec->driver_track(), "tile front done", "tile",
+                         trec->clock(), args);
+    }
   }
 
   // --- Aggregate the per-tile stage ledgers (index order) for reporting.
@@ -150,12 +172,35 @@ PipelineResult encode_tiled(cell::Machine& machine, const Image& img,
     }
   }
 
+  // Tile-wave boundaries on the driver track: per-tile finish instants of
+  // the pipelined replay plus one span over its makespan.
+  auto emit_waves = [&](const decomp::PipelineSchedule& ps) {
+    if (!trec) return;
+    char args[64];
+    for (std::size_t j = 0; j < ntiles; ++j) {
+      std::snprintf(args, sizeof args, "\"tile\":%zu,\"group\":%zu", order[j],
+                    ps.item_group[j]);
+      trec->emit_instant(trec->driver_track(), "tile wave finish", "tile",
+                         ps.item_finish[j], args);
+    }
+    std::snprintf(args, sizeof args, "\"tiles\":%zu,\"groups\":%zu", ntiles,
+                  gp.groups);
+    trec->emit_span(trec->driver_track(), "tile schedule (pipelined)", "tile",
+                    0.0, ps.makespan, args);
+  };
+
   if (distribute_tail) {
     // --- Distributed lossy tail over the FULL pool: the fronts' waves are
     // a barrier (the global slope merge needs every tile's segments), then
     // one merge + scan + precinct-parallel Tier-2 across all tiles.
-    const double front_makespan =
-        decomp::schedule_pipeline(items, gp.groups).makespan;
+    const auto front_sched = decomp::schedule_pipeline(items, gp.groups);
+    const double front_makespan = front_sched.makespan;
+    emit_waves(front_sched);
+    if (trec) {
+      gmachine.attach_trace(nullptr);
+      machine.attach_trace(trec.get());
+      trec->set_clock(std::max(trec->clock(), front_makespan));
+    }
 
     HullCapture merged;
     merged.wavelet = params.wavelet;
@@ -186,8 +231,9 @@ PipelineResult encode_tiled(cell::Machine& machine, const Image& img,
     // --- Serial baseline tail after the front barrier: cross-tile rate
     // allocation + per-tile Tier-2 on the PPE, charged from its reported
     // work quantities (mirrors the single-tile serial baseline).
-    const double front_makespan =
-        decomp::schedule_pipeline(items, gp.groups).makespan;
+    const auto front_sched = decomp::schedule_pipeline(items, gp.groups);
+    const double front_makespan = front_sched.makespan;
+    emit_waves(front_sched);
 
     std::vector<jp2k::Tile> tiles;
     tiles.reserve(ntiles);
@@ -195,11 +241,23 @@ PipelineResult encode_tiled(cell::Machine& machine, const Image& img,
     jp2k::EncodeStats fstats;
     res.codestream = jp2k::finish_tiles(tiles, grid, img, params, &fstats);
 
+    auto serial_stage = [&](cell::StageTiming& t, const char* span) {
+      t.seconds = t.ppe;
+      t.stall.ppe_serial = t.seconds;
+      if (trec && t.seconds > 0) {
+        const double t0 = trec->clock();
+        trec->emit_span(trec->ppe_track(0), span, "ppe", t0, t.seconds);
+        trec->emit_span(trec->driver_track(), t.name.c_str(), "stage", t0,
+                        t.seconds);
+        trec->advance_clock(t.seconds);
+      }
+    };
+
     cell::StageTiming rate_t;
     rate_t.name = "rate";
     rate_t.ppe = static_cast<double>(fstats.rate.passes_considered) *
                  cp.ppe_rate_cycles_per_pass / hz;
-    rate_t.seconds = rate_t.ppe;
+    serial_stage(rate_t, "rate (ppe serial)");
     res.stages.push_back(rate_t);
     res.serial_rate_seconds = rate_t.seconds;
 
@@ -207,7 +265,7 @@ PipelineResult encode_tiled(cell::Machine& machine, const Image& img,
     t2_t.name = "t2";
     t2_t.ppe = static_cast<double>(res.codestream.size()) *
                cp.ppe_t2_cycles_per_byte / hz;
-    t2_t.seconds = t2_t.ppe;
+    serial_stage(t2_t, "t2 (ppe serial)");
     res.stages.push_back(t2_t);
     res.serial_t2_seconds = t2_t.seconds;
 
@@ -234,7 +292,15 @@ PipelineResult encode_tiled(cell::Machine& machine, const Image& img,
       t2_t.ppe += ph.serial;
     }
     t2_t.seconds = t2_t.ppe;
+    t2_t.stall.ppe_serial = t2_t.seconds;
     res.stages.push_back(t2_t);
+    if (trec && t2_t.seconds > 0) {
+      const double t0 = trec->clock();
+      trec->emit_span(trec->ppe_track(0), "t2 (ppe serial)", "ppe", t0,
+                      t2_t.seconds);
+      trec->emit_span(trec->driver_track(), "t2", "stage", t0, t2_t.seconds);
+      trec->advance_clock(t2_t.seconds);
+    }
 
     std::vector<const jp2k::Tile*> cptrs;
     cptrs.reserve(ntiles);
@@ -242,7 +308,9 @@ PipelineResult encode_tiled(cell::Machine& machine, const Image& img,
     res.codestream =
         jp2k::frame_codestream_tiles(cptrs, grid, img, params, packets);
 
-    res.simulated_seconds = decomp::schedule_pipeline(items, gp.groups).makespan;
+    const auto full_sched = decomp::schedule_pipeline(items, gp.groups);
+    emit_waves(full_sched);
+    res.simulated_seconds = full_sched.makespan;
   }
 
   for (const auto& s : res.stages) {
@@ -253,6 +321,11 @@ PipelineResult encode_tiled(cell::Machine& machine, const Image& img,
   if (audit) {
     res.audit = audit->report();
     gmachine.attach_audit(nullptr);
+  }
+  if (trec) {
+    gmachine.attach_trace(nullptr);
+    machine.attach_trace(nullptr);
+    res.trace = std::move(trec);
   }
   return res;
 }

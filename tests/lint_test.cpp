@@ -95,6 +95,59 @@ TEST(LintRules, FlagsMutexAndThreadInSpeCode) {
       "spe-thread"));
 }
 
+TEST(LintRules, FlagsUngatedTraceEmissionInSpeCode) {
+  // Seeded-bad: recording on every iteration of the kernel's hot loop.
+  EXPECT_TRUE(has_rule(
+      lint_source("t.cpp", "rec->emit_span(track, n, c, t0, dur);\n",
+                  spe_all()),
+      "spe-trace-in-hot-loop"));
+  EXPECT_TRUE(has_rule(
+      lint_source("t.cpp", "trace.emit_instant(tk, n, c, ts);\n", spe_all()),
+      "spe-trace-in-hot-loop"));
+  EXPECT_TRUE(has_rule(
+      lint_source("t.cpp", "rec->emit_flow_begin(tk, n, c, ts, id);\n",
+                  spe_all()),
+      "spe-trace-in-hot-loop"));
+}
+
+TEST(LintRules, GatedTraceEmissionIsAllowed) {
+  // The accepted idiom: a same-line guard keeps the untraced path free.
+  EXPECT_TRUE(lint_source("t.cpp",
+                          "if (trc) trc->emit_span(tk, n, c, t0, d);\n",
+                          spe_all())
+                  .empty());
+  EXPECT_TRUE(
+      lint_source("t.cpp",
+                  "if (rec != nullptr) rec->emit_instant(tk, n, c, ts);\n",
+                  spe_all())
+          .empty());
+}
+
+TEST(LintRules, TraceEmissionOutsideSpeRegionsIsAllowed) {
+  // Driver-side emission after the stage joins is exactly where the
+  // recorder is meant to be used; only SPE-resident code is flagged.
+  const std::string src =
+      "void drain(TraceRecorder& rec) {\n"
+      "  rec.emit_span(0, n, c, t0, dur);\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("t.cpp", src, {}).empty());
+}
+
+TEST(LintRules, SeededKernelWithUngatedEmitTripsInsideRegionOnly) {
+  // A realistic kernel shape: the marker parameter opens the region, the
+  // ungated emit inside it trips, and the identical call after the brace
+  // closes does not.
+  const std::string src =
+      "void kernel(cell::SpeContext& ctx, Rec* rec) {\n"
+      "  rec->emit_instant(1, n, c, ts);\n"
+      "}\n"
+      "void after(Rec* rec) { rec->emit_instant(1, n, c, ts); }\n";
+  const auto vs = lint_source("t.cpp", src, {});
+  ASSERT_EQ(vs.size(), 1u) << format_violations(vs);
+  EXPECT_EQ(vs[0].rule, "spe-trace-in-hot-loop");
+  EXPECT_EQ(vs[0].line, 2u);
+}
+
 TEST(LintRules, FlagsBareDmaSizeLiterals) {
   const auto vs =
       lint_source("t.cpp", "dma.get(dst, src, 256);\n", LintOptions{});

@@ -56,16 +56,22 @@ def key_of(rec):
 
 def build_trend(runs):
     """{(bench, label): {"series": [sim or None per run],
-                         "audit": [audit or None per run]}}, key-ordered by
-    first appearance."""
+                         "audit": [audit or None per run],
+                         "derived": [metrics or None per run]}}, key-ordered
+    by first appearance.  `derived` is the flat dotted-key metrics registry
+    (DESIGN.md §11) newer benches attach; records that predate it simply
+    carry None, so old snapshots keep parsing."""
     trend = {}
     for run_idx, (_, records) in enumerate(runs):
         for rec in records:
             k = key_of(rec)
             row = trend.setdefault(
-                k, {"series": [None] * len(runs), "audit": [None] * len(runs)})
+                k, {"series": [None] * len(runs),
+                    "audit": [None] * len(runs),
+                    "derived": [None] * len(runs)})
             row["series"][run_idx] = rec.get("sim_seconds")
             row["audit"][run_idx] = rec.get("audit")
+            row["derived"][run_idx] = rec.get("derived")
     return trend
 
 
@@ -89,6 +95,25 @@ def audit_verdict(audits):
     return "clean" if all(a.get("clean", False) for a in seen) else "VIOLATIONS"
 
 
+def occupancy_note(derived_list):
+    """Short per-row note from the latest derived metrics: the occupancy of
+    the stage with the largest critical-path share ('-' when no record in
+    the row carries derived metrics)."""
+    latest = next((d for d in reversed(derived_list) if d), None)
+    if not latest:
+        return "-"
+    best, share = None, -1.0
+    for k, v in latest.items():
+        parts = k.split(".")
+        if len(parts) == 3 and parts[0] == "stage" \
+                and parts[2] == "critical_path_share" and v > share:
+            best, share = parts[1], v
+    if best is None:
+        return "-"
+    occ = latest.get(f"stage.{best}.occupancy")
+    return f"{best} {occ * 100:.0f}%" if occ is not None else best
+
+
 def print_report(runs, trend, out=sys.stdout):
     run_names = [name for name, _ in runs]
     total = sum(len(records) for _, records in runs)
@@ -100,7 +125,7 @@ def print_report(runs, trend, out=sys.stdout):
     label_w = max((len(f"{b}:{l}") for b, l in trend), default=10)
     cols = "  ".join(f"run[{i}]".rjust(12) for i in range(len(runs)))
     print(f"{'bench:label'.ljust(label_w)}  {cols}  {'Δ last/first':>12}  "
-          f"{'audit':>10}", file=out)
+          f"{'audit':>10}  {'hot stage':>14}", file=out)
     for (bench, label), row in trend.items():
         name = f"{bench}:{label}"
         series = row["series"]
@@ -109,21 +134,60 @@ def print_report(runs, trend, out=sys.stdout):
         delta = fmt_delta(firsts[0] if firsts else None,
                           firsts[-1] if firsts else None)
         print(f"{name.ljust(label_w)}  {vals}  {delta:>12}  "
-              f"{audit_verdict(row['audit']):>10}", file=out)
+              f"{audit_verdict(row['audit']):>10}  "
+              f"{occupancy_note(row['derived']):>14}", file=out)
+
+
+def selftest():
+    """Unit check (invoked from ctest): records with and without the
+    derived-metrics object aggregate side by side, the JSON shape carries
+    both, and the occupancy note degrades gracefully."""
+    old = ('BENCH_JSON {"bench":"b","label":"old","sim_seconds":1.5,'
+           '"audit":{"clean":true}}')
+    new = ('BENCH_JSON {"bench":"b","label":"new","sim_seconds":2.0,'
+           '"derived":{"sim.seconds":2.0,"stage.t1.seconds":1.8,'
+           '"stage.t1.occupancy":0.9,"stage.t1.critical_path_share":0.9,'
+           '"stage.t2.critical_path_share":0.1,"stage.t2.occupancy":0.2}}')
+    records = list(scrape([old, new, "noise line", "BENCH_JSON {broken"]))
+    assert len(records) == 2, records
+    trend = build_trend([("run0", records)])
+    row_old = trend[("b", "old")]
+    row_new = trend[("b", "new")]
+    assert row_old["derived"] == [None]
+    assert row_new["derived"][0]["stage.t1.occupancy"] == 0.9
+    assert occupancy_note(row_old["derived"]) == "-"
+    assert occupancy_note(row_new["derived"]) == "t1 90%"
+    assert audit_verdict(row_old["audit"]) == "clean"
+    # The --json shape round-trips both rows (old snapshots stay loadable).
+    obj = {"rows": [{"bench": b, "label": l, "sim_seconds": r["series"],
+                     "audit": r["audit"], "derived": r["derived"]}
+                    for (b, l), r in trend.items()]}
+    back = json.loads(json.dumps(obj))
+    assert back["rows"][0]["derived"] == [None]
+    assert back["rows"][1]["derived"][0]["sim.seconds"] == 2.0
+    print("bench_trend selftest: OK")
+    return 0
 
 
 def main(argv=None):
     ap = argparse.ArgumentParser(
         description="Aggregate BENCH_JSON lines from captured bench logs "
                     "into a trend report.")
-    ap.add_argument("logs", nargs="+",
+    ap.add_argument("logs", nargs="*",
                     help="log files in run order ('-' reads stdin)")
     ap.add_argument("--json", action="store_true",
                     help="emit the aggregated trend as JSON instead of a "
                          "table")
     ap.add_argument("--fail-on-dirty-audit", action="store_true",
                     help="exit 1 when any audited record is not clean")
+    ap.add_argument("--selftest", action="store_true",
+                    help="run the built-in unit checks and exit")
     args = ap.parse_args(argv)
+
+    if args.selftest:
+        return selftest()
+    if not args.logs:
+        ap.error("log files required (or --selftest)")
 
     runs = load_runs(args.logs)
     trend = build_trend(runs)
@@ -138,7 +202,7 @@ def main(argv=None):
             "runs": [name for name, _ in runs],
             "rows": [
                 {"bench": b, "label": l, "sim_seconds": row["series"],
-                 "audit": row["audit"]}
+                 "audit": row["audit"], "derived": row["derived"]}
                 for (b, l), row in trend.items()
             ],
         }

@@ -282,6 +282,21 @@ std::vector<Violation> lint_source(const std::string& path,
           out.push_back({path, lineno, r.name, r.message});
         }
       }
+      // Trace emission in an SPE kernel must be conditional: an ungated
+      // emit_* call records (and costs) on every iteration whether or not
+      // tracing is on.  A same-line `if (` guard is the accepted idiom;
+      // the preferred pattern stages into the DmaTraceLog instead.
+      static const std::regex kTraceEmit(
+          R"((\.|->)\s*emit_(span|instant|flow_begin|flow_end|counter)\s*\()");
+      static const std::regex kGuard(R"(\bif\s*\()");
+      if (std::regex_search(line, kTraceEmit) &&
+          !std::regex_search(line, kGuard)) {
+        out.push_back(
+            {path, lineno, "spe-trace-in-hot-loop",
+             "unconditional trace emission inside an SPE kernel; gate it "
+             "(`if (trc) trc->emit_...`) or stage into the per-SPE "
+             "DmaTraceLog drained after the stage joins"});
+      }
     }
 
     // DMA size rule (applies everywhere).  Join continuation lines so a

@@ -18,6 +18,13 @@
 //                       shared memory; synchronization belongs to the PPE
 //                       side of the work queue.
 //   spe-thread        — std::thread: kernels do not spawn threads.
+//   spe-trace-in-hot-loop — unconditional trace emission (emit_span/
+//                       emit_instant/emit_flow_*/emit_counter) inside an
+//                       SPE kernel: recording must never perturb the hot
+//                       loop.  Gate the call on the same line (`if (trc)
+//                       trc->emit_...`) or stage into the per-SPE
+//                       DmaTraceLog and let the driver drain it after the
+//                       stage joins (the pattern src/ uses; DESIGN.md §11).
 //
 // One rule applies everywhere, not just in SPE regions:
 //

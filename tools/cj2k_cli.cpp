@@ -4,6 +4,13 @@
 //   cj2k decode  <in.cj2k> <out.bmp|out.ppm|out.pgm> [--layers N]
 //   cj2k info    <in.cj2k>
 //   cj2k bench   <in.bmp|in.ppm> [--spes N] [--ppes N] [--chips N]
+//                [--lossy] [--rate R] [--tiles CxR] [--block-coder B]
+//                [--trace out.json]
+//
+// Bench extras:
+//   --trace FILE        write a Chrome trace-event JSON of the simulated run
+//                       (load in Perfetto / chrome://tracing); the file also
+//                       embeds the derived-metrics registry (DESIGN.md §11)
 //
 // Encode options:
 //   --lossy             9/7 irreversible (default: lossless 5/3)
@@ -46,7 +53,10 @@ int usage() {
                "       cj2k decode <in.cj2k> <out.bmp|out.ppm> [--layers N]\n"
                "       cj2k info   <in.cj2k>\n"
                "       cj2k bench  <in.bmp|in.ppm> [--spes N] [--ppes N] "
-               "[--chips N]\n");
+               "[--chips N]\n"
+               "                   [--lossy] [--rate R] [--tiles CxR] "
+               "[--block-coder ebcot|ht]\n"
+               "                   [--trace out.json]\n");
   return 2;
 }
 
@@ -221,6 +231,14 @@ int cmd_info(const std::string& in) {
   return 0;
 }
 
+/// Fetches the value of --name from args, or "".
+std::string opt_str(const std::vector<std::string>& args, const char* name) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == name) return args[i + 1];
+  }
+  return "";
+}
+
 int cmd_bench(const std::string& in, const std::vector<std::string>& args) {
   const Image img = read_image(in);
   cell::MachineConfig cfg;
@@ -229,16 +247,44 @@ int cmd_bench(const std::string& in, const std::vector<std::string>& args) {
   cfg.chips = static_cast<int>(opt_num(args, "--chips", 1));
 
   jp2k::CodingParams p;
+  p.rate = opt_num(args, "--rate", 0.0);
+  if (p.rate > 0.0 || opt_flag(args, "--lossy")) {
+    p.wavelet = jp2k::WaveletKind::kIrreversible97;
+  }
+  p.layers = static_cast<int>(opt_num(args, "--layers", 1));
+  p.levels = static_cast<int>(opt_num(args, "--levels", 5));
+  opt_block_coder(args, p);
+  opt_tiles(args, p);
+
+  cellenc::PipelineOptions opt;
+  const std::string trace_path = opt_str(args, "--trace");
+  opt.trace.enabled = !trace_path.empty();
+
   cellenc::CellEncoder enc(cfg);
-  const auto res = enc.encode(img, p);
+  const auto res = enc.encode(img, p, opt);
   std::printf("Cell model: %d SPE + %d PPE thread(s), %d chip(s)\n",
               cfg.num_spes, cfg.num_ppe_threads, cfg.chips);
   std::printf("simulated encode: %.2f ms (host wall %.0f ms), %zu bytes\n",
               res.simulated_seconds * 1e3, res.wall_seconds * 1e3,
               res.codestream.size());
+  std::printf("  %-18s %10s %7s %9s %9s %9s %9s %9s\n", "stage", "sim ms",
+              "occ", "busy", "dma-wait", "q-empty", "ppe-ser", "chan");
   for (const auto& s : res.stages) {
-    std::printf("  %-18s %8.3f ms  (DMA %9.1f KB)\n", s.name.c_str(),
-                s.seconds * 1e3, static_cast<double>(s.dma_bytes) / 1024.0);
+    const double occ = s.seconds > 0 ? s.stall.busy / s.seconds : 0.0;
+    std::printf("  %-18s %10.3f %6.1f%% %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+                s.name.c_str(), s.seconds * 1e3, occ * 100.0,
+                s.stall.busy * 1e3, s.stall.dma_wait * 1e3,
+                s.stall.queue_empty * 1e3, s.stall.ppe_serial * 1e3,
+                s.stall.channel_stall * 1e3);
+  }
+  if (res.trace) {
+    std::ofstream out(trace_path, std::ios::binary);
+    if (!out) throw IoError("cannot create: " + trace_path);
+    res.trace->write_chrome_json(out, &res.metrics);
+    std::printf("trace: %s (%zu events, %zu dropped) — load in Perfetto or "
+                "chrome://tracing\n",
+                trace_path.c_str(), res.trace->total_events(),
+                res.trace->dropped_events());
   }
   return 0;
 }

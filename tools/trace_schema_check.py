@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Validate a cj2k Chrome trace-event JSON file (DESIGN.md §11).
+
+Checks the invariants the exporter promises:
+
+  * the document is an object with a `traceEvents` list and every event
+    carries the required keys (ph, ts, pid, tid, name);
+  * spans ("X") have a non-negative `dur`, instants ("i") have a scope;
+  * flow events pair up: every flow-begin ("s") id has at least one
+    flow-end ("f") and vice versa — i.e. every traced DMA issue group was
+    retired by a wait (or closed at tag reset);
+  * every tid referenced by a span/instant has a `thread_name` metadata
+    event ("M"), so Perfetto shows named tracks;
+  * when the embedded `cj2k_metrics` registry is present, each stage's
+    stall components sum to that stage's seconds, and all stages' stall
+    components sum to `sim.stage_sum_seconds` (within float-serialization
+    rounding).
+
+Usage:
+    trace_schema_check.py trace.json [trace2.json ...]
+    trace_schema_check.py --selftest     # unit checks (invoked from ctest)
+
+Stdlib only; exit 0 when every file validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED = ("ph", "ts", "pid", "tid", "name")
+
+
+def validate(doc, errors):
+    """Appends human-readable problems found in `doc` to `errors`."""
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        errors.append("document is not an object with 'traceEvents'")
+        return
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        errors.append("'traceEvents' is not a non-empty list")
+        return
+
+    flow_begin, flow_end = set(), set()
+    used_tids, named_tids = set(), set()
+    for n, e in enumerate(events):
+        missing = [k for k in REQUIRED if k not in e]
+        if missing:
+            errors.append(f"event {n} missing keys {missing}: {e}")
+            continue
+        ph = e["ph"]
+        if ph == "X":
+            if e.get("dur", -1) < 0:
+                errors.append(f"event {n}: span with negative/absent dur")
+            used_tids.add(e["tid"])
+        elif ph == "i":
+            if "s" not in e:
+                errors.append(f"event {n}: instant without scope 's'")
+            used_tids.add(e["tid"])
+        elif ph == "s":
+            flow_begin.add(e.get("id"))
+        elif ph == "f":
+            if e.get("bp") != "e":
+                errors.append(f"event {n}: flow-end without bp='e'")
+            flow_end.add(e.get("id"))
+        elif ph == "M":
+            if e["name"] == "thread_name":
+                named_tids.add(e["tid"])
+        else:
+            errors.append(f"event {n}: unknown phase {ph!r}")
+        if e["ts"] < 0:
+            errors.append(f"event {n}: negative timestamp")
+
+    unmatched = flow_begin ^ flow_end
+    if unmatched:
+        errors.append(f"{len(unmatched)} unpaired flow id(s), e.g. "
+                      f"{sorted(unmatched)[:3]} — a DMA issue group was "
+                      f"never retired (or a wait retired nothing traced)")
+    unnamed = used_tids - named_tids
+    if unnamed:
+        errors.append(f"tids without thread_name metadata: {sorted(unnamed)}")
+
+    metrics = doc.get("cj2k_metrics")
+    if metrics:
+        stages = sorted({k.split(".")[1] for k in metrics
+                         if k.startswith("stage.") and ".stall." in k})
+        total = 0.0
+        for st in stages:
+            secs = metrics.get(f"stage.{st}.seconds", 0.0)
+            parts = sum(v for k, v in metrics.items()
+                        if k.startswith(f"stage.{st}.stall."))
+            total += parts
+            if abs(parts - secs) > 1e-9 * max(1.0, abs(secs)):
+                errors.append(f"stage {st}: stall components sum to {parts}"
+                              f" != seconds {secs}")
+        ssum = metrics.get("sim.stage_sum_seconds")
+        if ssum is not None and abs(total - ssum) > 1e-9 * max(1.0, ssum):
+            errors.append(f"stall total {total} != sim.stage_sum_seconds "
+                          f"{ssum}")
+
+
+def check_file(path):
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            print(f"{path}: not valid JSON: {e}", file=sys.stderr)
+            return False
+    errors = []
+    validate(doc, errors)
+    for msg in errors:
+        print(f"{path}: {msg}", file=sys.stderr)
+    if not errors:
+        n = len(doc["traceEvents"])
+        print(f"{path}: OK ({n} events, "
+              f"{doc.get('cj2k_dropped_events', 0)} dropped)")
+    return not errors
+
+
+def selftest():
+    def errs(doc):
+        e = []
+        validate(doc, e)
+        return e
+
+    good = {
+        "displayTimeUnit": "ms",
+        "cj2k_metrics": {"sim.stage_sum_seconds": 2.0,
+                         "stage.t1.seconds": 2.0,
+                         "stage.t1.stall.busy": 1.5,
+                         "stage.t1.stall.queue_empty": 0.5},
+        "traceEvents": [
+            {"ph": "M", "pid": 0, "tid": 1, "ts": 0, "name": "thread_name",
+             "args": {"name": "SPE 0"}},
+            {"ph": "X", "pid": 0, "tid": 1, "ts": 0.0, "dur": 5.0,
+             "name": "t1 block"},
+            {"ph": "i", "pid": 0, "tid": 1, "ts": 1.0, "s": "t",
+             "name": "dma issue get tag 0"},
+            {"ph": "s", "pid": 0, "tid": 1, "ts": 1.0, "id": 7,
+             "name": "dma-tag"},
+            {"ph": "f", "pid": 0, "tid": 1, "ts": 4.0, "id": 7, "bp": "e",
+             "name": "dma-tag"},
+        ],
+    }
+    assert errs(good) == [], errs(good)
+
+    import copy
+    bad = copy.deepcopy(good)
+    del bad["traceEvents"][4]          # unpaired flow
+    bad["traceEvents"][1]["tid"] = 9   # span on an unnamed track
+    del bad["traceEvents"][2]["s"]     # instant without scope
+    bad["cj2k_metrics"]["stage.t1.stall.busy"] = 1.0  # stalls don't sum
+    found = "\n".join(errs(bad))
+    for needle in ("unpaired flow", "without thread_name",
+                   "without scope", "stall components"):
+        assert needle in found, (needle, found)
+
+    assert errs({"traceEvents": []}), "empty traceEvents must fail"
+    assert errs([1, 2, 3]), "non-object document must fail"
+    print("trace_schema_check selftest: OK")
+    return 0
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="Validate cj2k Chrome trace-event JSON files.")
+    ap.add_argument("files", nargs="*", help="trace JSON files to validate")
+    ap.add_argument("--selftest", action="store_true",
+                    help="run the built-in unit checks and exit")
+    args = ap.parse_args(argv)
+    if args.selftest:
+        return selftest()
+    if not args.files:
+        ap.error("trace files required (or --selftest)")
+    return 0 if all(check_file(p) for p in args.files) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
