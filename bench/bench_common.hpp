@@ -112,4 +112,14 @@ inline void emit_json(const char* bench, const std::string& label,
   std::printf("}\n");
 }
 
+/// BENCH_JSON record carrying a metrics registry as "derived" without a
+/// PipelineResult — service-level rows (service.* keys) use this.
+inline void emit_json_metrics(const char* bench, const std::string& label,
+                              double sim_seconds,
+                              const cell::MetricsRegistry& metrics) {
+  std::printf("BENCH_JSON {\"bench\":\"%s\",\"label\":\"%s\","
+              "\"sim_seconds\":%.9g,\"derived\":%s}\n",
+              bench, label.c_str(), sim_seconds, metrics.to_json().c_str());
+}
+
 }  // namespace cj2k::bench

@@ -28,8 +28,10 @@ void run_bench() {
 
   cellenc::CellEncoder one_chip(bench::machine_config(8, 1, 1));
   cellenc::CellEncoder two_chip(bench::machine_config(16, 2, 2));
-  const double t1chip = one_chip.encode(img, p).simulated_seconds;
-  const double t2chip = two_chip.encode(img, p).simulated_seconds;
+  const cellenc::PipelineResult res1 = one_chip.encode(img, p);
+  const cellenc::PipelineResult res2 = two_chip.encode(img, p);
+  const double t1chip = res1.simulated_seconds;
+  const double t2chip = res2.simulated_seconds;
 
   const auto muta0 = cellenc::muta_encode_model(img, stats, 0);
   const auto muta1 = cellenc::muta_encode_model(img, stats, 1);
@@ -38,19 +40,20 @@ void run_bench() {
     const char* label;
     double latency;   // seconds per frame as seen by one frame
     double fps;       // aggregate frames per second
+    const cellenc::PipelineResult* res;  // null for the model baselines
   };
   const Row rows[] = {
-      {"Muta0 (2 enc x 1 chip)", muta0.total, 2.0 / muta0.total},
-      {"Muta1 (1 enc x 2 chips)", muta1.total, 1.0 / muta1.total},
-      {"ours, 1 chip, serial", t1chip, 1.0 / t1chip},
-      {"ours, 2 chips, 1 frame", t2chip, 1.0 / t2chip},
-      {"ours, 2 enc x 1 chip", t1chip, 2.0 / t1chip},
+      {"Muta0 (2 enc x 1 chip)", muta0.total, 2.0 / muta0.total, nullptr},
+      {"Muta1 (1 enc x 2 chips)", muta1.total, 1.0 / muta1.total, nullptr},
+      {"ours, 1 chip, serial", t1chip, 1.0 / t1chip, &res1},
+      {"ours, 2 chips, 1 frame", t2chip, 1.0 / t2chip, &res2},
+      {"ours, 2 enc x 1 chip", t1chip, 2.0 / t1chip, &res1},
   };
   std::printf("  %-26s %14s %12s\n", "strategy", "frame latency",
               "throughput");
   for (const auto& r : rows) {
     std::printf("  %-26s %12.4f s %9.1f fps\n", r.label, r.latency, r.fps);
-    bench::emit_json("motion_throughput", r.label, r.latency);
+    bench::emit_json("motion_throughput", r.label, r.latency, r.res);
   }
   std::printf(
       "\n  Shape: per-frame latency is best with both chips on one frame;\n"

@@ -1,0 +1,277 @@
+// Encode-service throughput bench (DESIGN.md §12): a deterministic
+// open-loop arrival process over a mixed job population on a 16-SPE /
+// 2-chip pool, swept across offered load and scheduling policy.
+//
+// Two parts:
+//   1. One real EncodeService run (concurrent host encodes on one-group
+//      leases) pinning the correctness contract: every job's codestream is
+//      SHA-256-identical to its standalone single-job encode.  With
+//      --trace-out FILE the run's service trace is written for Perfetto /
+//      tools/trace_schema_check.py.
+//   2. A policy x load sweep over the virtual schedule.  Each distinct job
+//      shape is encoded once at lease width to get its {pool, serial} item
+//      list; the sweep then replays schedule_service per (policy, load)
+//      with exponential interarrivals from a fixed common/rng seed — the
+//      same arrival sequence for every policy, so rows compare schedules,
+//      not noise.  The saturation rows demonstrate the latency/throughput
+//      trade: narrow leases keep every group busy across jobs, wide leases
+//      leave groups idle on jobs with too little tile parallelism.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/sha256.hpp"
+#include "service/encode_service.hpp"
+
+namespace {
+
+using namespace cj2k;
+
+struct JobShape {
+  const char* name;
+  jp2k::CodingParams params;
+};
+
+/// The mixed population: lossless and lossy EBCOT, HT, and a tiled job —
+/// deliberately including single-tile jobs, which cannot use more than one
+/// group's worth of SPEs and are what a wide lease wastes.
+std::vector<JobShape> job_shapes() {
+  std::vector<JobShape> shapes;
+  {
+    JobShape s{"lossless", {}};
+    shapes.push_back(s);
+  }
+  {
+    JobShape s{"lossy", {}};
+    s.params.wavelet = jp2k::WaveletKind::kIrreversible97;
+    s.params.rate = 0.25;
+    shapes.push_back(s);
+  }
+  {
+    JobShape s{"ht", {}};
+    s.params.wavelet = jp2k::WaveletKind::kIrreversible97;
+    s.params.rate = 0.25;
+    s.params.block_coder = jp2k::BlockCoder::kHt;
+    shapes.push_back(s);
+  }
+  {
+    JobShape s{"tiled2x2", {}};
+    s.params.tiles_x = 2;
+    s.params.tiles_y = 2;
+    shapes.push_back(s);
+  }
+  return shapes;
+}
+
+/// Deterministic exponential interarrival times at `rate` jobs/sec.
+std::vector<double> arrivals(std::size_t n, double rate, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> t(n);
+  double clock = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.next_double();
+    clock += -std::log1p(-u) / rate;
+    t[i] = clock;
+  }
+  return t;
+}
+
+void print_summary_row(const char* policy, double load,
+                       const service::ServiceSummary& s) {
+  std::printf("  %-10s x%-5.2f %8.2f j/s   p50 %7.4f s   p99 %7.4f s"
+              "   occ %5.1f%%   steals %llu\n",
+              policy, load, s.jobs_per_sec, s.p50_latency, s.p99_latency,
+              100.0 * s.pool_occupancy,
+              static_cast<unsigned long long>(s.steals));
+}
+
+void run_bench(std::size_t width, std::size_t height, const char* trace_out) {
+  bench::print_header(
+      "Encode service — concurrent multi-image jobs on a shared 16-SPE pool",
+      "extension (DESIGN.md \xc2\xa7" "12): open-loop arrivals, "
+      "latency vs throughput policy");
+
+  const cell::MachineConfig pool_cfg = bench::machine_config(16, 2, 2);
+  const auto img = std::make_shared<const Image>(
+      synth::photographic(width, height, 3, /*seed=*/20080908));
+  const std::vector<JobShape> shapes = job_shapes();
+
+  // --- Part 1: a real service run (concurrent encodes) + byte identity.
+  const std::size_t demo_jobs = 12;
+  service::ServiceOptions sopt;
+  sopt.machine = pool_cfg;
+  sopt.policy = service::SchedulePolicy::kThroughput;
+  sopt.trace = true;
+  service::EncodeService svc(sopt);
+  {
+    const std::vector<double> arr = arrivals(demo_jobs, 24.0, 0xC0FFEE);
+    for (std::size_t i = 0; i < demo_jobs; ++i) {
+      service::EncodeJob job;
+      job.image = img;
+      job.params = shapes[i % shapes.size()].params;
+      job.name = std::string(shapes[i % shapes.size()].name) +
+                 std::to_string(i);
+      job.arrival_seconds = arr[i];
+      svc.submit(std::move(job));
+    }
+  }
+  service::ServiceResult sres = svc.run();
+
+  std::size_t identical = 0;
+  for (const auto& jr : sres.jobs) {
+    cellenc::CellEncoder solo(pool_cfg);
+    const auto alone = solo.encode(*img, shapes[jr.id % shapes.size()].params);
+    if (common::sha256_hex(jr.pipeline.codestream) ==
+        common::sha256_hex(alone.codestream)) {
+      ++identical;
+    }
+  }
+  std::printf("  %zu jobs on %zu groups x %d SPEs (throughput policy): "
+              "%.2f jobs/s, p99 %.4f s\n",
+              demo_jobs, sres.groups, sres.group_spes,
+              sres.summary.jobs_per_sec, sres.summary.p99_latency);
+  std::printf("  byte identity vs standalone encode: %zu/%zu %s\n", identical,
+              demo_jobs, identical == demo_jobs ? "(all identical)"
+                                                : "(MISMATCH)");
+  bench::emit_json_metrics("service_throughput", "demo 12 jobs throughput",
+                           sres.makespan_seconds, sres.metrics);
+  if (trace_out != nullptr && sres.trace) {
+    std::ofstream os(trace_out, std::ios::binary);
+    sres.trace->write_chrome_json(os, &sres.metrics);
+    std::printf("  service trace written to %s\n", trace_out);
+  }
+
+  // --- Part 2: policy x load sweep over the virtual schedule.  Encode each
+  // shape once at lease width; reuse the item lists across the sweep.
+  service::SpePool pool(pool_cfg, /*group_spes=*/8);
+  const std::size_t G = pool.num_groups();
+  std::vector<service::ServiceJobSpec> shape_specs(shapes.size());
+  double mean_pool_seconds = 0;
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    cellenc::CellEncoder enc(pool.lease_config(1));
+    const auto plan = enc.encode(*img, shapes[i].params);
+    shape_specs[i].items = plan.tile_items;
+    shape_specs[i].tail = plan.tail_phase;
+    double pool_s = plan.tail_phase.pool;
+    for (const auto& it : plan.tile_items) pool_s += it.pool;
+    mean_pool_seconds += pool_s;
+  }
+  mean_pool_seconds /= static_cast<double>(shapes.size());
+  // Offered load 1.0 = one group-second of work per group-second.
+  const double capacity = static_cast<double>(G) / mean_pool_seconds;
+
+  const std::size_t sweep_jobs = 40;
+  const double loads[] = {0.3, 0.6, 1.0, 2.0, 4.0};
+  const service::SchedulePolicy policies[] = {
+      service::SchedulePolicy::kLatency, service::SchedulePolicy::kThroughput,
+      service::SchedulePolicy::kAdaptive};
+
+  std::printf("\n  %zu-job sweep, %zu groups, capacity ~%.1f jobs/s "
+              "(load 1.0):\n",
+              sweep_jobs, G, capacity);
+  double sat_latency_jps = 0;
+  double sat_throughput_jps = 0;
+  for (const double load : loads) {
+    const double rate = load * capacity;
+    const std::vector<double> arr =
+        arrivals(sweep_jobs, rate, /*seed=*/0x5EED + 7919);
+    for (const auto policy : policies) {
+      std::vector<service::ServiceJobSpec> specs(sweep_jobs);
+      for (std::size_t i = 0; i < sweep_jobs; ++i) {
+        specs[i] = shape_specs[i % shape_specs.size()];
+        specs[i].arrival = arr[i];
+      }
+      service::ScheduleOptions so;
+      so.policy = policy;
+      so.num_groups = G;
+      so.serial_slots =
+          static_cast<std::size_t>(std::max(1, pool_cfg.num_ppe_threads));
+      so.stealing = policy != service::SchedulePolicy::kLatency;
+      const auto sched = service::schedule_service(specs, so);
+      const auto sum = service::summarize_schedule(sched, so);
+      print_summary_row(service::policy_name(policy), load, sum);
+
+      cell::MetricsRegistry mr;
+      service::fold_service_metrics(sum, so, mr);
+      mr.set("service.offered_load", load);
+      char label[64];
+      std::snprintf(label, sizeof label, "%s x%.2f",
+                    service::policy_name(policy), load);
+      bench::emit_json_metrics("service_throughput", label, sum.makespan, mr);
+
+      if (load == loads[std::size(loads) - 1]) {
+        if (policy == service::SchedulePolicy::kLatency) {
+          sat_latency_jps = sum.jobs_per_sec;
+        }
+        if (policy == service::SchedulePolicy::kThroughput) {
+          sat_throughput_jps = sum.jobs_per_sec;
+        }
+      }
+    }
+  }
+  const double gain =
+      sat_latency_jps > 0 ? sat_throughput_jps / sat_latency_jps : 0;
+  std::printf("\n  saturation (load %.1f): throughput policy %.2f j/s vs "
+              "latency policy %.2f j/s -> %.2fx gain "
+              "(acceptance floor 1.30x)\n",
+              loads[std::size(loads) - 1], sat_throughput_jps,
+              sat_latency_jps, gain);
+  {
+    cell::MetricsRegistry mr;
+    mr.set("service.throughput_gain_at_saturation", gain);
+    bench::emit_json_metrics("service_throughput", "saturation gain", gain,
+                             mr);
+  }
+}
+
+void BM_ServiceSchedule40Jobs(benchmark::State& state) {
+  // The virtual replay itself (no encodes): scheduling cost per 40-job
+  // batch on 2 groups.
+  std::vector<service::ServiceJobSpec> specs(40);
+  Rng rng(1234);
+  double clock = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    clock += rng.next_double() * 0.01;
+    specs[i].arrival = clock;
+    specs[i].items.resize(1 + i % 4);
+    for (auto& it : specs[i].items) {
+      it.pool = 0.005 + 0.001 * static_cast<double>(i % 7);
+      it.serial = 0.0005;
+    }
+  }
+  service::ScheduleOptions so;
+  so.policy = service::SchedulePolicy::kAdaptive;
+  so.num_groups = 2;
+  so.serial_slots = 2;
+  for (auto _ : state) {
+    auto sched = service::schedule_service(specs, so);
+    benchmark::DoNotOptimize(sched.makespan);
+  }
+}
+BENCHMARK(BM_ServiceSchedule40Jobs)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t width = 640;
+  std::size_t height = 512;
+  const char* trace_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--small") == 0) {
+      width = 320;
+      height = 256;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[i + 1];
+    }
+  }
+  run_bench(width, height, trace_out);
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

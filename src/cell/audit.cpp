@@ -12,13 +12,18 @@ constexpr const char* kUntagged = "(untagged)";
 
 thread_local const char* t_site = nullptr;
 thread_local int t_tile = -1;
+thread_local int t_job = -1;
 
-/// Site key with tile provenance folded in ("tileN/site" when a tile scope
-/// is live).
+/// Site key with job and tile provenance folded in ("jobN/tileM/site" when
+/// the corresponding scopes are live).
 std::string qualified_site(const char* site) {
   const int tile = AuditTileScope::current();
-  if (tile < 0) return site;
-  return "tile" + std::to_string(tile) + "/" + site;
+  const int job = AuditJobScope::current();
+  if (tile < 0 && job < 0) return site;
+  std::string s = site;
+  if (tile >= 0) s = "tile" + std::to_string(tile) + "/" + s;
+  if (job >= 0) s = "job" + std::to_string(job) + "/" + s;
+  return s;
 }
 
 }  // namespace
@@ -38,6 +43,12 @@ AuditTileScope::AuditTileScope(int tile) : prev_(t_tile) { t_tile = tile; }
 AuditTileScope::~AuditTileScope() { t_tile = prev_; }
 
 int AuditTileScope::current() { return t_tile; }
+
+AuditJobScope::AuditJobScope(int job) : prev_(t_job) { t_job = job; }
+
+AuditJobScope::~AuditJobScope() { t_job = prev_; }
+
+int AuditJobScope::current() { return t_job; }
 
 InvariantAudit::InvariantAudit(const AuditConfig& cfg) : cfg_(cfg) {}
 

@@ -113,6 +113,26 @@ class AuditTileScope {
   int prev_;
 };
 
+/// RAII thread-local job provenance for the encode service (DESIGN.md §12).
+/// While a scope is alive, audit events on this thread are attributed to
+/// "jobN/<site>" (composing with tile provenance as "jobN/tileM/<site>"),
+/// so a strict-mode violation in a multi-job service run names the
+/// offending job.  -1 (the default when no scope is alive) means "no job"
+/// and leaves single-job site names unchanged.
+class AuditJobScope {
+ public:
+  explicit AuditJobScope(int job);
+  ~AuditJobScope();
+  AuditJobScope(const AuditJobScope&) = delete;
+  AuditJobScope& operator=(const AuditJobScope&) = delete;
+
+  /// The innermost live job index on this thread (-1 if none).
+  static int current();
+
+ private:
+  int prev_;
+};
+
 /// Per-encode invariant ledger.  Thread-safe: SPE kernels on host threads
 /// record concurrently.
 class InvariantAudit {

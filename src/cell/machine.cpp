@@ -51,9 +51,10 @@ StageTiming Machine::run_data_parallel(
   }
   OpCounters ppe_counters;
 
-  // Thread-local tile provenance does not cross std::thread spawns; carry
-  // the caller's tile scope into each SPE thread by hand.
+  // Thread-local job/tile provenance does not cross std::thread spawns;
+  // carry the caller's scopes into each SPE thread by hand.
   const int tile_idx = AuditTileScope::current();
+  const int job_idx = AuditJobScope::current();
 
   std::vector<std::thread> threads;
   std::exception_ptr first_error;
@@ -62,6 +63,7 @@ StageTiming Machine::run_data_parallel(
   for (int i = 0; i < cfg_.num_spes; ++i) {
     threads.emplace_back([&, i] {
       try {
+        AuditJobScope job(job_idx);
         AuditTileScope tile(tile_idx);
         AuditSiteScope site(name.c_str());
         spe_work(i, *spes_[static_cast<std::size_t>(i)]);

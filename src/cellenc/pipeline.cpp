@@ -359,6 +359,7 @@ PipelineResult CellEncoder::encode(const Image& img,
       machine_, img, params, opt, distribute_tail ? &hulls : nullptr);
   jp2k::Tile& tile = front.tile;
   res.stages = std::move(front.stages);
+  const std::size_t front_count = res.stages.size();
   res.t1_symbols = front.t1_symbols;
   res.hull_extra_seconds = front.hull_extra_seconds;
   res.hull_serial_seconds = front.hull_serial_seconds;
@@ -423,6 +424,34 @@ PipelineResult CellEncoder::encode(const Image& img,
     res.dma_overlap_saved_seconds += s.dma_overlap_saved;
     res.dma_bytes += s.dma_bytes;
   }
+
+  // Service view (DESIGN.md §12): collapse the run into one {pool, serial}
+  // item.  The data-parallel front occupies the SPE pool; tail stages are
+  // classified by their stall ledger (fully PPE-serial → serial resource).
+  // Lossy runs report the rate/Tier-2 tail as the barrier phase; on
+  // lossless/HT runs the serial Tier-2 folds into the tile item, matching
+  // the tiled scheduler's per-tile Tier-2 phases.
+  decomp::PipelinePhase item;
+  for (std::size_t i = 0; i < front_count; ++i) {
+    item.pool += res.stages[i].seconds;
+  }
+  decomp::PipelinePhase tail_ph;
+  for (std::size_t i = front_count; i < res.stages.size(); ++i) {
+    const auto& s = res.stages[i];
+    if (s.seconds > 0 && s.stall.ppe_serial >= s.seconds) {
+      tail_ph.serial += s.seconds;
+    } else {
+      tail_ph.pool += s.seconds;
+    }
+  }
+  if (lossy_tail) {
+    res.tail_phase = tail_ph;
+  } else {
+    item.pool += tail_ph.pool;
+    item.serial += tail_ph.serial;
+  }
+  res.tile_items.assign(1, item);
+
   res.audit = audit.report();
   res.trace = trace.recorder();
   fill_metrics(res);

@@ -17,6 +17,7 @@
 #include "cell/trace.hpp"
 #include "cellenc/stage_dwt.hpp"
 #include "cellenc/stage_t1.hpp"
+#include "decomp/work_queue.hpp"
 #include "image/image.hpp"
 #include "jp2k/codestream.hpp"
 #include "jp2k/rate_control.hpp"
@@ -98,6 +99,16 @@ struct PipelineResult {
 
   /// The event trace; null unless PipelineOptions::trace.enabled.
   std::shared_ptr<cell::TraceRecorder> trace;
+
+  /// Service-scheduler view of the run (src/service, DESIGN.md §12): one
+  /// collapsed {pool, serial} phase per tile in tile-index order (the
+  /// data-parallel front plus any per-tile serial Tier-2), and — on lossy
+  /// EBCOT runs — the cross-tile rate/Tier-2 tail as a barrier phase that
+  /// runs once after every tile item.  Costs are at this run's machine
+  /// width, which is the lease-group width when the encode ran on a leased
+  /// group machine.
+  std::vector<decomp::PipelinePhase> tile_items;
+  decomp::PipelinePhase tail_phase;
 };
 
 class CellEncoder {

@@ -227,6 +227,9 @@ PipelineResult encode_tiled(cell::Machine& machine, const Image& img,
     res.rate_stats = std::move(tail.stats);
     res.simulated_seconds =
         front_makespan + tail.rate_timing.seconds + tail.t2_timing.seconds;
+    // The distributed tail occupies the full pool (merge + scan +
+    // precinct-parallel Tier-2): a pool-side barrier phase for the service.
+    res.tail_phase.pool = tail.rate_timing.seconds + tail.t2_timing.seconds;
   } else if (lossy_tail) {
     // --- Serial baseline tail after the front barrier: cross-tile rate
     // allocation + per-tile Tier-2 on the PPE, charged from its reported
@@ -311,6 +314,24 @@ PipelineResult encode_tiled(cell::Machine& machine, const Image& img,
     const auto full_sched = decomp::schedule_pipeline(items, gp.groups);
     emit_waves(full_sched);
     res.simulated_seconds = full_sched.makespan;
+  }
+
+  // Service view (DESIGN.md §12): per-tile {pool, serial} items in
+  // tile-index order (the lossless branch already appended each tile's
+  // serial Tier-2 phase above).  Lossy runs additionally carry the
+  // cross-tile rate/Tier-2 tail as the barrier phase — pool-side for the
+  // distributed tail (set in its branch above), serial for the baseline.
+  res.tile_items.assign(ntiles, decomp::PipelinePhase{});
+  for (std::size_t j = 0; j < ntiles; ++j) {
+    decomp::PipelinePhase it;
+    for (const auto& ph : items[j]) {
+      it.pool += ph.pool;
+      it.serial += ph.serial;
+    }
+    res.tile_items[order[j]] = it;
+  }
+  if (lossy_tail && !distribute_tail) {
+    res.tail_phase.serial = res.serial_rate_seconds + res.serial_t2_seconds;
   }
 
   for (const auto& s : res.stages) {

@@ -1,0 +1,43 @@
+#include "service/job_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace cj2k::service {
+
+void JobQueue::push(std::size_t id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CJ2K_CHECK_MSG(!closed_, "push on a closed JobQueue");
+    fifo_.push_back(id);
+  }
+  cv_.notify_one();
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool JobQueue::pop(std::size_t& id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !fifo_.empty() || closed_; });
+  if (fifo_.empty()) return false;
+  id = fifo_.front();
+  fifo_.pop_front();
+  return true;
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fifo_.size();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace cj2k::service

@@ -1,0 +1,40 @@
+// Encode-service admission queue (DESIGN.md §12).
+//
+// A small blocking FIFO of job ids feeding the service's host worker pool.
+// Unlike decomp::WorkQueue (a lock-free index dispenser over a fixed range)
+// this queue supports incremental submission and an explicit close(): the
+// service can keep admitting jobs while workers are already encoding, and
+// workers drain to completion once the producer is done.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+namespace cj2k::service {
+
+class JobQueue {
+ public:
+  /// Enqueues one job id.  Illegal after close().
+  void push(std::size_t id);
+
+  /// No more pushes will follow; blocked poppers drain and then return
+  /// false.
+  void close();
+
+  /// Pops the oldest id (FIFO).  Blocks while the queue is empty and still
+  /// open; returns false once the queue is closed and drained.
+  bool pop(std::size_t& id);
+
+  std::size_t size() const;
+  bool closed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::size_t> fifo_;
+  bool closed_ = false;
+};
+
+}  // namespace cj2k::service

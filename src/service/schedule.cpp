@@ -1,0 +1,415 @@
+#include "service/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <set>
+
+#include "cell/metrics.hpp"
+#include "common/error.hpp"
+
+namespace cj2k::service {
+
+const char* policy_name(SchedulePolicy p) {
+  switch (p) {
+    case SchedulePolicy::kLatency: return "latency";
+    case SchedulePolicy::kThroughput: return "throughput";
+    case SchedulePolicy::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+SchedulePolicy parse_policy(const std::string& name) {
+  if (name == "latency") return SchedulePolicy::kLatency;
+  if (name == "throughput") return SchedulePolicy::kThroughput;
+  if (name == "adaptive") return SchedulePolicy::kAdaptive;
+  CJ2K_CHECK_MSG(false, "unknown scheduling policy: " + name);
+  return SchedulePolicy::kThroughput;
+}
+
+namespace {
+
+constexpr std::size_t kFree = static_cast<std::size_t>(-1);
+
+/// Event kinds, in same-timestamp processing order: completions free
+/// resources before a simultaneous arrival asks for them.
+enum EvKind { kPoolDone = 0, kSerialDone = 1, kArrival = 2 };
+
+struct Ev {
+  double t = 0;
+  int kind = kArrival;
+  std::size_t job = 0;
+  std::size_t item = 0;
+  std::size_t group = 0;  ///< kPoolDone: the group the phase ran on.
+  bool tail = false;
+  bool stolen = false;
+};
+
+struct EvLater {
+  bool operator()(const Ev& a, const Ev& b) const {
+    if (a.t != b.t) return a.t > b.t;
+    if (a.kind != b.kind) return a.kind > b.kind;
+    if (a.job != b.job) return a.job > b.job;
+    return a.item > b.item;
+  }
+};
+
+struct ItemRef {
+  std::size_t index = 0;
+  bool tail = false;
+};
+
+struct JobState {
+  std::deque<ItemRef> pending;
+  std::size_t regular_left = 0;  ///< Tile items not yet complete.
+  std::size_t total_left = 0;    ///< Tile items + tail.
+  std::size_t running_pool = 0;  ///< Pool phases currently executing.
+  bool admitted = false;
+  bool tail_exists = false;
+  bool tail_released = false;
+  std::vector<std::size_t> lease;   ///< Groups this job owns.
+  std::vector<std::size_t> parked;  ///< Owned groups currently idle.
+};
+
+struct SerialReq {
+  std::size_t job = 0;
+  std::size_t item = 0;
+  bool tail = false;
+  bool stolen = false;
+  double dur = 0;
+};
+
+/// The whole replay as one state machine (the lambdas would otherwise need
+/// recursive std::function plumbing).
+struct Sim {
+  const std::vector<ServiceJobSpec>& jobs;
+  const ScheduleOptions& opt;
+  std::size_t G;
+  std::size_t P;
+  ServiceSchedule out;
+
+  std::vector<JobState> st;
+  std::vector<std::size_t> owner;     ///< Per group: owning job or kFree.
+  std::set<std::size_t> free_groups;  ///< Idle, unowned.
+  std::vector<double> slot_free;      ///< Per serial slot: free-at time.
+  std::deque<SerialReq> serial_fifo;
+  std::deque<std::size_t> waiting;    ///< Arrived, unadmitted (FIFO).
+  std::priority_queue<Ev, std::vector<Ev>, EvLater> events;
+
+  Sim(const std::vector<ServiceJobSpec>& j, const ScheduleOptions& o)
+      : jobs(j),
+        opt(o),
+        G(std::max<std::size_t>(1, o.num_groups)),
+        P(std::max<std::size_t>(1, o.serial_slots)) {
+    const std::size_t n = jobs.size();
+    st.resize(n);
+    out.jobs.resize(n);
+    owner.assign(G, kFree);
+    for (std::size_t g = 0; g < G; ++g) free_groups.insert(g);
+    slot_free.assign(P, 0.0);
+    for (std::size_t j2 = 0; j2 < n; ++j2) {
+      const ServiceJobSpec& spec = jobs[j2];
+      CJ2K_CHECK_MSG(!spec.items.empty(), "service job needs >= 1 item");
+      CJ2K_CHECK_MSG(spec.arrival >= 0, "negative arrival time");
+      if (j2 > 0) {
+        CJ2K_CHECK_MSG(spec.arrival >= jobs[j2 - 1].arrival,
+                       "jobs must be sorted by arrival");
+      }
+      JobState& s = st[j2];
+      for (std::size_t i = 0; i < spec.items.size(); ++i) {
+        s.pending.push_back({i, false});
+      }
+      s.regular_left = spec.items.size();
+      s.tail_exists = spec.tail.pool > 0 || spec.tail.serial > 0;
+      s.total_left = s.regular_left + (s.tail_exists ? 1 : 0);
+      out.jobs[j2].arrival = spec.arrival;
+      events.push({spec.arrival, kArrival, j2, 0, 0, false, false});
+    }
+  }
+
+  std::size_t lease_width() const {
+    switch (opt.policy) {
+      case SchedulePolicy::kLatency:
+        return G;
+      case SchedulePolicy::kThroughput:
+        return 1;
+      case SchedulePolicy::kAdaptive:
+        return std::max<std::size_t>(
+            1, std::min(G, G / std::max<std::size_t>(1, waiting.size())));
+    }
+    return 1;
+  }
+
+  void record_span(std::size_t j, const ItemRef& it, bool serial, bool stolen,
+                   std::size_t res, double t0, double dur) {
+    if (serial) {
+      out.busy_serial_seconds += dur;
+    } else {
+      out.busy_group_seconds += dur;
+    }
+    if (dur <= 0) return;
+    out.spans.push_back({j, it.index, res, serial, it.tail, stolen, t0,
+                         t0 + dur});
+  }
+
+  void start_pool(std::size_t g, std::size_t j, const ItemRef& it, bool stolen,
+                  double t) {
+    const decomp::PipelinePhase& ph =
+        it.tail ? jobs[j].tail : jobs[j].items[it.index];
+    ++st[j].running_pool;
+    if (stolen) {
+      ++out.steals;
+      ++out.jobs[j].stolen_items;
+    }
+    record_span(j, it, /*serial=*/false, stolen, g, t, ph.pool);
+    events.push({t + ph.pool, kPoolDone, j, it.index, g, it.tail, stolen});
+  }
+
+  void release_group(std::size_t g) {
+    const std::size_t j = owner[g];
+    JobState& s = st[j];
+    s.lease.erase(std::find(s.lease.begin(), s.lease.end(), g));
+    owner[g] = kFree;
+    free_groups.insert(g);
+  }
+
+  /// No-steal mode only: once a job has no pool work left (and its tail,
+  /// if any, is past its pool part), the whole lease goes back at once —
+  /// a trailing serial phase never holds groups, matching
+  /// decomp::schedule_pipeline's release rule.
+  void maybe_release_lease(std::size_t j) {
+    JobState& s = st[j];
+    if (!s.pending.empty() || s.running_pool > 0) return;
+    if (s.tail_exists && !s.tail_released) return;
+    for (std::size_t g : s.parked) {
+      owner[g] = kFree;
+      free_groups.insert(g);
+    }
+    s.parked.clear();
+    s.lease.clear();
+  }
+
+  void feed_owned_group(std::size_t g, double t) {
+    const std::size_t j = owner[g];
+    JobState& s = st[j];
+    if (!s.pending.empty()) {
+      const ItemRef it = s.pending.front();
+      s.pending.pop_front();
+      start_pool(g, j, it, /*stolen=*/false, t);
+      return;
+    }
+    if (opt.stealing) {
+      release_group(g);
+      return;
+    }
+    s.parked.push_back(g);
+    maybe_release_lease(j);
+  }
+
+  /// Wakes parked groups when new pool work appears (the barrier tail
+  /// becoming runnable in no-steal mode).
+  void wake_parked(std::size_t j, double t) {
+    JobState& s = st[j];
+    while (!s.parked.empty() && !s.pending.empty()) {
+      const auto lowest = std::min_element(s.parked.begin(), s.parked.end());
+      const std::size_t g = *lowest;
+      s.parked.erase(lowest);
+      const ItemRef it = s.pending.front();
+      s.pending.pop_front();
+      start_pool(g, j, it, /*stolen=*/false, t);
+    }
+  }
+
+  void item_complete(std::size_t j, bool tail, double t) {
+    JobState& s = st[j];
+    --s.total_left;
+    if (!tail) {
+      --s.regular_left;
+      if (s.regular_left == 0 && s.tail_exists && !s.tail_released) {
+        s.tail_released = true;
+        s.pending.push_back({0, true});
+        wake_parked(j, t);
+      }
+    }
+    if (s.total_left == 0) {
+      out.jobs[j].finish = t;
+      out.makespan = std::max(out.makespan, t);
+      for (std::size_t g : s.lease) {
+        owner[g] = kFree;
+        free_groups.insert(g);
+      }
+      s.lease.clear();
+      s.parked.clear();
+    }
+  }
+
+  void serial_kick(double t) {
+    while (!serial_fifo.empty()) {
+      std::size_t slot = P;
+      for (std::size_t p = 0; p < P; ++p) {
+        if (slot_free[p] <= t) {
+          slot = p;
+          break;
+        }
+      }
+      if (slot == P) return;  // All slots busy; the next done-event retries.
+      const SerialReq r = serial_fifo.front();
+      serial_fifo.pop_front();
+      slot_free[slot] = t + r.dur;
+      record_span(r.job, {r.item, r.tail}, /*serial=*/true, r.stolen, slot, t,
+                  r.dur);
+      events.push(
+          {t + r.dur, kSerialDone, r.job, r.item, slot, r.tail, r.stolen});
+    }
+  }
+
+  /// Admission + stealing fixpoint: admit the FIFO head whenever its lease
+  /// fits, otherwise put spare groups to work on running jobs' backlogs.
+  void dispatch(double t) {
+    for (;;) {
+      if (!waiting.empty() && free_groups.size() >= lease_width()) {
+        const std::size_t L = lease_width();
+        const std::size_t j = waiting.front();
+        waiting.pop_front();
+        JobState& s = st[j];
+        s.admitted = true;
+        out.jobs[j].start = t;
+        out.jobs[j].lease_groups = L;
+        std::vector<std::size_t> grant;
+        grant.reserve(L);
+        for (std::size_t k = 0; k < L; ++k) {
+          const std::size_t g = *free_groups.begin();
+          free_groups.erase(free_groups.begin());
+          owner[g] = j;
+          s.lease.push_back(g);
+          grant.push_back(g);
+        }
+        for (std::size_t g : grant) feed_owned_group(g, t);
+        continue;
+      }
+      if (opt.stealing && !free_groups.empty()) {
+        // Victim: the admitted job with the deepest backlog (lowest id
+        // breaks ties); steal its oldest pending item.
+        std::size_t victim = kFree;
+        std::size_t depth = 0;
+        for (std::size_t j = 0; j < st.size(); ++j) {
+          if (st[j].admitted && st[j].pending.size() > depth) {
+            victim = j;
+            depth = st[j].pending.size();
+          }
+        }
+        if (victim != kFree) {
+          const std::size_t g = *free_groups.begin();
+          free_groups.erase(free_groups.begin());
+          const ItemRef it = st[victim].pending.front();
+          st[victim].pending.pop_front();
+          start_pool(g, victim, it, /*stolen=*/true, t);
+          continue;
+        }
+      }
+      return;
+    }
+  }
+
+  void run() {
+    while (!events.empty()) {
+      const Ev e = events.top();
+      events.pop();
+      const double t = e.t;
+      switch (e.kind) {
+        case kArrival:
+          waiting.push_back(e.job);
+          break;
+        case kPoolDone: {
+          --st[e.job].running_pool;
+          const decomp::PipelinePhase& ph =
+              e.tail ? jobs[e.job].tail : jobs[e.job].items[e.item];
+          if (ph.serial > 0) {
+            serial_fifo.push_back({e.job, e.item, e.tail, e.stolen, ph.serial});
+          } else {
+            item_complete(e.job, e.tail, t);
+          }
+          // The group this phase ran on: still owned by the job → pull its
+          // next item; unowned (stolen run, or released by a simultaneous
+          // job finish) → back to the pool.
+          if (owner[e.group] == e.job) {
+            feed_owned_group(e.group, t);
+          } else {
+            free_groups.insert(e.group);
+          }
+          break;
+        }
+        case kSerialDone:
+          item_complete(e.job, e.tail, t);
+          break;
+      }
+      if (e.kind == kPoolDone) serial_kick(t);
+      if (e.kind == kSerialDone) serial_kick(t);
+      dispatch(t);
+    }
+  }
+};
+
+}  // namespace
+
+ServiceSchedule schedule_service(const std::vector<ServiceJobSpec>& jobs,
+                                 const ScheduleOptions& opt) {
+  Sim sim(jobs, opt);
+  sim.run();
+  return std::move(sim.out);
+}
+
+ServiceSummary summarize_schedule(const ServiceSchedule& sched,
+                                  const ScheduleOptions& opt) {
+  ServiceSummary s;
+  s.jobs = sched.jobs.size();
+  s.makespan = sched.makespan;
+  s.steals = sched.steals;
+  if (s.jobs == 0) return s;
+
+  std::vector<double> lat;
+  lat.reserve(s.jobs);
+  for (const auto& j : sched.jobs) {
+    lat.push_back(j.latency());
+    s.mean_queue_wait += j.queue_wait();
+    s.mean_service_time += j.service_time();
+  }
+  s.mean_queue_wait /= static_cast<double>(s.jobs);
+  s.mean_service_time /= static_cast<double>(s.jobs);
+  std::sort(lat.begin(), lat.end());
+  const auto rank = [&](double q) {
+    const double r = std::ceil(q * static_cast<double>(lat.size()));
+    const std::size_t i = r < 1 ? 0 : static_cast<std::size_t>(r) - 1;
+    return lat[std::min(i, lat.size() - 1)];
+  };
+  s.p50_latency = rank(0.50);
+  s.p99_latency = rank(0.99);
+  if (s.makespan > 0) {
+    s.jobs_per_sec = static_cast<double>(s.jobs) / s.makespan;
+    const std::size_t G = std::max<std::size_t>(1, opt.num_groups);
+    s.pool_occupancy =
+        sched.busy_group_seconds / (static_cast<double>(G) * s.makespan);
+  }
+  return s;
+}
+
+void fold_service_metrics(const ServiceSummary& s, const ScheduleOptions& opt,
+                          cell::MetricsRegistry& mr) {
+  mr.set("service.jobs", static_cast<double>(s.jobs));
+  mr.set("service.groups",
+         static_cast<double>(std::max<std::size_t>(1, opt.num_groups)));
+  mr.set("service.serial_slots",
+         static_cast<double>(std::max<std::size_t>(1, opt.serial_slots)));
+  mr.set("service.work_stealing", opt.stealing ? 1.0 : 0.0);
+  mr.set("service.makespan_seconds", s.makespan);
+  mr.set("service.jobs_per_sec", s.jobs_per_sec);
+  mr.set("service.p50_latency", s.p50_latency);
+  mr.set("service.p99_latency", s.p99_latency);
+  mr.set("service.mean_queue_wait", s.mean_queue_wait);
+  mr.set("service.mean_service_time", s.mean_service_time);
+  mr.set("service.pool_occupancy", s.pool_occupancy);
+  mr.set("service.steals", static_cast<double>(s.steals));
+}
+
+}  // namespace cj2k::service

@@ -216,6 +216,27 @@ TEST(LintRegions, StdFunctionTypeIsNotARegion) {
   EXPECT_TRUE(lint_source("t.cpp", src, {}).empty());
 }
 
+TEST(LintRegions, ServicePpeCodeIsNotAnSpeRegion) {
+  // Encode-service PPE-side code (src/service, DESIGN.md §12) schedules
+  // host threads and pool leases — std::thread / std::mutex / std::vector
+  // are its bread and butter and must not trip the SPE-region rules, which
+  // key on kernel signatures (SpeContext& / Simd& / DmaEngine&), not on
+  // directory.  This fixture pins that a lease-taking service function is
+  // not a region.
+  const std::string src =
+      "void run_jobs(service::SpePoolLease& lease,\n"
+      "              std::vector<service::EncodeJob>& jobs) {\n"
+      "  std::mutex mu;\n"
+      "  std::vector<std::thread> workers;\n"
+      "  workers.emplace_back([&] {\n"
+      "    std::lock_guard<std::mutex> lock(mu);\n"
+      "    jobs.resize(jobs.size());\n"
+      "  });\n"
+      "  for (auto& t : workers) t.join();\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("service/encode_service.cpp", src, {}).empty());
+}
+
 TEST(LintRegions, DeclarationDoesNotLatchOntoNextBrace) {
   // A prototype mentioning DmaEngine& ends at ';' — the struct body that
   // happens to follow must not become an SPE region.

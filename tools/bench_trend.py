@@ -114,6 +114,24 @@ def occupancy_note(derived_list):
     return f"{best} {occ * 100:.0f}%" if occ is not None else best
 
 
+def service_note(derived_list):
+    """Service columns from the latest derived metrics (DESIGN.md §12):
+    '(jobs/sec, p99 latency)' when the record carries service.* keys,
+    ('-', '-') otherwise — encode-only benches keep their report shape."""
+    latest = next((d for d in reversed(derived_list) if d), None)
+    if not latest:
+        return ("-", "-")
+    jps = latest.get("service.jobs_per_sec")
+    p99 = latest.get("service.p99_latency")
+    return ("-" if jps is None else f"{jps:.2f}",
+            "-" if p99 is None else f"{p99:.4g}")
+
+
+def has_service_rows(trend):
+    return any(service_note(row["derived"]) != ("-", "-")
+               for row in trend.values())
+
+
 def print_report(runs, trend, out=sys.stdout):
     run_names = [name for name, _ in runs]
     total = sum(len(records) for _, records in runs)
@@ -122,10 +140,16 @@ def print_report(runs, trend, out=sys.stdout):
         print(f"  run[{i}] = {name} ({len(runs[i][1])} records)", file=out)
     print(file=out)
 
+    # The service columns only appear when some record carries service.*
+    # derived metrics, so encode-only reports are byte-stable.
+    service = has_service_rows(trend)
     label_w = max((len(f"{b}:{l}") for b, l in trend), default=10)
     cols = "  ".join(f"run[{i}]".rjust(12) for i in range(len(runs)))
-    print(f"{'bench:label'.ljust(label_w)}  {cols}  {'Δ last/first':>12}  "
-          f"{'audit':>10}  {'hot stage':>14}", file=out)
+    header = (f"{'bench:label'.ljust(label_w)}  {cols}  {'Δ last/first':>12}  "
+              f"{'audit':>10}  {'hot stage':>14}")
+    if service:
+        header += f"  {'jobs/s':>8}  {'p99 lat':>9}"
+    print(header, file=out)
     for (bench, label), row in trend.items():
         name = f"{bench}:{label}"
         series = row["series"]
@@ -133,9 +157,13 @@ def print_report(runs, trend, out=sys.stdout):
         firsts = [v for v in series if v is not None]
         delta = fmt_delta(firsts[0] if firsts else None,
                           firsts[-1] if firsts else None)
-        print(f"{name.ljust(label_w)}  {vals}  {delta:>12}  "
-              f"{audit_verdict(row['audit']):>10}  "
-              f"{occupancy_note(row['derived']):>14}", file=out)
+        line = (f"{name.ljust(label_w)}  {vals}  {delta:>12}  "
+                f"{audit_verdict(row['audit']):>10}  "
+                f"{occupancy_note(row['derived']):>14}")
+        if service:
+            jps, p99 = service_note(row["derived"])
+            line += f"  {jps:>8}  {p99:>9}"
+        print(line, file=out)
 
 
 def selftest():
@@ -148,16 +176,34 @@ def selftest():
            '"derived":{"sim.seconds":2.0,"stage.t1.seconds":1.8,'
            '"stage.t1.occupancy":0.9,"stage.t1.critical_path_share":0.9,'
            '"stage.t2.critical_path_share":0.1,"stage.t2.occupancy":0.2}}')
-    records = list(scrape([old, new, "noise line", "BENCH_JSON {broken"]))
-    assert len(records) == 2, records
+    svc = ('BENCH_JSON {"bench":"service_throughput","label":"s",'
+           '"sim_seconds":0.6,"derived":{"service.jobs_per_sec":19.5,'
+           '"service.p99_latency":0.0093,"service.pool_occupancy":0.9}}')
+    records = list(scrape([old, new, svc, "noise line", "BENCH_JSON {broken"]))
+    assert len(records) == 3, records
     trend = build_trend([("run0", records)])
     row_old = trend[("b", "old")]
     row_new = trend[("b", "new")]
+    row_svc = trend[("service_throughput", "s")]
     assert row_old["derived"] == [None]
     assert row_new["derived"][0]["stage.t1.occupancy"] == 0.9
     assert occupancy_note(row_old["derived"]) == "-"
     assert occupancy_note(row_new["derived"]) == "t1 90%"
     assert audit_verdict(row_old["audit"]) == "clean"
+    # Service columns: present for service.* rows, '-' elsewhere, and the
+    # whole column pair only materialises when some row is a service row.
+    assert service_note(row_svc["derived"]) == ("19.50", "0.0093")
+    assert service_note(row_new["derived"]) == ("-", "-")
+    assert has_service_rows(trend)
+    assert not has_service_rows({("b", "old"): row_old})
+    import io
+    buf = io.StringIO()
+    print_report([("run0", records)], trend, out=buf)
+    assert "jobs/s" in buf.getvalue() and "19.50" in buf.getvalue()
+    buf2 = io.StringIO()
+    print_report([("run0", records[:2])],
+                 build_trend([("run0", records[:2])]), out=buf2)
+    assert "jobs/s" not in buf2.getvalue()
     # The --json shape round-trips both rows (old snapshots stay loadable).
     obj = {"rows": [{"bench": b, "label": l, "sim_seconds": r["series"],
                      "audit": r["audit"], "derived": r["derived"]}

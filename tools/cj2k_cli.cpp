@@ -6,11 +6,24 @@
 //   cj2k bench   <in.bmp|in.ppm> [--spes N] [--ppes N] [--chips N]
 //                [--lossy] [--rate R] [--tiles CxR] [--block-coder B]
 //                [--trace out.json]
+//   cj2k serve-bench <in.bmp|in.ppm> [--jobs N] [--policy P] [--jps R]
+//                [--seed S] [--spes N] [--ppes N] [--chips N]
+//                [--group-spes N] [--no-steal] [--lossy] [--rate R]
+//                [--tiles CxR] [--block-coder B] [--trace out.json]
 //
 // Bench extras:
 //   --trace FILE        write a Chrome trace-event JSON of the simulated run
 //                       (load in Perfetto / chrome://tracing); the file also
 //                       embeds the derived-metrics registry (DESIGN.md §11)
+//
+// serve-bench extras (DESIGN.md §12):
+//   --jobs N            number of concurrent encode jobs (default 8)
+//   --policy P          scheduling policy: latency | throughput | adaptive
+//                       (default throughput)
+//   --jps R             open-loop arrival rate, jobs/second (default 16)
+//   --seed S            arrival-process RNG seed (default 1)
+//   --group-spes N      SPEs per lease group (default 8)
+//   --no-steal          disable job-level work stealing
 //
 // Encode options:
 //   --lossy             9/7 irreversible (default: lossless 5/3)
@@ -25,18 +38,22 @@
 //   --fixed-point       Q13 fixed-point 9/7 (Jasper's original arithmetic)
 //   --reset-ctx         RESET contexts each coding pass
 //   --vsc               vertically stripe-causal contexts
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cellenc/pipeline.hpp"
+#include "common/rng.hpp"
 #include "image/bmp.hpp"
 #include "image/metrics.hpp"
 #include "image/pnm.hpp"
 #include "jp2k/decoder.hpp"
 #include "jp2k/encoder.hpp"
+#include "service/encode_service.hpp"
 
 using namespace cj2k;
 
@@ -56,7 +73,15 @@ int usage() {
                "[--chips N]\n"
                "                   [--lossy] [--rate R] [--tiles CxR] "
                "[--block-coder ebcot|ht]\n"
-               "                   [--trace out.json]\n");
+               "                   [--trace out.json]\n"
+               "       cj2k serve-bench <in.bmp|in.ppm> [--jobs N] "
+               "[--policy latency|throughput|adaptive]\n"
+               "                   [--jps R] [--seed S] [--spes N] [--ppes N] "
+               "[--chips N]\n"
+               "                   [--group-spes N] [--no-steal] [--lossy] "
+               "[--rate R]\n"
+               "                   [--tiles CxR] [--block-coder ebcot|ht] "
+               "[--trace out.json]\n");
   return 2;
 }
 
@@ -289,6 +314,84 @@ int cmd_bench(const std::string& in, const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_serve_bench(const std::string& in,
+                    const std::vector<std::string>& args) {
+  const auto img = std::make_shared<const Image>(read_image(in));
+
+  service::ServiceOptions sopt;
+  sopt.machine.num_spes = static_cast<int>(opt_num(args, "--spes", 16));
+  sopt.machine.num_ppe_threads =
+      static_cast<int>(opt_num(args, "--ppes", 2));
+  sopt.machine.chips = static_cast<int>(opt_num(args, "--chips", 2));
+  sopt.group_spes = static_cast<int>(opt_num(args, "--group-spes", 8));
+  if (opt_flag(args, "--no-steal")) sopt.steal = service::StealMode::kOff;
+  const std::string policy = opt_str(args, "--policy");
+  if (!policy.empty()) sopt.policy = service::parse_policy(policy);
+  const std::string trace_path = opt_str(args, "--trace");
+  sopt.trace = !trace_path.empty();
+
+  jp2k::CodingParams p;
+  p.rate = opt_num(args, "--rate", 0.0);
+  if (p.rate > 0.0 || opt_flag(args, "--lossy")) {
+    p.wavelet = jp2k::WaveletKind::kIrreversible97;
+  }
+  p.layers = static_cast<int>(opt_num(args, "--layers", 1));
+  p.levels = static_cast<int>(opt_num(args, "--levels", 5));
+  opt_block_coder(args, p);
+  opt_tiles(args, p);
+
+  const auto jobs = static_cast<std::size_t>(opt_num(args, "--jobs", 8));
+  const double jps = opt_num(args, "--jps", 16.0);
+  const auto seed = static_cast<std::uint64_t>(opt_num(args, "--seed", 1));
+  if (jobs < 1) throw InvalidArgument("--jobs must be at least 1");
+  if (jps <= 0) throw InvalidArgument("--jps must be positive");
+
+  service::EncodeService svc(sopt);
+  {
+    Rng rng(seed);
+    double clock = 0;
+    for (std::size_t i = 0; i < jobs; ++i) {
+      clock += -std::log1p(-rng.next_double()) / jps;
+      service::EncodeJob job;
+      job.image = img;
+      job.params = p;
+      job.arrival_seconds = clock;
+      svc.submit(std::move(job));
+    }
+  }
+  const service::ServiceResult res = svc.run();
+
+  std::printf("encode service: %zu jobs, %zu group(s) x %d SPEs, "
+              "%s policy, stealing %s, %.1f jobs/s offered\n",
+              jobs, res.groups, res.group_spes,
+              service::policy_name(sopt.policy),
+              svc.stealing_enabled() ? "on" : "off", jps);
+  std::printf("  %-8s %10s %10s %10s %10s %7s %7s %10s\n", "job", "arrival",
+              "wait", "service", "latency", "groups", "stolen", "bytes");
+  for (const auto& jr : res.jobs) {
+    std::printf("  %-8s %8.4f s %8.4f s %8.4f s %8.4f s %7zu %7zu %10zu\n",
+                jr.name.c_str(), jr.arrival_seconds, jr.queue_wait_seconds,
+                jr.service_seconds, jr.latency_seconds, jr.lease_groups,
+                jr.stolen_items, jr.pipeline.codestream.size());
+  }
+  std::printf("summary: %.2f jobs/s, p50 %.4f s, p99 %.4f s, "
+              "occupancy %.1f%%, %zu steal(s), makespan %.4f s\n",
+              res.summary.jobs_per_sec, res.summary.p50_latency,
+              res.summary.p99_latency, 100.0 * res.summary.pool_occupancy,
+              static_cast<std::size_t>(res.summary.steals),
+              res.makespan_seconds);
+  if (res.trace) {
+    std::ofstream out(trace_path, std::ios::binary);
+    if (!out) throw IoError("cannot create: " + trace_path);
+    res.trace->write_chrome_json(out, &res.metrics);
+    std::printf("trace: %s (%zu events, %zu dropped) — load in Perfetto or "
+                "chrome://tracing\n",
+                trace_path.c_str(), res.trace->total_events(),
+                res.trace->dropped_events());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -309,6 +412,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "bench" && args.size() >= 1) {
       return cmd_bench(args[0], args);
+    }
+    if (cmd == "serve-bench" && args.size() >= 1) {
+      return cmd_serve_bench(args[0], args);
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "cj2k: %s\n", e.what());
