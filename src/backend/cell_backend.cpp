@@ -1,0 +1,151 @@
+// CellModelBackend: the instrumented path.  Every method forwards to the
+// cellenc row kernels, which both perform the arithmetic and charge the
+// SPE's op counters — dispatching through the trait changes neither the
+// bytes nor the simulated cycles, so this backend remains the timing truth
+// the golden timing tests pin.
+#include <cmath>
+
+#include "backend/kernel_backend.hpp"
+#include "cellenc/kernels.hpp"
+
+namespace cj2k::backend {
+
+namespace {
+
+class CellModelBackend final : public KernelBackend {
+ public:
+  BackendKind kind() const override { return BackendKind::kCellModel; }
+  const char* name() const override { return "cell"; }
+
+  void shift_rct_row(cell::Simd& s, Sample* r, Sample* g, Sample* b,
+                     std::size_t n, unsigned depth) const override {
+    cellenc::simd_shift_rct_row(s, r, g, b, n, depth);
+  }
+  void shift_row(cell::Simd& s, Sample* x, std::size_t n,
+                 unsigned depth) const override {
+    cellenc::simd_shift_row(s, x, n, depth);
+  }
+  void shift_ict_row(cell::Simd& s, const Sample* r, const Sample* g,
+                     const Sample* b, float* y, float* cb, float* cr,
+                     std::size_t n, unsigned depth) const override {
+    cellenc::simd_shift_ict_row(s, r, g, b, y, cb, cr, n, depth);
+  }
+  void shift_to_float_row(cell::Simd& s, const Sample* x, float* out,
+                          std::size_t n, unsigned depth) const override {
+    cellenc::simd_shift_to_float_row(s, x, out, n, depth);
+  }
+  void shift_ict_fixed_row(cell::Simd& s, const Sample* r, const Sample* g,
+                           const Sample* b, Sample* y, Sample* cb, Sample* cr,
+                           std::size_t n, unsigned depth) const override {
+    cellenc::simd_shift_ict_fixed_row(s, r, g, b, y, cb, cr, n, depth);
+  }
+  void shift_to_fixed_row(cell::Simd& s, const Sample* x, Sample* out,
+                          std::size_t n, unsigned depth) const override {
+    cellenc::simd_shift_to_fixed_row(s, x, out, n, depth);
+  }
+
+  void predict53_row(cell::Simd& s, Sample* d, const Sample* a,
+                     const Sample* b, std::size_t n) const override {
+    cellenc::simd_predict53_row(s, d, a, b, n);
+  }
+  void update53_row(cell::Simd& s, Sample* d, const Sample* a,
+                    const Sample* b, std::size_t n) const override {
+    cellenc::simd_update53_row(s, d, a, b, n);
+  }
+  void lift97_row(cell::Simd& s, float* x, const float* a, const float* b,
+                  float c, std::size_t n) const override {
+    cellenc::simd_lift97_row(s, x, a, b, c, n);
+  }
+  void scale_row(cell::Simd& s, float* x, float c,
+                 std::size_t n) const override {
+    cellenc::simd_scale_row(s, x, c, n);
+  }
+  void lift97_fixed_row(cell::Simd& s, std::int32_t* x, const std::int32_t* a,
+                        const std::int32_t* b, std::int32_t c_q13,
+                        std::size_t n) const override {
+    cellenc::simd_lift97_fixed_row(s, x, a, b, c_q13, n);
+  }
+  void scale_fixed_row(cell::Simd& s, Sample* x, Sample c_q13,
+                       std::size_t n) const override {
+    cellenc::simd_scale_fixed_row(s, x, c_q13, n);
+  }
+
+  void dwt53_h_row(cell::Simd& s, const Sample* in, Sample* even, Sample* odd,
+                   std::size_t n) const override {
+    cellenc::simd_dwt53_h_row(s, in, even, odd, n);
+  }
+  void dwt97_h_row(cell::Simd& s, const float* in, float* even, float* odd,
+                   std::size_t n) const override {
+    cellenc::simd_dwt97_h_row(s, in, even, odd, n);
+  }
+  void dwt97_fixed_h_row(cell::Simd& s, const Sample* in, Sample* even,
+                         Sample* odd, std::size_t n) const override {
+    cellenc::simd_dwt97_fixed_h_row(s, in, even, odd, n);
+  }
+
+  void quant_row(cell::Simd& s, const float* in, Sample* out, std::size_t n,
+                 float inv_step) const override {
+    cellenc::simd_quant_row(s, in, out, n, inv_step);
+  }
+  void quant_fixed_row(cell::Simd& s, const Sample* in_q13, Sample* out,
+                       std::size_t n, std::int64_t inv_q16) const override {
+    cellenc::simd_quant_fixed_row(s, in_q13, out, n, inv_q16);
+  }
+
+  void deinterleave_row(cell::Simd& s, const Sample* in, Sample* even,
+                        Sample* odd, std::size_t n) const override {
+    cellenc::simd_deinterleave_row(s, in, even, odd, n);
+  }
+  void deinterleave_row(cell::Simd& s, const float* in, float* even,
+                        float* odd, std::size_t n) const override {
+    cellenc::simd_deinterleave_row(s, in, even, odd, n);
+  }
+  void ls_copy(cell::Simd& s, void* dst, const void* src,
+               std::size_t bytes) const override {
+    cellenc::ls_copy(s, dst, src, bytes);
+  }
+
+  std::uint32_t t1_mag_sign(Span2d<const Sample> coeffs, std::uint32_t* mag,
+                            std::uint16_t* flags, std::size_t flags_stride,
+                            std::uint16_t sign_flag) const override {
+    // The exact scalar prescan the EBCOT block encoder has always run; T1
+    // timing is a virtual-time replay of symbol counts, so there are no
+    // counters to charge here.
+    const std::size_t w = coeffs.width();
+    const std::size_t h = coeffs.height();
+    std::uint32_t maxmag = 0;
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        const Sample v = coeffs(y, x);
+        const std::uint32_t m = static_cast<std::uint32_t>(std::abs(v));
+        mag[y * w + x] = m;
+        if (v < 0) flags[y * flags_stride + x] |= sign_flag;
+        if (m > maxmag) maxmag = m;
+      }
+    }
+    return maxmag;
+  }
+
+  std::uint32_t block_maxmag(Span2d<const Sample> coeffs) const override {
+    const std::size_t w = coeffs.width();
+    const std::size_t h = coeffs.height();
+    std::uint32_t maxmag = 0;
+    for (std::size_t y = 0; y < h; ++y) {
+      const Sample* row = coeffs.row(y);
+      for (std::size_t x = 0; x < w; ++x) {
+        const std::uint32_t m = static_cast<std::uint32_t>(std::abs(row[x]));
+        if (m > maxmag) maxmag = m;
+      }
+    }
+    return maxmag;
+  }
+};
+
+}  // namespace
+
+const KernelBackend& cell_model() {
+  static const CellModelBackend instance;
+  return instance;
+}
+
+}  // namespace cj2k::backend

@@ -1,0 +1,25 @@
+#include "backend/kernel_backend.hpp"
+
+namespace cj2k::backend {
+
+const KernelBackend& get(BackendKind kind) {
+  return kind == BackendKind::kNative ? native_simd() : cell_model();
+}
+
+const char* to_string(BackendKind kind) {
+  return kind == BackendKind::kNative ? "native" : "cell";
+}
+
+bool parse(std::string_view name, BackendKind& out) {
+  if (name == "cell") {
+    out = BackendKind::kCellModel;
+    return true;
+  }
+  if (name == "native") {
+    out = BackendKind::kNative;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace cj2k::backend

@@ -1,0 +1,439 @@
+// NativeSimdBackend: the hot kernels lowered to host SIMD (SSE2/NEON via
+// backend/native_simd.hpp, scalar elsewhere).  No op counters are charged —
+// under this backend the machine model's simulated seconds stop being
+// meaningful for the SIMD stages (CellModelBackend remains the timing
+// truth); what this backend buys is real wall-clock measurements
+// (bench_native_wallclock) and an independent second implementation of every
+// kernel for the differential tests.
+//
+// Every method reproduces the Cell model's arithmetic exactly:
+//  * integer kernels are exact by construction;
+//  * float kernels use the same operation sequence and association order,
+//    with mul_add() guaranteed un-fused (native_simd.hpp) under the
+//    project-wide -ffp-contract=off;
+//  * the Q13 fixed-point kernels run scalar — their 64-bit widening
+//    multiplies gain nothing from 4×32-bit lanes, which is exactly the
+//    paper's argument for moving the 9/7 path to float.
+//
+// Bounds discipline: vector loops only run where all 4 lanes are in
+// [0, n); everything else is a scalar tail.  In particular the pad words
+// that padded_row_elems() appends to a row transfer are NEVER read or
+// written here — the stage code round-trips them via DMA untouched — so an
+// exact-size buffer stays ASan-clean (pinned by backend_kernel_test.cpp).
+#include <algorithm>
+#include <cmath>
+
+#include "backend/kernel_backend.hpp"
+#include "backend/native_simd.hpp"
+#include "jp2k/dwt97.hpp"
+#include "jp2k/mct.hpp"
+
+namespace cj2k::backend {
+
+namespace {
+
+/// |a| per int32 lane via the SSE2-safe (v ^ sign) - sign idiom (lane
+/// magnitudes are < 2^31 everywhere in this codec, so INT_MIN cannot occur).
+inline nv::I4 abs_i(nv::I4 a) {
+  const nv::I4 sign = nv::neg_mask(a);
+  return nv::sub(nv::xor_(a, sign), sign);
+}
+
+class NativeSimdBackend final : public KernelBackend {
+ public:
+  BackendKind kind() const override { return BackendKind::kNative; }
+  const char* name() const override { return "native"; }
+
+  void shift_rct_row(cell::Simd&, Sample* r, Sample* g, Sample* b,
+                     std::size_t n, unsigned depth) const override {
+    const Sample off1 = Sample{1} << (depth - 1);
+    const nv::I4 off = nv::splat(off1);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      nv::I4 rr = nv::sub(nv::loadu(r + i), off);
+      nv::I4 gg = nv::sub(nv::loadu(g + i), off);
+      nv::I4 bb = nv::sub(nv::loadu(b + i), off);
+      nv::I4 y = nv::srai<2>(nv::add(nv::add(rr, bb), nv::add(gg, gg)));
+      nv::storeu(r + i, y);
+      nv::storeu(g + i, nv::sub(bb, gg));
+      nv::storeu(b + i, nv::sub(rr, gg));
+    }
+    for (; i < n; ++i) {
+      const Sample rr = r[i] - off1, gg = g[i] - off1, bb = b[i] - off1;
+      r[i] = (rr + 2 * gg + bb) >> 2;
+      g[i] = bb - gg;
+      b[i] = rr - gg;
+    }
+  }
+
+  void shift_row(cell::Simd&, Sample* x, std::size_t n,
+                 unsigned depth) const override {
+    const Sample off1 = Sample{1} << (depth - 1);
+    const nv::I4 off = nv::splat(off1);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      nv::storeu(x + i, nv::sub(nv::loadu(x + i), off));
+    }
+    for (; i < n; ++i) x[i] -= off1;
+  }
+
+  void shift_ict_row(cell::Simd&, const Sample* r, const Sample* g,
+                     const Sample* b, float* y, float* cb, float* cr,
+                     std::size_t n, unsigned depth) const override {
+    const float offf = static_cast<float>(Sample{1} << (depth - 1));
+    const nv::F4 off = nv::splat(offf);
+    const nv::F4 c_yr = nv::splat(0.299f), c_yg = nv::splat(0.587f),
+                 c_yb = nv::splat(0.114f);
+    const nv::F4 c_br = nv::splat(-0.168736f), c_bg = nv::splat(-0.331264f),
+                 c_bb = nv::splat(0.5f);
+    const nv::F4 c_rr = nv::splat(0.5f), c_rg = nv::splat(-0.418688f),
+                 c_rb = nv::splat(-0.081312f);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      nv::F4 rr = nv::sub(nv::to_float(nv::loadu(r + i)), off);
+      nv::F4 gg = nv::sub(nv::to_float(nv::loadu(g + i)), off);
+      nv::F4 bb = nv::sub(nv::to_float(nv::loadu(b + i)), off);
+      nv::storeu(y + i,
+                 nv::mul_add(c_yb, bb,
+                             nv::mul_add(c_yg, gg, nv::mul(c_yr, rr))));
+      nv::storeu(cb + i,
+                 nv::mul_add(c_bb, bb,
+                             nv::mul_add(c_bg, gg, nv::mul(c_br, rr))));
+      nv::storeu(cr + i,
+                 nv::mul_add(c_rb, bb,
+                             nv::mul_add(c_rg, gg, nv::mul(c_rr, rr))));
+    }
+    for (; i < n; ++i) {
+      const float rr = static_cast<float>(r[i]) - offf;
+      const float gg = static_cast<float>(g[i]) - offf;
+      const float bb = static_cast<float>(b[i]) - offf;
+      y[i] = 0.299f * rr + 0.587f * gg + 0.114f * bb;
+      cb[i] = -0.168736f * rr - 0.331264f * gg + 0.5f * bb;
+      cr[i] = 0.5f * rr - 0.418688f * gg - 0.081312f * bb;
+    }
+  }
+
+  void shift_to_float_row(cell::Simd&, const Sample* x, float* out,
+                          std::size_t n, unsigned depth) const override {
+    const float offf = static_cast<float>(Sample{1} << (depth - 1));
+    const nv::F4 off = nv::splat(offf);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      nv::storeu(out + i, nv::sub(nv::to_float(nv::loadu(x + i)), off));
+    }
+    for (; i < n; ++i) out[i] = static_cast<float>(x[i]) - offf;
+  }
+
+  void shift_ict_fixed_row(cell::Simd&, const Sample* r, const Sample* g,
+                           const Sample* b, Sample* y, Sample* cb, Sample* cr,
+                           std::size_t n, unsigned depth) const override {
+    // Scalar: SSE2 has no 32-bit lane multiply, and this Q13 path is the
+    // paper's "before" ablation, not a wall-clock target.
+    const Sample offs = Sample{1} << (depth - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Sample rv = r[i] - offs, gv = g[i] - offs, bv = b[i] - offs;
+      y[i] = jp2k::kIctFxYr * rv + jp2k::kIctFxYg * gv + jp2k::kIctFxYb * bv;
+      cb[i] = jp2k::kIctFxBr * rv + jp2k::kIctFxBg * gv + jp2k::kIctFxBb * bv;
+      cr[i] = jp2k::kIctFxRr * rv + jp2k::kIctFxRg * gv + jp2k::kIctFxRb * bv;
+    }
+  }
+
+  void shift_to_fixed_row(cell::Simd&, const Sample* x, Sample* out,
+                          std::size_t n, unsigned depth) const override {
+    const Sample offs = Sample{1} << (depth - 1);
+    const nv::I4 off = nv::splat(offs);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      nv::storeu(out + i, nv::slli<13>(nv::sub(nv::loadu(x + i), off)));
+    }
+    for (; i < n; ++i) out[i] = (x[i] - offs) << 13;
+  }
+
+  void predict53_row(cell::Simd&, Sample* d, const Sample* a, const Sample* b,
+                     std::size_t n) const override {
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      nv::I4 sum = nv::add(nv::loadu(a + i), nv::loadu(b + i));
+      nv::storeu(d + i, nv::sub(nv::loadu(d + i), nv::srai<1>(sum)));
+    }
+    for (; i < n; ++i) d[i] -= (a[i] + b[i]) >> 1;
+  }
+
+  void update53_row(cell::Simd&, Sample* d, const Sample* a, const Sample* b,
+                    std::size_t n) const override {
+    const nv::I4 two = nv::splat(Sample{2});
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      nv::I4 sum = nv::add(nv::add(nv::loadu(a + i), nv::loadu(b + i)), two);
+      nv::storeu(d + i, nv::add(nv::loadu(d + i), nv::srai<2>(sum)));
+    }
+    for (; i < n; ++i) d[i] += (a[i] + b[i] + 2) >> 2;
+  }
+
+  void lift97_row(cell::Simd&, float* x, const float* a, const float* b,
+                  float c, std::size_t n) const override {
+    const nv::F4 cv = nv::splat(c);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      nv::F4 sum = nv::add(nv::loadu(a + i), nv::loadu(b + i));
+      nv::storeu(x + i, nv::mul_add(cv, sum, nv::loadu(x + i)));
+    }
+    for (; i < n; ++i) x[i] += c * (a[i] + b[i]);
+  }
+
+  void scale_row(cell::Simd&, float* x, float c,
+                 std::size_t n) const override {
+    const nv::F4 cv = nv::splat(c);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      nv::storeu(x + i, nv::mul(nv::loadu(x + i), cv));
+    }
+    for (; i < n; ++i) x[i] *= c;
+  }
+
+  void lift97_fixed_row(cell::Simd&, std::int32_t* x, const std::int32_t* a,
+                        const std::int32_t* b, std::int32_t c_q13,
+                        std::size_t n) const override {
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += static_cast<std::int32_t>(
+          (static_cast<std::int64_t>(c_q13) * (a[i] + b[i])) >> 13);
+    }
+  }
+
+  void scale_fixed_row(cell::Simd&, Sample* x, Sample c_q13,
+                       std::size_t n) const override {
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = jp2k::dwt97::fix_mul(x[i], c_q13);
+    }
+  }
+
+  void dwt53_h_row(cell::Simd& s, const Sample* in, Sample* even, Sample* odd,
+                   std::size_t n) const override {
+    deinterleave_row(s, in, even, odd, n);
+    const std::size_t nl = (n + 1) / 2;
+    const std::size_t nh = n - nl;
+    if (nh == 0) return;
+    // Predict: odd[i] -= (even[i] + even[min(i+1, nl-1)]) >> 1.
+    std::size_t i = 0;
+    for (; i + 4 <= nh && i + 5 <= nl; i += 4) {
+      nv::I4 e0 = nv::loadu(even + i);
+      nv::I4 e1 = nv::loadu(even + i + 1);
+      nv::storeu(odd + i, nv::sub(nv::loadu(odd + i),
+                                  nv::srai<1>(nv::add(e0, e1))));
+    }
+    for (; i < nh; ++i) {
+      odd[i] -= (even[i] + even[std::min(i + 1, nl - 1)]) >> 1;
+    }
+    // Update: even[i] += (odd[i ? i-1 : 0] + odd[min(i, nh-1)] + 2) >> 2.
+    const nv::I4 two = nv::splat(Sample{2});
+    even[0] += (odd[0] + odd[0] + 2) >> 2;
+    i = 1;
+    for (; i + 4 <= nl && i + 4 <= nh; i += 4) {
+      nv::I4 o0 = nv::loadu(odd + i - 1);
+      nv::I4 o1 = nv::loadu(odd + i);
+      nv::storeu(even + i,
+                 nv::add(nv::loadu(even + i),
+                         nv::srai<2>(nv::add(nv::add(o0, o1), two))));
+    }
+    for (; i < nl; ++i) {
+      even[i] += (odd[i - 1] + odd[std::min(i, nh - 1)] + 2) >> 2;
+    }
+  }
+
+  void dwt97_h_row(cell::Simd& s, const float* in, float* even, float* odd,
+                   std::size_t n) const override {
+    deinterleave_row(s, in, even, odd, n);
+    const std::size_t nl = (n + 1) / 2;
+    const std::size_t nh = n - nl;
+    if (nh == 0) return;  // single sample: untouched
+    const auto predict_like = [&](float* d, const float* e, float c) {
+      // d[i] += c * (e[i] + e[min(i+1, nl-1)])
+      const nv::F4 cv = nv::splat(c);
+      std::size_t i = 0;
+      for (; i + 4 <= nh && i + 5 <= nl; i += 4) {
+        nv::F4 e0 = nv::loadu(e + i);
+        nv::F4 e1 = nv::loadu(e + i + 1);
+        nv::storeu(d + i, nv::mul_add(cv, nv::add(e0, e1), nv::loadu(d + i)));
+      }
+      for (; i < nh; ++i) {
+        d[i] += c * (e[i] + e[std::min(i + 1, nl - 1)]);
+      }
+    };
+    const auto update_like = [&](float* e, const float* d, float c) {
+      // e[i] += c * (d[i ? i-1 : 0] + d[min(i, nh-1)])
+      const nv::F4 cv = nv::splat(c);
+      e[0] += c * (d[0] + d[0]);
+      std::size_t i = 1;
+      for (; i + 4 <= nl && i + 4 <= nh; i += 4) {
+        nv::F4 d0 = nv::loadu(d + i - 1);
+        nv::F4 d1 = nv::loadu(d + i);
+        nv::storeu(e + i, nv::mul_add(cv, nv::add(d0, d1), nv::loadu(e + i)));
+      }
+      for (; i < nl; ++i) {
+        e[i] += c * (d[i - 1] + d[std::min(i, nh - 1)]);
+      }
+    };
+    predict_like(odd, even, jp2k::dwt97::kAlpha);
+    update_like(even, odd, jp2k::dwt97::kBeta);
+    predict_like(odd, even, jp2k::dwt97::kGamma);
+    update_like(even, odd, jp2k::dwt97::kDelta);
+    scale_row(s, even, 1.0f / jp2k::dwt97::kK, nl);
+    scale_row(s, odd, jp2k::dwt97::kK, nh);
+  }
+
+  void dwt97_fixed_h_row(cell::Simd& s, const Sample* in, Sample* even,
+                         Sample* odd, std::size_t n) const override {
+    deinterleave_row(s, in, even, odd, n);
+    const std::size_t nl = (n + 1) / 2;
+    const std::size_t nh = n - nl;
+    if (nh == 0) return;
+    const auto predict_like = [&](Sample* d, const Sample* e, Sample c) {
+      for (std::size_t i = 0; i < nh; ++i) {
+        d[i] += jp2k::dwt97::fix_mul(c, e[i] + e[std::min(i + 1, nl - 1)]);
+      }
+    };
+    const auto update_like = [&](Sample* e, const Sample* d, Sample c) {
+      e[0] += jp2k::dwt97::fix_mul(c, d[0] + d[0]);
+      for (std::size_t i = 1; i < nl; ++i) {
+        e[i] += jp2k::dwt97::fix_mul(c, d[i - 1] + d[std::min(i, nh - 1)]);
+      }
+    };
+    predict_like(odd, even, jp2k::dwt97::kFxAlpha);
+    update_like(even, odd, jp2k::dwt97::kFxBeta);
+    predict_like(odd, even, jp2k::dwt97::kFxGamma);
+    update_like(even, odd, jp2k::dwt97::kFxDelta);
+    scale_fixed_row(s, even, jp2k::dwt97::kFxInvK, nl);
+    scale_fixed_row(s, odd, jp2k::dwt97::kFxK, nh);
+  }
+
+  void quant_row(cell::Simd&, const float* in, Sample* out, std::size_t n,
+                 float inv_step) const override {
+    const nv::F4 inv = nv::splat(inv_step);
+    const nv::I4 zero = nv::splat(Sample{0});
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      nv::F4 v = nv::loadu(in + i);
+      nv::F4 mag = nv::mul(nv::abs(v), inv);
+      nv::I4 q = nv::trunc_to_int(mag);
+      nv::I4 neg = nv::sub(zero, q);
+      nv::storeu(out + i, nv::blend(nv::neg_mask(v), neg, q));
+    }
+    for (; i < n; ++i) {
+      const float v = in[i];
+      const Sample q = static_cast<Sample>((v < 0 ? -v : v) * inv_step);
+      out[i] = v < 0 ? -q : q;
+    }
+  }
+
+  void quant_fixed_row(cell::Simd&, const Sample* in_q13, Sample* out,
+                       std::size_t n, std::int64_t inv_q16) const override {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Sample v = in_q13[i];
+      const std::int64_t a = v < 0 ? -static_cast<std::int64_t>(v) : v;
+      const Sample q = static_cast<Sample>((a * inv_q16) >> 29);
+      out[i] = v < 0 ? -q : q;
+    }
+  }
+
+  void deinterleave_row(cell::Simd&, const Sample* in, Sample* even,
+                        Sample* odd, std::size_t n) const override {
+    deinterleave_impl(in, even, odd, n);
+  }
+  void deinterleave_row(cell::Simd&, const float* in, float* even, float* odd,
+                        std::size_t n) const override {
+    deinterleave_impl(in, even, odd, n);
+  }
+
+  void ls_copy(cell::Simd&, void* dst, const void* src,
+               std::size_t bytes) const override {
+    std::memcpy(dst, src, bytes);
+  }
+
+  std::uint32_t t1_mag_sign(Span2d<const Sample> coeffs, std::uint32_t* mag,
+                            std::uint16_t* flags, std::size_t flags_stride,
+                            std::uint16_t sign_flag) const override {
+    const std::size_t w = coeffs.width();
+    const std::size_t h = coeffs.height();
+    nv::I4 vmax = nv::splat(Sample{0});
+    std::uint32_t maxmag = 0;
+    for (std::size_t y = 0; y < h; ++y) {
+      const Sample* row = coeffs.row(y);
+      std::uint16_t* frow = flags + y * flags_stride;
+      std::int32_t* mrow = reinterpret_cast<std::int32_t*>(mag + y * w);
+      std::size_t x = 0;
+      for (; x + 4 <= w; x += 4) {
+        const nv::I4 m = abs_i(nv::loadu(row + x));
+        nv::storeu(mrow + x, m);
+        vmax = nv::blend(nv::cmpgt(m, vmax), m, vmax);
+      }
+      for (; x < w; ++x) {
+        const std::uint32_t m =
+            static_cast<std::uint32_t>(row[x] < 0 ? -row[x] : row[x]);
+        mag[y * w + x] = m;
+        if (m > maxmag) maxmag = m;
+      }
+      // Sign flags are sparse bit ORs into the bordered flag plane; scalar.
+      for (x = 0; x < w; ++x) {
+        if (row[x] < 0) frow[x] |= sign_flag;
+      }
+    }
+    std::int32_t lanes[4];
+    nv::storeu(lanes, vmax);
+    for (int k = 0; k < 4; ++k) {
+      if (static_cast<std::uint32_t>(lanes[k]) > maxmag) {
+        maxmag = static_cast<std::uint32_t>(lanes[k]);
+      }
+    }
+    return maxmag;
+  }
+
+  std::uint32_t block_maxmag(Span2d<const Sample> coeffs) const override {
+    const std::size_t w = coeffs.width();
+    const std::size_t h = coeffs.height();
+    nv::I4 vmax = nv::splat(Sample{0});
+    std::uint32_t maxmag = 0;
+    for (std::size_t y = 0; y < h; ++y) {
+      const Sample* row = coeffs.row(y);
+      std::size_t x = 0;
+      for (; x + 4 <= w; x += 4) {
+        const nv::I4 m = abs_i(nv::loadu(row + x));
+        vmax = nv::blend(nv::cmpgt(m, vmax), m, vmax);
+      }
+      for (; x < w; ++x) {
+        const std::uint32_t m =
+            static_cast<std::uint32_t>(row[x] < 0 ? -row[x] : row[x]);
+        if (m > maxmag) maxmag = m;
+      }
+    }
+    std::int32_t lanes[4];
+    nv::storeu(lanes, vmax);
+    for (int k = 0; k < 4; ++k) {
+      if (static_cast<std::uint32_t>(lanes[k]) > maxmag) {
+        maxmag = static_cast<std::uint32_t>(lanes[k]);
+      }
+    }
+    return maxmag;
+  }
+
+ private:
+  template <typename T>
+  static void deinterleave_impl(const T* in, T* even, T* odd, std::size_t n) {
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      even[i / 2] = in[i];
+      odd[i / 2] = in[i + 1];
+    }
+    if (i < n) even[i / 2] = in[i];
+  }
+};
+
+}  // namespace
+
+const KernelBackend& native_simd() {
+  static const NativeSimdBackend instance;
+  return instance;
+}
+
+const char* native_isa() { return nv::isa(); }
+
+}  // namespace cj2k::backend

@@ -9,18 +9,11 @@
 #include <cstring>
 
 #include "cell/counters.hpp"
+#include "cell/vec.hpp"
 #include "common/align.hpp"
 #include "common/error.hpp"
 
 namespace cj2k::cell {
-
-struct VecF4 {
-  float lane[4];
-};
-
-struct VecI4 {
-  std::int32_t lane[4];
-};
 
 /// Per-SPE SIMD handle.  Cheap to copy; references the SPE's counters.
 class Simd {

@@ -1,0 +1,19 @@
+// Plain 4-lane vector value types shared by every kernel backend.  These
+// carry no instrumentation of their own — the instrumented cell::Simd layer
+// charges op counters around them, while the native backend lowers the same
+// lane math to host intrinsics.
+#pragma once
+
+#include <cstdint>
+
+namespace cj2k::cell {
+
+struct VecF4 {
+  float lane[4];
+};
+
+struct VecI4 {
+  std::int32_t lane[4];
+};
+
+}  // namespace cj2k::cell

@@ -428,4 +428,144 @@ void ls_copy(cell::Simd& s, void* dst, const void* src, std::size_t bytes) {
   s.counters().v_shuffle += quads;  // realignment shuffles
 }
 
+void simd_dwt53_h_row(cell::Simd& s, const Sample* in, Sample* even,
+                      Sample* odd, std::size_t n) {
+  simd_deinterleave_row(s, in, even, odd, n);
+  const std::size_t nl = (n + 1) / 2;
+  const std::size_t nh = n - nl;
+  if (nh == 0) return;
+  // Predict: odd[i] -= (even[i] + even[min(i+1, nl-1)]) >> 1.
+  std::size_t i = 0;
+  for (; i + 4 <= nh && i + 5 <= nl; i += 4) {
+    VecI4 e0 = s.load(even + i);
+    VecI4 e1 = s.load_shifted(even + i + 1);
+    s.store(odd + i, s.sub(s.load(odd + i), s.sra(s.add(e0, e1), 1)));
+    s.counters().s_int += 1;
+  }
+  for (; i < nh; ++i) {
+    odd[i] -= (even[i] + even[std::min(i + 1, nl - 1)]) >> 1;
+    s.counters().s_int += 4;
+  }
+  // Update: even[i] += (odd[i ? i-1 : 0] + odd[min(i, nh-1)] + 2) >> 2.
+  const VecI4 two = s.splat(Sample{2});
+  even[0] += (odd[0] + odd[0] + 2) >> 2;
+  s.counters().s_int += 4;
+  // Scalar until the even[] pointer is quad aligned again, then vectors
+  // (aligned even loads/stores, shuffle-shifted odd loads).
+  i = 1;
+  for (; i < std::min<std::size_t>(4, nl); ++i) {
+    even[i] += (odd[i - 1] + odd[std::min(i, nh - 1)] + 2) >> 2;
+    s.counters().s_int += 4;
+  }
+  for (; i + 4 <= nl && i + 4 <= nh; i += 4) {
+    VecI4 o0 = s.load_shifted(odd + i - 1);
+    VecI4 o1 = s.load(odd + i);
+    s.store(even + i,
+            s.add(s.load(even + i), s.sra(s.add(s.add(o0, o1), two), 2)));
+    s.counters().s_int += 1;
+  }
+  for (; i < nl; ++i) {
+    even[i] += (odd[i - 1] + odd[std::min(i, nh - 1)] + 2) >> 2;
+    s.counters().s_int += 4;
+  }
+}
+
+void simd_dwt97_h_row(cell::Simd& s, const float* in, float* even, float* odd,
+                      std::size_t n) {
+  simd_deinterleave_row(s, in, even, odd, n);
+  const std::size_t nl = (n + 1) / 2;
+  const std::size_t nh = n - nl;
+  if (nh == 0) return;  // single sample: untouched
+  const auto predict_like = [&](float* d, const float* e, float c) {
+    // d[i] += c * (e[i] + e[min(i+1, nl-1)])
+    const VecF4 cv = s.splat(c);
+    std::size_t i = 0;
+    for (; i + 4 <= nh && i + 5 <= nl; i += 4) {
+      VecF4 e0 = s.load(e + i);
+      VecF4 e1 = s.load_shifted(e + i + 1);
+      s.store(d + i, s.madd(cv, s.add(e0, e1), s.load(d + i)));
+      s.counters().s_int += 1;
+    }
+    for (; i < nh; ++i) {
+      d[i] += c * (e[i] + e[std::min(i + 1, nl - 1)]);
+      s.counters().s_int += 4;
+    }
+  };
+  const auto update_like = [&](float* e, const float* d, float c) {
+    // e[i] += c * (d[i ? i-1 : 0] + d[min(i, nh-1)])
+    const VecF4 cv = s.splat(c);
+    e[0] += c * (d[0] + d[0]);
+    s.counters().s_int += 4;
+    std::size_t i = 1;
+    for (; i < std::min<std::size_t>(4, nl); ++i) {
+      e[i] += c * (d[i - 1] + d[std::min(i, nh - 1)]);
+      s.counters().s_int += 4;
+    }
+    for (; i + 4 <= nl && i + 4 <= nh; i += 4) {
+      VecF4 d0 = s.load_shifted(d + i - 1);
+      VecF4 d1 = s.load(d + i);
+      s.store(e + i, s.madd(cv, s.add(d0, d1), s.load(e + i)));
+      s.counters().s_int += 1;
+    }
+    for (; i < nl; ++i) {
+      e[i] += c * (d[i - 1] + d[std::min(i, nh - 1)]);
+      s.counters().s_int += 4;
+    }
+  };
+  predict_like(odd, even, jp2k::dwt97::kAlpha);
+  update_like(even, odd, jp2k::dwt97::kBeta);
+  predict_like(odd, even, jp2k::dwt97::kGamma);
+  update_like(even, odd, jp2k::dwt97::kDelta);
+  simd_scale_row(s, even, 1.0f / jp2k::dwt97::kK, nl);
+  simd_scale_row(s, odd, jp2k::dwt97::kK, nh);
+}
+
+void simd_dwt97_fixed_h_row(cell::Simd& s, const Sample* in, Sample* even,
+                            Sample* odd, std::size_t n) {
+  simd_deinterleave_row(s, in, even, odd, n);
+  const std::size_t nl = (n + 1) / 2;
+  const std::size_t nh = n - nl;
+  if (nh == 0) return;
+  const auto predict_like = [&](Sample* d, const Sample* e, Sample c) {
+    const VecI4 cv = s.splat(c);
+    std::size_t i = 0;
+    for (; i + 4 <= nh && i + 5 <= nl; i += 4) {
+      VecI4 e0 = s.load(e + i);
+      VecI4 e1 = s.load_shifted(e + i + 1);
+      s.store(d + i, s.add(s.load(d + i), s.mul_fix_q13(cv, s.add(e0, e1))));
+      s.counters().s_int += 1;
+    }
+    for (; i < nh; ++i) {
+      d[i] += jp2k::dwt97::fix_mul(c, e[i] + e[std::min(i + 1, nl - 1)]);
+      s.counters().s_int += 6;
+    }
+  };
+  const auto update_like = [&](Sample* e, const Sample* d, Sample c) {
+    const VecI4 cv = s.splat(c);
+    e[0] += jp2k::dwt97::fix_mul(c, d[0] + d[0]);
+    s.counters().s_int += 6;
+    std::size_t i = 1;
+    for (; i < std::min<std::size_t>(4, nl); ++i) {
+      e[i] += jp2k::dwt97::fix_mul(c, d[i - 1] + d[std::min(i, nh - 1)]);
+      s.counters().s_int += 6;
+    }
+    for (; i + 4 <= nl && i + 4 <= nh; i += 4) {
+      VecI4 d0 = s.load_shifted(d + i - 1);
+      VecI4 d1 = s.load(d + i);
+      s.store(e + i, s.add(s.load(e + i), s.mul_fix_q13(cv, s.add(d0, d1))));
+      s.counters().s_int += 1;
+    }
+    for (; i < nl; ++i) {
+      e[i] += jp2k::dwt97::fix_mul(c, d[i - 1] + d[std::min(i, nh - 1)]);
+      s.counters().s_int += 6;
+    }
+  };
+  predict_like(odd, even, jp2k::dwt97::kFxAlpha);
+  update_like(even, odd, jp2k::dwt97::kFxBeta);
+  predict_like(odd, even, jp2k::dwt97::kFxGamma);
+  update_like(even, odd, jp2k::dwt97::kFxDelta);
+  simd_scale_fixed_row(s, even, jp2k::dwt97::kFxInvK, nl);
+  simd_scale_fixed_row(s, odd, jp2k::dwt97::kFxK, nh);
+}
+
 }  // namespace cj2k::cellenc

@@ -113,6 +113,23 @@ void simd_deinterleave_row(cell::Simd& s, const float* in, float* even,
 /// does this with quad loads + shuffles; charged accordingly).
 void ls_copy(cell::Simd& s, void* dst, const void* src, std::size_t bytes);
 
+// --- Horizontal DWT row kernels ---------------------------------------------
+// One full in-LS row each: deinterleave into even/odd halves, lifting with
+// clamped mirror boundaries, (9/7) scaling — matching the serial analyze
+// functions bit for bit.
+
+/// In-LS horizontal 5/3 of one row (matches dwt53::analyze).
+void simd_dwt53_h_row(cell::Simd& s, const Sample* in, Sample* even,
+                      Sample* odd, std::size_t n);
+
+/// In-LS horizontal 9/7 of one row (matches dwt97::analyze).
+void simd_dwt97_h_row(cell::Simd& s, const float* in, float* even, float* odd,
+                      std::size_t n);
+
+/// In-LS horizontal 9/7 in Q13 fixed point (matches dwt97::analyze_fixed).
+void simd_dwt97_fixed_h_row(cell::Simd& s, const Sample* in, Sample* even,
+                            Sample* odd, std::size_t n);
+
 // --- Q13 fixed-point kernels (the paper's §4 "before" arithmetic) -----------
 // Each 32-bit multiply is an *emulated* SPE instruction sequence, which is
 // exactly why these kernels lose to the float ones in the cost model.

@@ -181,6 +181,7 @@ TileFrontResult encode_tile_front(cell::Machine& machine, const Image& img,
                                   const PipelineOptions& opt,
                                   HullCapture* hulls) {
   const DwtOptions& dwt = opt.dwt;
+  const backend::KernelBackend& bk = backend::get(opt.backend);
   TileFrontResult res;
   const std::size_t w = img.width();
   const std::size_t h = img.height();
@@ -206,13 +207,13 @@ TileFrontResult encode_tile_front(cell::Machine& machine, const Image& img,
   if (params.wavelet == jp2k::WaveletKind::kReversible53) {
     // --- Level shift + RCT --------------------------------------------------
     res.stages.push_back(
-        stage_mct_lossless(machine, work, color, depth));
+        stage_mct_lossless(machine, work, color, depth, bk));
 
     // --- DWT ----------------------------------------------------------------
     cell::StageTiming dwt_t;
     dwt_t.name = "dwt";
     for (std::size_t c = 0; c < ncomp; ++c) {
-      dwt_t += stage_dwt53(machine, work[c].view(), params.levels, dwt);
+      dwt_t += stage_dwt53(machine, work[c].view(), params.levels, dwt, bk);
     }
     dwt_t.name = "dwt";
     res.stages.push_back(dwt_t);
@@ -236,12 +237,12 @@ TileFrontResult encode_tile_front(cell::Machine& machine, const Image& img,
     fxplanes.reserve(ncomp);
     for (std::size_t c = 0; c < ncomp; ++c) fxplanes.emplace_back(w, h);
     res.stages.push_back(
-        stage_mct_lossy_fixed(machine, work, fxplanes, color, depth));
+        stage_mct_lossy_fixed(machine, work, fxplanes, color, depth, bk));
 
     cell::StageTiming dwt_t;
     for (std::size_t c = 0; c < ncomp; ++c) {
       dwt_t += stage_dwt97_fixed(machine, fxplanes[c].view(), params.levels,
-                                 dwt);
+                                 dwt, bk);
     }
     dwt_t.name = "dwt";
     res.stages.push_back(dwt_t);
@@ -263,7 +264,8 @@ TileFrontResult encode_tile_front(cell::Machine& machine, const Image& img,
 
       qplanes.emplace_back(w, h);
       quant_t += stage_quant_fixed(machine, fxplanes[c].view(),
-                                   qplanes[c].view(), tile.components[c]);
+                                   qplanes[c].view(), tile.components[c],
+                                   bk);
       coeff_views.push_back(qplanes[c].view());
     }
     quant_t.name = "quant";
@@ -277,14 +279,14 @@ TileFrontResult encode_tile_front(cell::Machine& machine, const Image& img,
     }
     // The paper's merged kernel reads the converted integer planes.
     res.stages.push_back(
-        stage_mct_lossy(machine, work, fplanes, stride, color, depth));
+        stage_mct_lossy(machine, work, fplanes, stride, color, depth, bk));
 
     // --- DWT ----------------------------------------------------------------
     cell::StageTiming dwt_t;
     dwt_t.name = "dwt";
     for (std::size_t c = 0; c < ncomp; ++c) {
       Span2d<float> fv(fplanes[c].data(), w, h, stride);
-      dwt_t += stage_dwt97(machine, fv, params.levels, dwt);
+      dwt_t += stage_dwt97(machine, fv, params.levels, dwt, bk);
     }
     dwt_t.name = "dwt";
     res.stages.push_back(dwt_t);
@@ -309,7 +311,7 @@ TileFrontResult encode_tile_front(cell::Machine& machine, const Image& img,
       qplanes.emplace_back(w, h);
       Span2d<const float> fv(fplanes[c].data(), w, h, stride);
       quant_t += stage_quant(machine, fv, qplanes[c].view(),
-                             tile.components[c]);
+                             tile.components[c], bk);
       coeff_views.push_back(qplanes[c].view());
     }
     quant_t.name = "quant";
@@ -321,7 +323,7 @@ TileFrontResult encode_tile_front(cell::Machine& machine, const Image& img,
   // the T1 span — the fused schedule accounts for it). -----------------------
   const T1StageResult t1 =
       stage_t1(machine, tile, coeff_views, opt.t1_dist, params.t1, hulls,
-               params.block_coder);
+               params.block_coder, bk);
   res.stages.push_back(t1.timing);
   res.t1_symbols = t1.total_symbols;
   res.hull_extra_seconds = t1.hull_extra_seconds;
@@ -337,8 +339,8 @@ PipelineResult CellEncoder::encode(const Image& img,
       img.width(), img.height(), params.tiles_x, params.tiles_y);
   if (grid.num_tiles() > 1) {
     PipelineResult res = encode_tiled(machine_, img, params, opt, grid);
-    fill_metrics(res);
     res.wall_seconds = wall.seconds();
+    fill_metrics(res);
     return res;
   }
 
@@ -454,8 +456,8 @@ PipelineResult CellEncoder::encode(const Image& img,
 
   res.audit = audit.report();
   res.trace = trace.recorder();
-  fill_metrics(res);
   res.wall_seconds = wall.seconds();
+  fill_metrics(res);
   return res;
 }
 

@@ -14,9 +14,6 @@ namespace cj2k::cellenc {
 
 namespace {
 
-using cell::VecF4;
-using cell::VecI4;
-
 std::ptrdiff_t mirror(std::ptrdiff_t i, std::ptrdiff_t n) {
   if (n == 1) return 0;
   while (i < 0 || i >= n) {
@@ -37,8 +34,10 @@ constexpr std::uint64_t kPpeLiftOpsPerSample = 5;
 /// Merged vertical 5/3 on one SPE's column group: Local Store ring of K
 /// rows, one DMA get per input row, low rows written in place, high rows
 /// parked in `aux` and copied back at the end.
-void spe_vertical53_merged(cell::SpeContext& ctx, Span2d<Sample> plane,
-                           std::size_t x0, std::size_t cw, std::size_t hh,
+void spe_vertical53_merged(cell::SpeContext& ctx,
+                           const backend::KernelBackend& bk,
+                           Span2d<Sample> plane, std::size_t x0,
+                           std::size_t cw, std::size_t hh,
                            Span2d<Sample> aux) {
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(hh);
   if (n < 2) return;
@@ -86,11 +85,11 @@ void spe_vertical53_merged(cell::SpeContext& ctx, Span2d<Sample> plane,
     if (f < n) {
       ctx.dma.touch(slot(f + 1), cw * sizeof(Sample));
       ctx.dma.touch(slot(f), cw * sizeof(Sample));
-      simd_predict53_row(ctx.simd, slot(f), slot(f - 1), slot(f + 1), cw);
+      bk.predict53_row(ctx.simd, slot(f), slot(f - 1), slot(f + 1), cw);
     }
     if (f - 1 < n) {
       ctx.dma.touch(slot(f - 1), cw * sizeof(Sample));
-      simd_update53_row(ctx.simd, slot(f - 1), slot(f - 2), slot(f), cw);
+      bk.update53_row(ctx.simd, slot(f - 1), slot(f - 2), slot(f), cw);
     }
     if (f - 2 >= 1 && f - 2 < n) {  // park finalized high row
       dma_put_row_tagged(ctx.dma, slot(f - 2),
@@ -120,8 +119,10 @@ void spe_vertical53_merged(cell::SpeContext& ctx, Span2d<Sample> plane,
 
 /// Naive multipass vertical 5/3 (ablation A): predict sweep, update sweep,
 /// split sweep — each streams the whole group through the Local Store.
-void spe_vertical53_multipass(cell::SpeContext& ctx, Span2d<Sample> plane,
-                              std::size_t x0, std::size_t cw, std::size_t hh,
+void spe_vertical53_multipass(cell::SpeContext& ctx,
+                              const backend::KernelBackend& bk,
+                              Span2d<Sample> plane, std::size_t x0,
+                              std::size_t cw, std::size_t hh,
                               Span2d<Sample> aux) {
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(hh);
   if (n < 2) return;
@@ -167,11 +168,11 @@ void spe_vertical53_multipass(cell::SpeContext& ctx, Span2d<Sample> plane,
   };
   // Pass 1: predict (write odd rows).
   sweep53(1, [&](std::ptrdiff_t i) {
-    simd_predict53_row(ctx.simd, slot(i), slot(i - 1), slot(i + 1), cw);
+    bk.predict53_row(ctx.simd, slot(i), slot(i - 1), slot(i + 1), cw);
   });
   // Pass 2: update (write even rows).
   sweep53(0, [&](std::ptrdiff_t i) {
-    simd_update53_row(ctx.simd, slot(i), slot(i - 1), slot(i + 1), cw);
+    bk.update53_row(ctx.simd, slot(i), slot(i - 1), slot(i + 1), cw);
   });
   // Pass 3: split — low rows compact in place, high rows via aux.  The
   // compaction writes row i/2 after row i/2 was read, so each get is
@@ -204,8 +205,10 @@ void spe_vertical53_multipass(cell::SpeContext& ctx, Span2d<Sample> plane,
 
 /// Merged vertical 9/7: four lifting stages + scaling + emission fused into
 /// one streaming sweep (Kutil-style single loop, K-row Local Store ring).
-void spe_vertical97_merged(cell::SpeContext& ctx, Span2d<float> plane,
-                           std::size_t x0, std::size_t cw, std::size_t hh,
+void spe_vertical97_merged(cell::SpeContext& ctx,
+                           const backend::KernelBackend& bk,
+                           Span2d<float> plane, std::size_t x0,
+                           std::size_t cw, std::size_t hh,
                            Span2d<float> aux) {
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(hh);
   if (n < 2) return;
@@ -246,12 +249,12 @@ void spe_vertical97_merged(cell::SpeContext& ctx, Span2d<float> plane,
     if (i < parity || i >= n || ((i ^ parity) & 1)) return;
     ctx.dma.touch(slot(i + 1), cw * sizeof(float));
     ctx.dma.touch(slot(i), cw * sizeof(float));
-    simd_lift97_row(ctx.simd, slot(i), slot(i - 1), slot(i + 1), c, cw);
+    bk.lift97_row(ctx.simd, slot(i), slot(i - 1), slot(i + 1), c, cw);
   };
   const auto scale = [&](std::ptrdiff_t i) {
     if (i < 0 || i >= n) return;
     ctx.dma.touch(slot(i), cw * sizeof(float));
-    simd_scale_row(ctx.simd, slot(i),
+    bk.scale_row(ctx.simd, slot(i),
                    (i & 1) ? jp2k::dwt97::kK : 1.0f / jp2k::dwt97::kK, cw);
   };
 
@@ -290,8 +293,10 @@ void spe_vertical97_merged(cell::SpeContext& ctx, Span2d<float> plane,
 }
 
 /// Naive multipass vertical 9/7 (six sweeps).
-void spe_vertical97_multipass(cell::SpeContext& ctx, Span2d<float> plane,
-                              std::size_t x0, std::size_t cw, std::size_t hh,
+void spe_vertical97_multipass(cell::SpeContext& ctx,
+                              const backend::KernelBackend& bk,
+                              Span2d<float> plane, std::size_t x0,
+                              std::size_t cw, std::size_t hh,
                               Span2d<float> aux) {
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(hh);
   if (n < 2) return;
@@ -329,7 +334,7 @@ void spe_vertical97_multipass(cell::SpeContext& ctx, Span2d<float> plane,
       if (mask != 0) ctx.dma.wait_tag_mask(mask);
       ctx.dma.touch(slot(i + 1), cw * sizeof(float));
       ctx.dma.touch(slot(i), cw * sizeof(float));
-      simd_lift97_row(ctx.simd, slot(i), slot(i - 1), slot(i + 1), c, cw);
+      bk.lift97_row(ctx.simd, slot(i), slot(i - 1), slot(i + 1), c, cw);
       dma_put_row_tagged(ctx.dma, slot(i),
                          plane.row(static_cast<std::size_t>(i)) + x0, cw,
                          tag_of(i));
@@ -355,7 +360,7 @@ void spe_vertical97_multipass(cell::SpeContext& ctx, Span2d<float> plane,
       }
       ctx.dma.wait_tag(cur);
       ctx.dma.touch(buf[cur], cw * sizeof(float));
-      simd_scale_row(ctx.simd, buf[cur],
+      bk.scale_row(ctx.simd, buf[cur],
                      (i & 1) ? jp2k::dwt97::kK : 1.0f / jp2k::dwt97::kK, cw);
       dma_put_row_tagged(ctx.dma, buf[cur], plane.row(i) + x0, cw, cur);
     }
@@ -389,9 +394,11 @@ void spe_vertical97_multipass(cell::SpeContext& ctx, Span2d<float> plane,
 
 /// Merged vertical 9/7 in Q13 fixed point — same schedule as the float
 /// kernel, emulated-multiply lifting steps.
-void spe_vertical97_fixed_merged(cell::SpeContext& ctx, Span2d<Sample> plane,
-                                 std::size_t x0, std::size_t cw,
-                                 std::size_t hh, Span2d<Sample> aux) {
+void spe_vertical97_fixed_merged(cell::SpeContext& ctx,
+                                 const backend::KernelBackend& bk,
+                                 Span2d<Sample> plane, std::size_t x0,
+                                 std::size_t cw, std::size_t hh,
+                                 Span2d<Sample> aux) {
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(hh);
   if (n < 2) return;
   constexpr std::size_t K = 10;
@@ -431,13 +438,13 @@ void spe_vertical97_fixed_merged(cell::SpeContext& ctx, Span2d<Sample> plane,
     if (i < parity || i >= n || ((i ^ parity) & 1)) return;
     ctx.dma.touch(slot(i + 1), cw * sizeof(Sample));
     ctx.dma.touch(slot(i), cw * sizeof(Sample));
-    simd_lift97_fixed_row(ctx.simd, slot(i), slot(i - 1), slot(i + 1), c_q13,
+    bk.lift97_fixed_row(ctx.simd, slot(i), slot(i - 1), slot(i + 1), c_q13,
                           cw);
   };
   const auto scale = [&](std::ptrdiff_t i) {
     if (i < 0 || i >= n) return;
     ctx.dma.touch(slot(i), cw * sizeof(Sample));
-    simd_scale_fixed_row(
+    bk.scale_fixed_row(
         ctx.simd, slot(i),
         (i & 1) ? jp2k::dwt97::kFxK : jp2k::dwt97::kFxInvK, cw);
   };
@@ -479,158 +486,11 @@ void spe_vertical97_fixed_merged(cell::SpeContext& ctx, Span2d<Sample> plane,
 // Horizontal filtering
 // ===========================================================================
 
-/// In-LS horizontal 5/3 of one row: deinterleave, predict on the odd half,
-/// update on the even half (clamped mirror boundaries), matching
-/// dwt53::analyze bit for bit.
-void spe_horizontal53_row(cell::Simd& s, const Sample* in, Sample* even,
-                          Sample* odd, std::size_t n) {
-  simd_deinterleave_row(s, in, even, odd, n);
-  const std::size_t nl = (n + 1) / 2;
-  const std::size_t nh = n - nl;
-  if (nh == 0) return;
-  // Predict: odd[i] -= (even[i] + even[min(i+1, nl-1)]) >> 1.
-  std::size_t i = 0;
-  for (; i + 4 <= nh && i + 5 <= nl; i += 4) {
-    VecI4 e0 = s.load(even + i);
-    VecI4 e1 = s.load_shifted(even + i + 1);
-    s.store(odd + i, s.sub(s.load(odd + i), s.sra(s.add(e0, e1), 1)));
-    s.counters().s_int += 1;
-  }
-  for (; i < nh; ++i) {
-    odd[i] -= (even[i] + even[std::min(i + 1, nl - 1)]) >> 1;
-    s.counters().s_int += 4;
-  }
-  // Update: even[i] += (odd[i ? i-1 : 0] + odd[min(i, nh-1)] + 2) >> 2.
-  const VecI4 two = s.splat(Sample{2});
-  even[0] += (odd[0] + odd[0] + 2) >> 2;
-  s.counters().s_int += 4;
-  // Scalar until the even[] pointer is quad aligned again, then vectors
-  // (aligned even loads/stores, shuffle-shifted odd loads).
-  i = 1;
-  for (; i < std::min<std::size_t>(4, nl); ++i) {
-    even[i] += (odd[i - 1] + odd[std::min(i, nh - 1)] + 2) >> 2;
-    s.counters().s_int += 4;
-  }
-  for (; i + 4 <= nl && i + 4 <= nh; i += 4) {
-    VecI4 o0 = s.load_shifted(odd + i - 1);
-    VecI4 o1 = s.load(odd + i);
-    s.store(even + i,
-            s.add(s.load(even + i), s.sra(s.add(s.add(o0, o1), two), 2)));
-    s.counters().s_int += 1;
-  }
-  for (; i < nl; ++i) {
-    even[i] += (odd[i - 1] + odd[std::min(i, nh - 1)] + 2) >> 2;
-    s.counters().s_int += 4;
-  }
-}
-
-/// In-LS horizontal 9/7 of one row, matching dwt97::analyze.
-void spe_horizontal97_row(cell::Simd& s, const float* in, float* even,
-                          float* odd, std::size_t n) {
-  simd_deinterleave_row(s, in, even, odd, n);
-  const std::size_t nl = (n + 1) / 2;
-  const std::size_t nh = n - nl;
-  if (nh == 0) {
-    if (nl == 1) return;  // single sample: untouched
-    return;
-  }
-  const auto predict_like = [&](float* d, const float* e, float c) {
-    // d[i] += c * (e[i] + e[min(i+1, nl-1)])
-    const VecF4 cv = s.splat(c);
-    std::size_t i = 0;
-    for (; i + 4 <= nh && i + 5 <= nl; i += 4) {
-      VecF4 e0 = s.load(e + i);
-      VecF4 e1 = s.load_shifted(e + i + 1);
-      s.store(d + i, s.madd(cv, s.add(e0, e1), s.load(d + i)));
-      s.counters().s_int += 1;
-    }
-    for (; i < nh; ++i) {
-      d[i] += c * (e[i] + e[std::min(i + 1, nl - 1)]);
-      s.counters().s_int += 4;
-    }
-  };
-  const auto update_like = [&](float* e, const float* d, float c) {
-    // e[i] += c * (d[i ? i-1 : 0] + d[min(i, nh-1)])
-    const VecF4 cv = s.splat(c);
-    e[0] += c * (d[0] + d[0]);
-    s.counters().s_int += 4;
-    std::size_t i = 1;
-    for (; i < std::min<std::size_t>(4, nl); ++i) {
-      e[i] += c * (d[i - 1] + d[std::min(i, nh - 1)]);
-      s.counters().s_int += 4;
-    }
-    for (; i + 4 <= nl && i + 4 <= nh; i += 4) {
-      VecF4 d0 = s.load_shifted(d + i - 1);
-      VecF4 d1 = s.load(d + i);
-      s.store(e + i, s.madd(cv, s.add(d0, d1), s.load(e + i)));
-      s.counters().s_int += 1;
-    }
-    for (; i < nl; ++i) {
-      e[i] += c * (d[i - 1] + d[std::min(i, nh - 1)]);
-      s.counters().s_int += 4;
-    }
-  };
-  predict_like(odd, even, jp2k::dwt97::kAlpha);
-  update_like(even, odd, jp2k::dwt97::kBeta);
-  predict_like(odd, even, jp2k::dwt97::kGamma);
-  update_like(even, odd, jp2k::dwt97::kDelta);
-  simd_scale_row(s, even, 1.0f / jp2k::dwt97::kK, nl);
-  simd_scale_row(s, odd, jp2k::dwt97::kK, nh);
-}
-
-/// In-LS horizontal 9/7 in Q13 fixed point, matching dwt97::analyze_fixed.
-void spe_horizontal97_fixed_row(cell::Simd& s, const Sample* in,
-                                Sample* even, Sample* odd, std::size_t n) {
-  simd_deinterleave_row(s, in, even, odd, n);
-  const std::size_t nl = (n + 1) / 2;
-  const std::size_t nh = n - nl;
-  if (nh == 0) return;
-  const auto predict_like = [&](Sample* d, const Sample* e, Sample c) {
-    const VecI4 cv = s.splat(c);
-    std::size_t i = 0;
-    for (; i + 4 <= nh && i + 5 <= nl; i += 4) {
-      VecI4 e0 = s.load(e + i);
-      VecI4 e1 = s.load_shifted(e + i + 1);
-      s.store(d + i, s.add(s.load(d + i), s.mul_fix_q13(cv, s.add(e0, e1))));
-      s.counters().s_int += 1;
-    }
-    for (; i < nh; ++i) {
-      d[i] += jp2k::dwt97::fix_mul(c, e[i] + e[std::min(i + 1, nl - 1)]);
-      s.counters().s_int += 6;
-    }
-  };
-  const auto update_like = [&](Sample* e, const Sample* d, Sample c) {
-    const VecI4 cv = s.splat(c);
-    e[0] += jp2k::dwt97::fix_mul(c, d[0] + d[0]);
-    s.counters().s_int += 6;
-    std::size_t i = 1;
-    for (; i < std::min<std::size_t>(4, nl); ++i) {
-      e[i] += jp2k::dwt97::fix_mul(c, d[i - 1] + d[std::min(i, nh - 1)]);
-      s.counters().s_int += 6;
-    }
-    for (; i + 4 <= nl && i + 4 <= nh; i += 4) {
-      VecI4 d0 = s.load_shifted(d + i - 1);
-      VecI4 d1 = s.load(d + i);
-      s.store(e + i, s.add(s.load(e + i), s.mul_fix_q13(cv, s.add(d0, d1))));
-      s.counters().s_int += 1;
-    }
-    for (; i < nl; ++i) {
-      e[i] += jp2k::dwt97::fix_mul(c, d[i - 1] + d[std::min(i, nh - 1)]);
-      s.counters().s_int += 6;
-    }
-  };
-  predict_like(odd, even, jp2k::dwt97::kFxAlpha);
-  update_like(even, odd, jp2k::dwt97::kFxBeta);
-  predict_like(odd, even, jp2k::dwt97::kFxGamma);
-  update_like(even, odd, jp2k::dwt97::kFxDelta);
-  simd_scale_fixed_row(s, even, jp2k::dwt97::kFxInvK, nl);
-  simd_scale_fixed_row(s, odd, jp2k::dwt97::kFxK, nh);
-}
-
 }  // namespace
 
 cell::StageTiming stage_dwt53(cell::Machine& m, Span2d<Sample> plane,
-                              int levels, const DwtOptions& opt) {
+                              int levels, const DwtOptions& opt,
+                              const backend::KernelBackend& bk) {
   cell::StageTiming total;
   total.name = "dwt53";
   std::size_t ww = plane.width();
@@ -654,9 +514,9 @@ cell::StageTiming stage_dwt53(cell::Machine& m, Span2d<Sample> plane,
            g += static_cast<std::size_t>(std::max(1, m.num_spes()))) {
         const auto& ch = plan.spe_chunks[g];
         if (opt.merged_vertical) {
-          spe_vertical53_merged(ctx, plane, ch.x0, ch.width, hh, aux);
+          spe_vertical53_merged(ctx, bk, plane, ch.x0, ch.width, hh, aux);
         } else {
-          spe_vertical53_multipass(ctx, plane, ch.x0, ch.width, hh, aux);
+          spe_vertical53_multipass(ctx, bk, plane, ch.x0, ch.width, hh, aux);
         }
       }
     };
@@ -701,13 +561,13 @@ cell::StageTiming stage_dwt53(cell::Machine& m, Span2d<Sample> plane,
           }
           ctx.dma.wait_tag(cur);
           ctx.dma.touch(lin[cur], tw * sizeof(Sample));
-          spe_horizontal53_row(ctx.simd, lin[cur], even, odd, ww);
+          bk.dwt53_h_row(ctx.simd, lin[cur], even, odd, ww);
           // Reassemble L|H contiguously so the row goes back in one
           // aligned DMA (writing the H half alone would start at an
           // arbitrary offset and violate the MFC alignment rules).
-          ls_copy(ctx.simd, lin[cur], even, nl * sizeof(Sample));
+          bk.ls_copy(ctx.simd, lin[cur], even, nl * sizeof(Sample));
           if (ww > nl) {
-            ls_copy(ctx.simd, lin[cur] + nl, odd,
+            bk.ls_copy(ctx.simd, lin[cur] + nl, odd,
                     (ww - nl) * sizeof(Sample));
           }
           dma_put_row_tagged(ctx.dma, lin[cur], plane.row(y), tw, cur);
@@ -736,7 +596,8 @@ cell::StageTiming stage_dwt53(cell::Machine& m, Span2d<Sample> plane,
 }
 
 cell::StageTiming stage_dwt97(cell::Machine& m, Span2d<float> plane,
-                              int levels, const DwtOptions& opt) {
+                              int levels, const DwtOptions& opt,
+                              const backend::KernelBackend& bk) {
   cell::StageTiming total;
   total.name = "dwt97";
   std::size_t ww = plane.width();
@@ -759,9 +620,9 @@ cell::StageTiming stage_dwt97(cell::Machine& m, Span2d<float> plane,
            g += static_cast<std::size_t>(std::max(1, m.num_spes()))) {
         const auto& ch = plan.spe_chunks[g];
         if (opt.merged_vertical) {
-          spe_vertical97_merged(ctx, plane, ch.x0, ch.width, hh, aux);
+          spe_vertical97_merged(ctx, bk, plane, ch.x0, ch.width, hh, aux);
         } else {
-          spe_vertical97_multipass(ctx, plane, ch.x0, ch.width, hh, aux);
+          spe_vertical97_multipass(ctx, bk, plane, ch.x0, ch.width, hh, aux);
         }
       }
     };
@@ -800,10 +661,10 @@ cell::StageTiming stage_dwt97(cell::Machine& m, Span2d<float> plane,
           }
           ctx.dma.wait_tag(cur);
           ctx.dma.touch(lin[cur], tw * sizeof(float));
-          spe_horizontal97_row(ctx.simd, lin[cur], even, odd, ww);
-          ls_copy(ctx.simd, lin[cur], even, nl * sizeof(float));
+          bk.dwt97_h_row(ctx.simd, lin[cur], even, odd, ww);
+          bk.ls_copy(ctx.simd, lin[cur], even, nl * sizeof(float));
           if (ww > nl) {
-            ls_copy(ctx.simd, lin[cur] + nl, odd, (ww - nl) * sizeof(float));
+            bk.ls_copy(ctx.simd, lin[cur] + nl, odd, (ww - nl) * sizeof(float));
           }
           dma_put_row_tagged(ctx.dma, lin[cur], plane.row(y), tw, cur);
         }
@@ -831,7 +692,8 @@ cell::StageTiming stage_dwt97(cell::Machine& m, Span2d<float> plane,
 }
 
 cell::StageTiming stage_dwt97_fixed(cell::Machine& m, Span2d<Sample> plane,
-                                    int levels, const DwtOptions& opt) {
+                                    int levels, const DwtOptions& opt,
+                                    const backend::KernelBackend& bk) {
   cell::StageTiming total;
   total.name = "dwt97fx";
   std::size_t ww = plane.width();
@@ -853,7 +715,7 @@ cell::StageTiming stage_dwt97_fixed(cell::Machine& m, Span2d<Sample> plane,
            g < plan.spe_chunks.size();
            g += static_cast<std::size_t>(std::max(1, m.num_spes()))) {
         const auto& ch = plan.spe_chunks[g];
-        spe_vertical97_fixed_merged(ctx, plane, ch.x0, ch.width, hh, aux);
+        spe_vertical97_fixed_merged(ctx, bk, plane, ch.x0, ch.width, hh, aux);
       }
     };
     auto vppe = [&](cell::OpCounters& c) {
@@ -896,10 +758,10 @@ cell::StageTiming stage_dwt97_fixed(cell::Machine& m, Span2d<Sample> plane,
           }
           ctx.dma.wait_tag(cur);
           ctx.dma.touch(lin[cur], tw * sizeof(Sample));
-          spe_horizontal97_fixed_row(ctx.simd, lin[cur], even, odd, ww);
-          ls_copy(ctx.simd, lin[cur], even, nl * sizeof(Sample));
+          bk.dwt97_fixed_h_row(ctx.simd, lin[cur], even, odd, ww);
+          bk.ls_copy(ctx.simd, lin[cur], even, nl * sizeof(Sample));
           if (ww > nl) {
-            ls_copy(ctx.simd, lin[cur] + nl, odd,
+            bk.ls_copy(ctx.simd, lin[cur] + nl, odd,
                     (ww - nl) * sizeof(Sample));
           }
           dma_put_row_tagged(ctx.dma, lin[cur], plane.row(y), tw, cur);

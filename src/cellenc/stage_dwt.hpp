@@ -11,6 +11,7 @@
 // as L|H.
 #pragma once
 
+#include "backend/kernel_backend.hpp"
 #include "cell/machine.hpp"
 #include "common/span2d.hpp"
 #include "image/image.hpp"
@@ -24,17 +25,23 @@ struct DwtOptions {
 };
 
 /// In-place multilevel 5/3; returns the summed stage timing across levels.
-cell::StageTiming stage_dwt53(cell::Machine& m, Span2d<Sample> plane,
-                              int levels, const DwtOptions& opt = {});
+cell::StageTiming stage_dwt53(
+    cell::Machine& m, Span2d<Sample> plane, int levels,
+    const DwtOptions& opt = {},
+    const backend::KernelBackend& bk = backend::cell_model());
 
 /// In-place multilevel 9/7 (float).
-cell::StageTiming stage_dwt97(cell::Machine& m, Span2d<float> plane,
-                              int levels, const DwtOptions& opt = {});
+cell::StageTiming stage_dwt97(
+    cell::Machine& m, Span2d<float> plane, int levels,
+    const DwtOptions& opt = {},
+    const backend::KernelBackend& bk = backend::cell_model());
 
 /// In-place multilevel 9/7 in Q13 fixed point — the arithmetic the paper
 /// replaces with float on the SPE (§4).  Always uses the merged vertical
 /// schedule.
-cell::StageTiming stage_dwt97_fixed(cell::Machine& m, Span2d<Sample> plane,
-                                    int levels, const DwtOptions& opt = {});
+cell::StageTiming stage_dwt97_fixed(
+    cell::Machine& m, Span2d<Sample> plane, int levels,
+    const DwtOptions& opt = {},
+    const backend::KernelBackend& bk = backend::cell_model());
 
 }  // namespace cj2k::cellenc

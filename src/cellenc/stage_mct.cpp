@@ -19,7 +19,8 @@ constexpr std::uint64_t kPpeShiftIctOps = 22;
 
 cell::StageTiming stage_mct_lossless(cell::Machine& m,
                                      std::vector<Plane>& planes, bool color,
-                                     unsigned depth) {
+                                     unsigned depth,
+                                     const backend::KernelBackend& bk) {
   CJ2K_CHECK(!planes.empty());
   const std::size_t w = planes[0].width();
   const std::size_t h = planes[0].height();
@@ -58,7 +59,7 @@ cell::StageTiming stage_mct_lossless(cell::Machine& m,
         ctx.dma.touch(lr[cur], cw * sizeof(Sample));
         ctx.dma.touch(lg[cur], cw * sizeof(Sample));
         ctx.dma.touch(lb[cur], cw * sizeof(Sample));
-        simd_shift_rct_row(ctx.simd, lr[cur], lg[cur], lb[cur], cw, depth);
+        bk.shift_rct_row(ctx.simd, lr[cur], lg[cur], lb[cur], cw, depth);
         dma_put_row_tagged(ctx.dma, lr[cur], planes[0].row(y) + ch.x0, cw,
                            cur);
         dma_put_row_tagged(ctx.dma, lg[cur], planes[1].row(y) + ch.x0, cw,
@@ -72,7 +73,7 @@ cell::StageTiming stage_mct_lossless(cell::Machine& m,
           dma_getf_row_tagged(ctx.dma, lx, planes[c].row(y) + ch.x0, cw, 2);
           ctx.dma.wait_tag(2);
           ctx.dma.touch(lx, cw * sizeof(Sample));
-          simd_shift_row(ctx.simd, lx, cw, depth);
+          bk.shift_row(ctx.simd, lx, cw, depth);
           dma_put_row_tagged(ctx.dma, lx, planes[c].row(y) + ch.x0, cw, 2);
         }
       }
@@ -93,7 +94,7 @@ cell::StageTiming stage_mct_lossless(cell::Machine& m,
         }
         ctx.dma.wait_tag(cur);
         ctx.dma.touch(lr[cur], cw * sizeof(Sample));
-        simd_shift_row(ctx.simd, lr[cur], cw, depth);
+        bk.shift_row(ctx.simd, lr[cur], cw, depth);
         dma_put_row_tagged(ctx.dma, lr[cur], src(k), cw, cur);
       }
     }
@@ -131,7 +132,8 @@ cell::StageTiming stage_mct_lossy(cell::Machine& m,
                                   const std::vector<Plane>& planes,
                                   std::vector<AlignedBuffer<float>>& fplanes,
                                   std::size_t stride, bool color,
-                                  unsigned depth) {
+                                  unsigned depth,
+                                  const backend::KernelBackend& bk) {
   const std::size_t w = planes[0].width();
   const std::size_t h = planes[0].height();
   const std::size_t ncomp = planes.size();
@@ -175,7 +177,7 @@ cell::StageTiming stage_mct_lossy(cell::Machine& m,
         ctx.dma.touch(fy[cur], cw * sizeof(float));
         ctx.dma.touch(fcb[cur], cw * sizeof(float));
         ctx.dma.touch(fcr[cur], cw * sizeof(float));
-        simd_shift_ict_row(ctx.simd, lr[cur], lg[cur], lb[cur], fy[cur],
+        bk.shift_ict_row(ctx.simd, lr[cur], lg[cur], lb[cur], fy[cur],
                            fcb[cur], fcr[cur], cw, depth);
         dma_put_row_tagged(ctx.dma, fy[cur], &fplanes[0][y * stride + ch.x0],
                            cw, cur);
@@ -188,7 +190,7 @@ cell::StageTiming stage_mct_lossy(cell::Machine& m,
           ctx.dma.wait_tag(2);
           ctx.dma.touch(lx, cw * sizeof(Sample));
           ctx.dma.touch(fx, cw * sizeof(float));
-          simd_shift_to_float_row(ctx.simd, lx, fx, cw, depth);
+          bk.shift_to_float_row(ctx.simd, lx, fx, cw, depth);
           dma_put_row_tagged(ctx.dma, fx, &fplanes[c][y * stride + ch.x0],
                              cw, 2);
         }
@@ -213,7 +215,7 @@ cell::StageTiming stage_mct_lossy(cell::Machine& m,
         ctx.dma.wait_tag(cur);
         ctx.dma.touch(lr[cur], cw * sizeof(Sample));
         ctx.dma.touch(fy[cur], cw * sizeof(float));
-        simd_shift_to_float_row(ctx.simd, lr[cur], fy[cur], cw, depth);
+        bk.shift_to_float_row(ctx.simd, lr[cur], fy[cur], cw, depth);
         dma_put_row_tagged(ctx.dma, fy[cur], dst(k), cw, cur);
       }
     }
@@ -260,7 +262,8 @@ cell::StageTiming stage_mct_lossy(cell::Machine& m,
 cell::StageTiming stage_mct_lossy_fixed(cell::Machine& m,
                                         const std::vector<Plane>& planes,
                                         std::vector<Plane>& fxplanes,
-                                        bool color, unsigned depth) {
+                                        bool color, unsigned depth,
+                                        const backend::KernelBackend& bk) {
   const std::size_t w = planes[0].width();
   const std::size_t h = planes[0].height();
   const std::size_t ncomp = planes.size();
@@ -303,7 +306,7 @@ cell::StageTiming stage_mct_lossy_fixed(cell::Machine& m,
         ctx.dma.touch(fy[cur], cw * sizeof(Sample));
         ctx.dma.touch(fcb[cur], cw * sizeof(Sample));
         ctx.dma.touch(fcr[cur], cw * sizeof(Sample));
-        simd_shift_ict_fixed_row(ctx.simd, lr[cur], lg[cur], lb[cur],
+        bk.shift_ict_fixed_row(ctx.simd, lr[cur], lg[cur], lb[cur],
                                  fy[cur], fcb[cur], fcr[cur], cw, depth);
         dma_put_row_tagged(ctx.dma, fy[cur], fxplanes[0].row(y) + ch.x0, cw,
                            cur);
@@ -316,7 +319,7 @@ cell::StageTiming stage_mct_lossy_fixed(cell::Machine& m,
           ctx.dma.wait_tag(2);
           ctx.dma.touch(lx, cw * sizeof(Sample));
           ctx.dma.touch(fx, cw * sizeof(Sample));
-          simd_shift_to_fixed_row(ctx.simd, lx, fx, cw, depth);
+          bk.shift_to_fixed_row(ctx.simd, lx, fx, cw, depth);
           dma_put_row_tagged(ctx.dma, fx, fxplanes[c].row(y) + ch.x0, cw, 2);
         }
       }
@@ -340,7 +343,7 @@ cell::StageTiming stage_mct_lossy_fixed(cell::Machine& m,
         ctx.dma.wait_tag(cur);
         ctx.dma.touch(lr[cur], cw * sizeof(Sample));
         ctx.dma.touch(fy[cur], cw * sizeof(Sample));
-        simd_shift_to_fixed_row(ctx.simd, lr[cur], fy[cur], cw, depth);
+        bk.shift_to_fixed_row(ctx.simd, lr[cur], fy[cur], cw, depth);
         dma_put_row_tagged(ctx.dma, fy[cur], dst(k), cw, cur);
       }
     }

@@ -42,7 +42,8 @@ constexpr std::uint64_t kPpeQuantOpsPerSample = 7;
 
 cell::StageTiming stage_quant(cell::Machine& m, Span2d<const float> fplane,
                               Span2d<Sample> qplane,
-                              const jp2k::TileComponent& tc) {
+                              const jp2k::TileComponent& tc,
+                              const backend::KernelBackend& bk) {
   const std::size_t w = fplane.width();
   const std::size_t h = fplane.height();
   CJ2K_CHECK(qplane.width() == w && qplane.height() == h);
@@ -83,7 +84,7 @@ cell::StageTiming stage_quant(cell::Machine& m, Span2d<const float> fplane,
       ctx.dma.touch(fin[cur], tw * sizeof(float));
       ctx.dma.touch(qout[cur], tw * sizeof(Sample));
       for (const auto& seg : segments_for_row(tc, y)) {
-        simd_quant_row(ctx.simd, fin[cur] + seg.x0, qout[cur] + seg.x0,
+        bk.quant_row(ctx.simd, fin[cur] + seg.x0, qout[cur] + seg.x0,
                        seg.width, seg.inv_step);
       }
       dma_put_row_tagged(ctx.dma, qout[cur], qplane.row(y), tw, cur);
@@ -109,7 +110,8 @@ cell::StageTiming stage_quant(cell::Machine& m, Span2d<const float> fplane,
 cell::StageTiming stage_quant_fixed(cell::Machine& m,
                                     Span2d<const Sample> fxplane,
                                     Span2d<Sample> qplane,
-                                    const jp2k::TileComponent& tc) {
+                                    const jp2k::TileComponent& tc,
+                                    const backend::KernelBackend& bk) {
   const std::size_t w = fxplane.width();
   const std::size_t h = fxplane.height();
   CJ2K_CHECK(qplane.width() == w && qplane.height() == h);
@@ -144,7 +146,7 @@ cell::StageTiming stage_quant_fixed(cell::Machine& m,
       for (const auto& seg : segments_for_row(tc, y)) {
         const auto inv = static_cast<std::int64_t>(
             (65536.0 / seg.step) + 0.5);
-        simd_quant_fixed_row(ctx.simd, fin[cur] + seg.x0, qout[cur] + seg.x0,
+        bk.quant_fixed_row(ctx.simd, fin[cur] + seg.x0, qout[cur] + seg.x0,
                              seg.width, inv);
       }
       dma_put_row_tagged(ctx.dma, qout[cur], qplane.row(y), tw, cur);

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "backend/kernel_backend.hpp"
 #include "cell/machine.hpp"
 #include "common/span2d.hpp"
 #include "image/image.hpp"
@@ -14,15 +15,16 @@ namespace cj2k::cellenc {
 
 /// Quantizes `fplane` (the transformed component) into `qplane`, using each
 /// subband's `quant_step` (already set on the tile component's subbands).
-cell::StageTiming stage_quant(cell::Machine& m, Span2d<const float> fplane,
-                              Span2d<Sample> qplane,
-                              const jp2k::TileComponent& tc);
+cell::StageTiming stage_quant(
+    cell::Machine& m, Span2d<const float> fplane, Span2d<Sample> qplane,
+    const jp2k::TileComponent& tc,
+    const backend::KernelBackend& bk = backend::cell_model());
 
 /// Fixed-point variant: quantizes a Q13 coefficient plane via reciprocal
 /// multiplies (emulated on the SPE).
-cell::StageTiming stage_quant_fixed(cell::Machine& m,
-                                    Span2d<const Sample> fxplane,
-                                    Span2d<Sample> qplane,
-                                    const jp2k::TileComponent& tc);
+cell::StageTiming stage_quant_fixed(
+    cell::Machine& m, Span2d<const Sample> fxplane, Span2d<Sample> qplane,
+    const jp2k::TileComponent& tc,
+    const backend::KernelBackend& bk = backend::cell_model());
 
 }  // namespace cj2k::cellenc

@@ -16,6 +16,7 @@
 // absorbed.
 #pragma once
 
+#include "backend/kernel_backend.hpp"
 #include "cell/machine.hpp"
 #include "common/span2d.hpp"
 #include "image/image.hpp"
@@ -68,11 +69,12 @@ struct T1StageResult {
 /// or the Part-15 HT cleanup pass (per-sample costs; ht_block.hpp).  HT
 /// blocks have no truncation points, so `hulls` must be null for HT — the
 /// PCRD machinery the hulls feed does not exist on that path.
-T1StageResult stage_t1(cell::Machine& m, jp2k::Tile& tile,
-                       const std::vector<Span2d<const Sample>>& coeff_planes,
-                       T1Distribution dist = T1Distribution::kWorkQueue,
-                       const jp2k::T1Options& t1opt = {},
-                       HullCapture* hulls = nullptr,
-                       jp2k::BlockCoder coder = jp2k::BlockCoder::kEbcot);
+T1StageResult stage_t1(
+    cell::Machine& m, jp2k::Tile& tile,
+    const std::vector<Span2d<const Sample>>& coeff_planes,
+    T1Distribution dist = T1Distribution::kWorkQueue,
+    const jp2k::T1Options& t1opt = {}, HullCapture* hulls = nullptr,
+    jp2k::BlockCoder coder = jp2k::BlockCoder::kEbcot,
+    const backend::KernelBackend& bk = backend::cell_model());
 
 }  // namespace cj2k::cellenc

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "backend/kernel_backend.hpp"
 #include "common/error.hpp"
 #include "jp2k/codestream.hpp"
 
@@ -250,7 +251,8 @@ Quad quad_at(std::size_t qy, std::size_t qx, std::size_t w, std::size_t h) {
 
 }  // namespace
 
-T1EncodedBlock ht_encode_block(Span2d<const Sample> coeffs) {
+T1EncodedBlock ht_encode_block(Span2d<const Sample> coeffs,
+                               const backend::KernelBackend* bk) {
   const std::size_t w = coeffs.width();
   const std::size_t h = coeffs.height();
   CJ2K_CHECK_MSG(w >= 1 && w <= 1024 && h >= 1 && h <= 1024,
@@ -258,15 +260,10 @@ T1EncodedBlock ht_encode_block(Span2d<const Sample> coeffs) {
 
   // Magnitude bit-plane count, exactly as EBCOT computes it: Tier-2 still
   // transmits it through the imsb tag tree, so the per-band maxima must
-  // agree between coders.
-  std::uint32_t maxmag = 0;
-  for (std::size_t y = 0; y < h; ++y) {
-    const Sample* row = coeffs.row(y);
-    for (std::size_t x = 0; x < w; ++x) {
-      const std::uint32_t m = static_cast<std::uint32_t>(std::abs(row[x]));
-      if (m > maxmag) maxmag = m;
-    }
-  }
+  // agree between coders.  The prescan dispatches through the kernel
+  // backend (both backends are bit-exact).
+  const std::uint32_t maxmag =
+      (bk ? *bk : backend::cell_model()).block_maxmag(coeffs);
 
   T1EncodedBlock out;
   out.num_bitplanes = bit_length(maxmag);

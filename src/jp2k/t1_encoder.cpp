@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "backend/kernel_backend.hpp"
 #include "common/error.hpp"
 #include "jp2k/mq_encoder.hpp"
 
@@ -14,7 +15,7 @@ namespace {
 class BlockEncoder {
  public:
   BlockEncoder(Span2d<const Sample> coeffs, SubbandOrient orient,
-               const T1Options& options)
+               const T1Options& options, const backend::KernelBackend& bk)
       : w_(coeffs.width()),
         h_(coeffs.height()),
         orient_(orient),
@@ -23,16 +24,10 @@ class BlockEncoder {
         mag_(w_ * h_) {
     CJ2K_CHECK_MSG(w_ >= 1 && w_ <= 1024 && h_ >= 1 && h_ <= 1024,
                    "code block dimensions out of range");
-    std::uint32_t maxmag = 0;
-    for (std::size_t y = 0; y < h_; ++y) {
-      for (std::size_t x = 0; x < w_; ++x) {
-        const Sample v = coeffs(y, x);
-        const std::uint32_t m = static_cast<std::uint32_t>(std::abs(v));
-        mag_[y * w_ + x] = m;
-        if (v < 0) flags_.at(y, x) |= kFlagSign;
-        if (m > maxmag) maxmag = m;
-      }
-    }
+    // Magnitude/sign prescan through the kernel backend (both backends are
+    // bit-exact; the native one vectorizes the abs/max).
+    const std::uint32_t maxmag = bk.t1_mag_sign(
+        coeffs, mag_.data(), &flags_.at(0, 0), flags_.stride, kFlagSign);
     num_planes_ = 0;
     while (maxmag >> num_planes_) ++num_planes_;
   }
@@ -238,8 +233,11 @@ class BlockEncoder {
 
 T1EncodedBlock t1_encode_block(Span2d<const Sample> coeffs,
                                SubbandOrient orient,
-                               const T1Options& options) {
-  return BlockEncoder(coeffs, orient, options).run();
+                               const T1Options& options,
+                               const backend::KernelBackend* bk) {
+  return BlockEncoder(coeffs, orient, options,
+                      bk ? *bk : backend::cell_model())
+      .run();
 }
 
 }  // namespace cj2k::jp2k

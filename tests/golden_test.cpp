@@ -94,6 +94,24 @@ TEST_P(Golden, PipelineMatchesPinnedDigestAtEverySpeCount) {
   }
 }
 
+// The native host-SIMD backend must hit the same pinned digests: vector
+// reassociation or a pad-lane read would drift bytes here first
+// (DESIGN.md §13's byte-identity contract).
+TEST_P(Golden, NativeSimdBackendMatchesPinnedDigest) {
+  const GoldenCase& gc = GetParam();
+  const Image img = golden_image();
+  const jp2k::CodingParams p = golden_params(gc);
+  cellenc::PipelineOptions opt;
+  opt.backend = backend::BackendKind::kNative;
+  for (int spes : {1, 16}) {
+    cellenc::CellEncoder enc(config(spes, 2));
+    const auto res = enc.encode(img, p, opt);
+    EXPECT_EQ(common::sha256_hex(res.codestream), gc.digest)
+        << gc.name << " at " << spes << " SPEs (native backend, "
+        << backend::native_isa() << ")";
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllGoldenVectors, Golden, ::testing::ValuesIn(kCases),
     [](const ::testing::TestParamInfo<GoldenCase>& info) {
